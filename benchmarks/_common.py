@@ -1,0 +1,54 @@
+"""Shared infrastructure for the table/figure reproduction benches.
+
+Every benchmark regenerates one table or figure from the paper as
+plain text: it prints the rendered output and also writes it to
+``results/<name>.txt`` next to this directory so the artifacts survive
+the pytest run.
+
+Scaling: the paper's experiments are 12-minute, 3500-user runs on a
+6-node cluster; these benches default to a few simulated minutes and a
+few hundred closed-loop users (the controllers are rate-invariant).
+Set ``REPRO_BENCH_SCALE`` (e.g. ``2.0``) to lengthen every run for
+tighter statistics.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Global duration multiplier (REPRO_BENCH_SCALE env var).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Default SLA for end-to-end goodput reporting; the paper uses 400 ms
+#: for its timeline figures and Table 2.
+SLA = 0.4
+
+#: Trace length for Table 2/3 and the timeline figures (paper: 720 s).
+TRACE_DURATION = 240.0 * SCALE
+
+#: Closed-loop population at normalized load 1.0 (paper: 3500 users at
+#: testbed scale; our substrate saturates around 450).
+PEAK_USERS = 450
+MIN_USERS = 80
+
+
+def scaled(seconds: float) -> float:
+    """Apply the global duration multiplier."""
+    return seconds * SCALE
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,116 @@
+"""Ablation — one-shot knee estimation vs step-by-step search (§3.1).
+
+The paper's argument for the SCG model over "step-by-step heuristic
+approaches" (Bayesian optimization, BestConfig-style search) is
+adaptation *speed*: bursty traffic sweeps the concurrency range within
+one window, so SCG reads the whole goodput-vs-concurrency curve from a
+single 60 s window, while a sequential tuner must spend one evaluation
+period per configuration probed.
+
+Both controllers start from the same under-allocated Cart pool under
+the same load; we compare how quickly each reaches (and how well it
+holds) the healthy region.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks._common import once, publish, scaled
+from repro.app.topologies import build_sock_shop
+from repro.core import (
+    HillClimbController,
+    MonitoringModule,
+    SoraController,
+    ThreadPoolTarget,
+)
+from repro.experiments.reporting import ascii_table
+from repro.sim import Environment, RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+SLA = 0.3
+DURATION = 300.0
+START_THREADS = 3
+
+
+def run_one(kind: str):
+    env = Environment()
+    streams = RandomStreams(37)
+    app = build_sock_shop(env, streams, cart_threads=START_THREADS,
+                          cart_cores=4.0)
+    cart = app.service("cart")
+    target = ThreadPoolTarget(cart)
+    duration = scaled(DURATION)
+    trace = WorkloadTrace(
+        "osc", duration, 500, 250,
+        lambda u: 0.75 + 0.25 * math.sin(2 * math.pi * 8.0 * u))
+    driver = ClosedLoopDriver(env, app, "cart", trace,
+                              streams.stream("drv"), ramp_up=5.0)
+    if kind == "sora":
+        monitoring = MonitoringModule(env, app)
+        controller = SoraController(env, app, monitoring, [target],
+                                    sla=SLA)
+    else:
+        controller = HillClimbController(env, app, target, sla=SLA,
+                                         rng=streams.stream("hc"))
+    controller.start()
+    driver.start()
+    env.run(until=duration + 2.0)
+    times, latencies = app.latency["cart"].window(0.0, duration)
+    return times, latencies, list(controller.actions), duration
+
+
+def goodput_series(times, latencies, duration, interval=15.0):
+    edges = np.arange(0.0, duration + interval, interval)
+    good = times[latencies <= SLA]
+    counts, _ = np.histogram(good, bins=edges)
+    return edges[:-1], counts / interval
+
+
+def convergence_time(times, latencies, duration) -> float:
+    """First bucket from which goodput stays >= 90% of the final
+    steady-state level."""
+    starts, rates = goodput_series(times, latencies, duration)
+    steady = np.mean(rates[-4:])
+    threshold = 0.9 * steady
+    for index in range(len(rates)):
+        if np.all(rates[index:] >= threshold * 0.95) and \
+                rates[index] >= threshold:
+            return float(starts[index])
+    return float(duration)
+
+
+def run_all():
+    return {kind: run_one(kind) for kind in ("sora", "hillclimb")}
+
+
+def render(results) -> tuple[str, dict]:
+    rows = []
+    stats = {}
+    for kind, label in (("sora", "SCG one-shot knee (Sora)"),
+                        ("hillclimb", "step-by-step hill climbing")):
+        times, latencies, actions, duration = results[kind]
+        converged = convergence_time(times, latencies, duration)
+        goodput = float(np.count_nonzero(latencies <= SLA)) / duration
+        stats[kind] = {"converged": converged, "goodput": goodput}
+        rows.append([label, round(converged, 0), round(goodput, 1),
+                     len(actions)])
+    table = ascii_table(
+        ["controller", "time to steady goodput [s]",
+         "mean goodput [req/s]", "reconfigurations"],
+        rows,
+        title="Ablation: adaptation speed from an under-allocated pool "
+              f"(start {START_THREADS} threads, SLA {SLA * 1000:.0f} ms)")
+    return table, stats
+
+
+def test_ablation_adaptation_speed(benchmark):
+    results = once(benchmark, run_all)
+    table, stats = render(results)
+    publish("ablation_adaptation_speed", table)
+    # The paper's claim: the one-shot model adapts at least as fast and
+    # ends at least as good as sequential search.
+    assert stats["sora"]["converged"] <= \
+        stats["hillclimb"]["converged"] + 15.0
+    assert stats["sora"]["goodput"] >= 0.95 * \
+        stats["hillclimb"]["goodput"]

@@ -1,0 +1,93 @@
+"""Ablation — polynomial degree sensitivity of knee estimation (§3.3).
+
+The paper: too low a degree cannot expose a valid knee; too high a
+degree overfits measurement noise; degrees 5-8 fit a 1-minute profile.
+Reproduction: collect one real concurrency-goodput scatter from a Cart
+run, then run knee detection with each fixed degree and compare the
+recommendation against the sweep-derived optimum.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks._common import once, publish, scaled
+from repro.app.topologies import build_sock_shop
+from repro.core import SCGModel, ScatterModelConfig, ThreadPoolTarget
+from repro.experiments.reporting import ascii_table
+from repro.metrics.sampler import ConcurrencyGoodputSampler
+from repro.sim import Environment, RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+THRESHOLD = 0.200
+#: Sweep-calibrated optimum for the 2-core Cart under this workload
+#: (see fig03/fig09 results).
+TRUE_OPTIMUM = 8
+DEGREES = list(range(1, 11))
+
+
+def collect_scatter():
+    env = Environment()
+    streams = RandomStreams(17)
+    app = build_sock_shop(env, streams, cart_threads=30, cart_cores=2.0)
+    target = ThreadPoolTarget(app.service("cart"))
+    duration = scaled(120.0)
+    trace = WorkloadTrace(
+        "osc", duration, 420, 100,
+        lambda u: 0.5 + 0.5 * math.sin(2 * math.pi * 6.0 * u))
+    driver = ClosedLoopDriver(env, app, "cart", trace,
+                              streams.stream("drv"), ramp_up=5.0)
+    sampler = ConcurrencyGoodputSampler(
+        env,
+        concurrency_integral=target.concurrency_integral,
+        completion_source=target.completion_latencies,
+        threshold_provider=lambda: THRESHOLD,
+        interval=0.1)
+    sampler.start()
+    driver.start()
+    env.run(until=duration + 2.0)
+    return sampler.pairs()
+
+
+def run_all():
+    q, gp = collect_scatter()
+    results = {}
+    for degree in DEGREES:
+        config = ScatterModelConfig(
+            min_degree=degree, max_degree=degree,
+            allow_argmax_fallback=False)
+        estimate = SCGModel(config).estimate(q, gp, threshold=THRESHOLD)
+        results[degree] = estimate
+    return results
+
+
+def render(results) -> str:
+    rows = []
+    for degree, estimate in results.items():
+        if estimate is None:
+            rows.append([degree, "-", "-", "no valid knee"])
+        else:
+            error = abs(estimate.optimal_concurrency -
+                        TRUE_OPTIMUM) / TRUE_OPTIMUM * 100
+            rows.append([degree, estimate.optimal_concurrency,
+                         f"{error:.0f}%", estimate.method])
+    return ascii_table(
+        ["polynomial degree", "estimated optimum",
+         f"error vs {TRUE_OPTIMUM}", "note"],
+        rows,
+        title="Ablation: knee estimate vs polynomial degree "
+              "(paper: 5-8 adequate; too low -> no knee, too high -> "
+              "noise)")
+
+
+def test_ablation_poly_degree(benchmark):
+    results = once(benchmark, run_all)
+    publish("ablation_poly_degree", render(results))
+    # Degree 1 (a line) can never produce a knee.
+    assert results[1] is None
+    # Some mid-range degree must both find a knee and land near the
+    # sweep optimum.
+    mid = [results[d] for d in (4, 5, 6, 7, 8) if results[d] is not None]
+    assert mid, "no mid-range degree produced a knee"
+    errors = [abs(e.optimal_concurrency - TRUE_OPTIMUM) for e in mid]
+    assert min(errors) <= max(3, TRUE_OPTIMUM // 2)

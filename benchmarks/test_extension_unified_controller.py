@@ -1,0 +1,93 @@
+"""Extension — the unified hardware+soft controller (§4.1 future work).
+
+The paper proposes (as future work) replacing the two-loop design
+(hardware autoscaler + Concurrency Adapter) with a single controller
+that owns both knobs. This bench compares the composed design
+(Sora over FIRM) against the unified controller on the paper's
+Fig. 10 trace.
+"""
+
+from benchmarks._common import (
+    MIN_USERS,
+    PEAK_USERS,
+    SLA,
+    TRACE_DURATION,
+    once,
+    publish,
+)
+from repro.core import (
+    MonitoringModule,
+    ThreadPoolTarget,
+    UnifiedSoraController,
+)
+from repro.experiments import run_scenario, sock_shop_cart_scenario
+from repro.experiments.harness import Scenario
+from repro.experiments.reporting import ascii_table
+from repro.sim import Environment, RandomStreams
+from repro.workloads import ClosedLoopDriver, steep_tri_phase
+
+
+def unified_scenario(trace):
+    env = Environment()
+    streams = RandomStreams(42)
+    from repro.app.topologies import build_sock_shop
+    app = build_sock_shop(env, streams, cart_threads=5, cart_cores=2.0)
+    cart = app.service("cart")
+    monitoring = MonitoringModule(env, app)
+    driver = ClosedLoopDriver(env, app, "cart", trace,
+                              streams.stream("driver"), ramp_up=10.0)
+    target = ThreadPoolTarget(cart)
+    controller = UnifiedSoraController(env, app, monitoring, [target],
+                                       sla=SLA)
+    return Scenario(
+        name="unified", env=env, streams=streams, app=app,
+        monitoring=monitoring, drivers=[driver], request_type="cart",
+        sla=SLA, controller=controller, autoscaler=None, target=target)
+
+
+def run_all():
+    results = {}
+    trace = steep_tri_phase(duration=TRACE_DURATION,
+                            peak_users=PEAK_USERS, min_users=MIN_USERS)
+    composed = sock_shop_cart_scenario(
+        trace=trace, controller="sora", autoscaler="firm", sla=SLA)
+    results["composed"] = run_scenario(composed, duration=TRACE_DURATION)
+
+    trace = steep_tri_phase(duration=TRACE_DURATION,
+                            peak_users=PEAK_USERS, min_users=MIN_USERS)
+    scenario = unified_scenario(trace)
+    results["unified"] = run_scenario(scenario, duration=TRACE_DURATION)
+    results["unified_hw"] = len(
+        scenario.controller.hardware_log)  # type: ignore[attr-defined]
+    return results
+
+
+def render(results) -> str:
+    rows = []
+    for key, label, hw in (
+            ("composed", "Sora over FIRM (two loops)",
+             len(results["composed"].scale_events)),
+            ("unified", "Unified controller (one loop)",
+             results["unified_hw"])):
+        result = results[key]
+        summary = result.summary_row()
+        rows.append([label, summary["goodput_rps"], summary["p95_ms"],
+                     summary["p99_ms"], hw,
+                     len(result.adaptation_actions)])
+    return ascii_table(
+        ["design", "goodput", "p95 [ms]", "p99 [ms]", "HW scalings",
+         "pool adaptations"],
+        rows,
+        title="Extension: composed vs unified control "
+              "(Steep Tri Phase, SLA 400 ms)")
+
+
+def test_extension_unified_controller(benchmark):
+    results = once(benchmark, run_all)
+    publish("extension_unified_controller", render(results))
+    composed, unified = results["composed"], results["unified"]
+    # The unified design must match the composed one (the paper expects
+    # it to be at least as good once the handoff latency is gone).
+    assert unified.goodput() >= 0.9 * composed.goodput()
+    assert unified.percentile(99) <= composed.percentile(99) * 1.2
+    assert results["unified_hw"] >= 1  # it actually scaled hardware

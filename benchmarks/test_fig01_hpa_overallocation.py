@@ -1,0 +1,75 @@
+"""Figure 1 — Kubernetes HPA alone cannot fix soft-resource
+misallocation.
+
+The paper's opening figure: HPA scales out the bottleneck Catalogue
+service, but the over-allocated DB connection pool keeps flooding
+catalogue-db, so end-to-end latency keeps spiking; Sora's runtime
+adaptation of the connection pool removes the spikes.
+
+Regenerates the three panels (end-to-end latency, Catalogue CPU,
+established DB connections) as a shared-time-grid text table, plus a
+summary comparison row.
+"""
+
+from benchmarks._common import SLA, TRACE_DURATION, once, publish
+from repro.experiments import (
+    run_scenario,
+    series_table,
+    sock_shop_catalogue_scenario,
+)
+from repro.experiments.reporting import ascii_table
+from repro.workloads import quick_varying
+
+
+def run_pair():
+    results = {}
+    for controller in ("none", "sora"):
+        trace = quick_varying(duration=TRACE_DURATION, peak_users=520,
+                              min_users=150)
+        scenario = sock_shop_catalogue_scenario(
+            trace=trace, controller=controller, autoscaler="hpa",
+            db_connections=60, sla=SLA)
+        results[controller] = run_scenario(scenario,
+                                           duration=TRACE_DURATION)
+    return results
+
+
+def render(results) -> str:
+    sections = []
+    for controller, label in (("none", "Kubernetes HPA (static pool)"),
+                              ("sora", "HPA + Sora")):
+        result = results[controller]
+        rt = result.response_time_series(interval=10.0)
+        conns = result.series(
+            "catalogue.db->catalogue-db.allocation")
+        in_use = result.series("catalogue.db->catalogue-db.in_use")
+        busy = result.series("catalogue.busy_cores")
+        sections.append(series_table(
+            {
+                "p95 RT [ms]": (rt[0], rt[1] * 1000.0),
+                "catalogue busy [cores]": busy,
+                "DB conns alloc": conns,
+                "DB conns in use": in_use,
+            },
+            step=TRACE_DURATION / 12, until=TRACE_DURATION,
+            title=f"--- {label} ---"))
+    rows = []
+    for controller, label in (("none", "Kubernetes HPA"),
+                              ("sora", "HPA + Sora")):
+        result = results[controller]
+        summary = result.summary_row()
+        rows.append([label, summary["goodput_rps"], summary["p95_ms"],
+                     summary["p99_ms"]])
+    sections.append(ascii_table(
+        ["system", "goodput [req/s]", "p95 [ms]", "p99 [ms]"], rows,
+        title="Fig. 1 summary (SLA 400 ms, Quick Varying workload)"))
+    return "\n\n".join(sections)
+
+
+def test_fig01_hpa_overallocation(benchmark):
+    results = once(benchmark, run_pair)
+    publish("fig01_hpa_overallocation", render(results))
+    # Shape assertions: Sora must tame the spikes the static pool causes.
+    assert results["sora"].goodput() >= results["none"].goodput()
+    assert results["sora"].percentile(99) <= \
+        results["none"].percentile(99) * 1.05

@@ -1,0 +1,75 @@
+"""§6 — critical-service localization accuracy.
+
+The paper cites FIRM's ~93% localization accuracy at scale. This bench
+plants a known bottleneck in the Sock Shop topology (by shrinking one
+service's CPU), runs a short loaded window, and checks whether the
+two-step localizer (utilization screen + Pearson ranking) nominates the
+planted service. Accuracy is reported over all plants x seeds.
+"""
+
+from benchmarks._common import once, publish, scaled
+from repro.app.topologies import build_sock_shop
+from repro.core import CriticalServiceLocator, MonitoringModule
+from repro.experiments.reporting import ascii_table
+from repro.sim import Environment, RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+#: Services we can plant a bottleneck in (on the browse fan-out paths).
+PLANTS = ["cart", "catalogue", "cart-db", "catalogue-db"]
+SEEDS = [1, 2, 3]
+DURATION = 60.0
+USERS = 320
+
+
+def run_case(plant: str, seed: int) -> tuple[str | None, str]:
+    env = Environment()
+    streams = RandomStreams(seed)
+    app = build_sock_shop(env, streams, cart_threads=40)
+    # Plant the bottleneck: starve the target service's CPU.
+    app.service(plant).set_cores(0.7)
+    monitoring = MonitoringModule(env, app)
+    monitoring.start()
+    duration = scaled(DURATION)
+    trace = WorkloadTrace("flat", duration, USERS, USERS, lambda u: 1.0)
+    driver = ClosedLoopDriver(env, app, "browse", trace,
+                              streams.stream("drv"), ramp_up=5.0)
+    driver.start()
+    env.run(until=duration + 2.0)
+    locator = CriticalServiceLocator(exclude=("front-end",))
+    window = min(30.0, duration / 2)
+    traces = app.warehouse.traces(env.now - window, env.now)
+    report = locator.locate(traces, monitoring.utilizations(window))
+    return report.critical_service, " -> ".join(report.dominant_path)
+
+
+def run_all():
+    outcome = []
+    for plant in PLANTS:
+        for seed in SEEDS:
+            nominated, path = run_case(plant, seed)
+            outcome.append((plant, seed, nominated, path))
+    return outcome
+
+
+def render(outcome) -> tuple[str, float]:
+    rows = []
+    hits = 0
+    for plant, seed, nominated, path in outcome:
+        correct = nominated == plant
+        hits += int(correct)
+        rows.append([plant, seed, nominated or "-",
+                     "OK" if correct else "miss", path])
+    accuracy = hits / len(outcome) * 100
+    table = ascii_table(
+        ["planted bottleneck", "seed", "nominated", "", "dominant path"],
+        rows,
+        title=f"Localization accuracy: {accuracy:.0f}% "
+              f"({hits}/{len(outcome)}; paper cites ~93% for FIRM)")
+    return table, accuracy
+
+
+def test_localization_accuracy(benchmark):
+    outcome = once(benchmark, run_all)
+    table, accuracy = render(outcome)
+    publish("localization_accuracy", table)
+    assert accuracy >= 75.0, f"accuracy {accuracy:.0f}% too low"

@@ -1,0 +1,75 @@
+"""Table 2 — FIRM vs Sora across the six bursty traces.
+
+Tail latency (p95/p99) and average goodput for the Cart service under
+all six real-world trace shapes, FIRM alone vs FIRM+Sora. The paper
+reports Sora cutting p99 by ~2.2x on average (up to 2.5x) and raising
+goodput on every trace.
+"""
+
+from benchmarks._common import (
+    MIN_USERS,
+    PEAK_USERS,
+    SLA,
+    TRACE_DURATION,
+    once,
+    publish,
+)
+from repro.experiments import ratio, run_scenario, sock_shop_cart_scenario
+from repro.experiments.reporting import ascii_table
+from repro.workloads import TRACE_NAMES, build_trace
+
+
+def run_all():
+    outcome = {}
+    for trace_name in TRACE_NAMES:
+        per_system = {}
+        for controller in ("none", "sora"):
+            trace = build_trace(trace_name, duration=TRACE_DURATION,
+                                peak_users=PEAK_USERS,
+                                min_users=MIN_USERS)
+            scenario = sock_shop_cart_scenario(
+                trace=trace, controller=controller, autoscaler="firm",
+                sla=SLA)
+            per_system[controller] = run_scenario(
+                scenario, duration=TRACE_DURATION)
+        outcome[trace_name] = per_system
+    return outcome
+
+
+def render(outcome) -> str:
+    rows = []
+    for trace_name, per_system in outcome.items():
+        firm, sora = per_system["none"], per_system["sora"]
+        rows.append([
+            trace_name,
+            f"{firm.percentile(95) * 1000:.0f} / "
+            f"{sora.percentile(95) * 1000:.0f}",
+            f"{firm.percentile(99) * 1000:.0f} / "
+            f"{sora.percentile(99) * 1000:.0f}",
+            f"{firm.goodput():.0f} / {sora.goodput():.0f}",
+            round(ratio(firm.percentile(99), sora.percentile(99)), 2),
+        ])
+    return ascii_table(
+        ["workload trace", "p95 [ms] (FIRM/Sora)",
+         "p99 [ms] (FIRM/Sora)", "goodput-400ms (FIRM/Sora)",
+         "p99 improvement"],
+        rows,
+        title="Table 2: FIRM vs Sora under six bursty traces "
+              "(SLA 400 ms)")
+
+
+def test_table2_firm_vs_sora(benchmark):
+    outcome = once(benchmark, run_all)
+    publish("table2_firm_vs_sora", render(outcome))
+    improvements = []
+    for trace_name, per_system in outcome.items():
+        firm, sora = per_system["none"], per_system["sora"]
+        assert sora.goodput() >= firm.goodput() * 0.95, (
+            f"{trace_name}: Sora goodput regressed")
+        improvements.append(ratio(firm.percentile(99),
+                                  sora.percentile(99)))
+    # Shape: Sora improves p99 on most traces, never catastrophically
+    # regresses, and wins clearly somewhere (paper: up to 2.5x).
+    assert sum(1 for i in improvements if i >= 1.0) >= 4
+    assert max(improvements) >= 1.3
+    assert min(improvements) >= 0.7

@@ -1,0 +1,86 @@
+"""Table 3 — ConScale vs Sora goodput across traces and SLA thresholds.
+
+Both frameworks adapt the Cart thread pool over a threshold-based
+vertical autoscaler (K8s VPA); goodput is evaluated at two SLA
+thresholds. ConScale's SCT control loop is latency-agnostic, so its
+runs do not depend on the SLA and are shared between the two threshold
+columns; Sora's propagated deadline depends on it, so Sora runs once
+per SLA.
+"""
+
+from benchmarks._common import (
+    MIN_USERS,
+    PEAK_USERS,
+    TRACE_DURATION,
+    once,
+    publish,
+)
+from repro.experiments import run_scenario, sock_shop_cart_scenario
+from repro.experiments.reporting import ascii_table
+from repro.workloads import TRACE_NAMES, build_trace
+
+#: The paper evaluates 250 ms and 500 ms SLA thresholds.
+SLAS = (0.250, 0.500)
+
+
+def run_all():
+    outcome = {}
+    for trace_name in TRACE_NAMES:
+        trace = build_trace(trace_name, duration=TRACE_DURATION,
+                            peak_users=PEAK_USERS, min_users=MIN_USERS)
+        conscale = run_scenario(
+            sock_shop_cart_scenario(trace=trace, controller="conscale",
+                                    autoscaler="vpa"),
+            duration=TRACE_DURATION)
+        sora = {}
+        for sla in SLAS:
+            trace = build_trace(trace_name, duration=TRACE_DURATION,
+                                peak_users=PEAK_USERS,
+                                min_users=MIN_USERS)
+            sora[sla] = run_scenario(
+                sock_shop_cart_scenario(trace=trace, controller="sora",
+                                        autoscaler="vpa", sla=sla),
+                duration=TRACE_DURATION)
+        outcome[trace_name] = (conscale, sora)
+    return outcome
+
+
+def render(outcome) -> str:
+    sections = []
+    for sla in SLAS:
+        rows = []
+        for trace_name, (conscale, sora) in outcome.items():
+            rows.append([
+                trace_name,
+                round(conscale.goodput(sla), 0),
+                round(sora[sla].goodput(sla), 0),
+                round(sora[sla].goodput(sla) /
+                      max(1e-9, conscale.goodput(sla)), 2),
+            ])
+        sections.append(ascii_table(
+            ["workload trace", "ConScale goodput", "Sora goodput",
+             "Sora/ConScale"],
+            rows,
+            title=f"Table 3 @ SLA {sla * 1000:.0f} ms "
+                  "(Cart + K8s VPA)"))
+    return "\n\n".join(sections)
+
+
+def test_table3_conscale_vs_sora(benchmark):
+    outcome = once(benchmark, run_all)
+    publish("table3_conscale_vs_sora", render(outcome))
+    # Documented divergence (EXPERIMENTS.md): in this substrate the SCT
+    # knee coincides with the SCG knee, so the paper's 1.06-1.53x Sora
+    # wins appear as statistical ties. The shape claim we can hold is
+    # "Sora never materially loses to the latency-agnostic model".
+    non_losses = 0
+    for _trace_name, (conscale, sora) in outcome.items():
+        for sla in SLAS:
+            if sora[sla].goodput(sla) >= 0.97 * conscale.goodput(sla):
+                non_losses += 1
+            # Hard floor: never a collapse.
+            assert sora[sla].goodput(sla) >= \
+                0.85 * conscale.goodput(sla)
+    assert non_losses == len(outcome) * len(SLAS), (
+        f"Sora materially lost {len(outcome) * len(SLAS) - non_losses} "
+        "cells")

@@ -1,0 +1,79 @@
+"""Validate the simulator against exact queueing theory (MVA).
+
+The closed-loop service substrate (think-time users over processor-
+sharing stations) is a product-form network, so Mean Value Analysis
+gives its exact steady state. This example runs the same tandem chain
+both ways — simulated and solved — across a population sweep, printing
+throughput and mean response time side by side.
+
+Run:
+    python examples/queueing_validation.py
+"""
+
+import numpy as np
+
+from repro.analysis.queueing import Station, asymptotic_bounds, solve_mva
+from repro.app import Application, Call, Compute, Microservice, Operation
+from repro.experiments.reporting import ascii_table
+from repro.sim import Environment, Exponential, LogNormal, RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+DEMANDS = [0.020, 0.035, 0.010]  # seconds per visit, station 2 is heavy
+THINK = 0.5
+DURATION = 240.0
+
+
+def simulate(population: int) -> tuple[float, float]:
+    env = Environment()
+    streams = RandomStreams(3)
+    app = Application(env)
+    names = [f"stage{i}" for i in range(len(DEMANDS))]
+    for index, (name, demand) in enumerate(zip(names, DEMANDS)):
+        service = Microservice(env, name, streams.stream(name),
+                               cores=1.0, cpu_overhead=0.0)
+        steps = [Compute(LogNormal(demand, cv=1.0))]
+        if index + 1 < len(names):
+            steps.append(Call(names[index + 1]))
+        service.add_operation(Operation("default", steps))
+        app.add_service(service)
+    app.set_entrypoint("go", names[0], "default")
+    trace = WorkloadTrace("flat", DURATION, population, population,
+                          lambda u: 1.0)
+    driver = ClosedLoopDriver(env, app, "go", trace,
+                              streams.stream("drv"),
+                              think_time=Exponential(THINK))
+    driver.start()
+    env.run(until=DURATION + 1.0)
+    times, latencies = app.latency["go"].window(DURATION / 2, DURATION)
+    return times.size / (DURATION / 2), float(np.mean(latencies))
+
+
+def main() -> None:
+    stations = [Station(f"stage{i}", d)
+                for i, d in enumerate(DEMANDS)]
+    x_max, n_star = asymptotic_bounds(stations, think_time=THINK)
+    print(f"bottleneck bound: X_max = {x_max:.1f} req/s, "
+          f"saturation population N* = {n_star:.1f}\n")
+
+    rows = []
+    for population in (2, 5, 10, 16, 24, 40):
+        theory = solve_mva(stations, population, think_time=THINK)
+        sim_x, sim_r = simulate(population)
+        rows.append([
+            population,
+            round(theory.throughput, 1), round(sim_x, 1),
+            f"{(sim_x / theory.throughput - 1) * 100:+.1f}%",
+            round(theory.cycle_time * 1000, 1), round(sim_r * 1000, 1),
+        ])
+    print(ascii_table(
+        ["N", "X theory [req/s]", "X simulated", "error",
+         "R theory [ms]", "R simulated [ms]"],
+        rows,
+        title="Tandem PS chain: exact MVA vs discrete-event simulation"))
+    print("\nProcessor sharing is insensitive to the service "
+          "distribution, so the lognormal simulation matches the "
+          "distribution-free MVA solution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`)
+in environments without the `wheel` package (PEP 660 unavailable)."""
+
+from setuptools import setup
+
+setup()

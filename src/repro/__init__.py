@@ -1,0 +1,7 @@
+"""repro: a reproduction of Sora (Middleware '23).
+
+Latency-sensitive soft resource adaptation for microservices on a
+discrete-event simulation substrate.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,108 @@
+"""Online change-point detection for regime shifts.
+
+The SCG model's window mixes samples across workload or system-state
+changes (hardware rescaling is handled by event hooks, but *external*
+drift — a request-type change, a dataset growth — arrives unannounced).
+A change-point detector lets the controller notice that the service's
+operating regime moved and discard stale samples instead of averaging
+across regimes (the overshoot source analyzed in DESIGN.md).
+
+:class:`PageHinkley` implements the classic Page-Hinkley test on a
+stream of observations (we feed it per-interval mean processing times):
+it tracks the cumulative deviation of observations from their running
+mean and signals when the deviation exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A detected regime shift."""
+
+    at_observation: int
+    direction: str  # "up" or "down"
+    magnitude: float
+
+
+class PageHinkley:
+    """Two-sided Page-Hinkley change detector.
+
+    Args:
+        delta: slack — deviations below this magnitude are ignored
+            (robustness to noise), as a fraction of the running mean.
+        threshold: cumulative deviation (in running-mean units) that
+            triggers a detection.
+        min_observations: number of samples needed to establish the
+            baseline before detection can fire.
+    """
+
+    def __init__(self, delta: float = 0.1, threshold: float = 2.0,
+                 min_observations: int = 20) -> None:
+        if delta < 0:
+            raise ValueError(f"negative delta {delta}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if min_observations < 2:
+            raise ValueError("min_observations must be >= 2")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_observations = min_observations
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the baseline (call after acting on a detection)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cum_up = 0.0
+        self._cum_down = 0.0
+        self._min_up = 0.0
+        self._max_down = 0.0
+
+    @property
+    def observations(self) -> int:
+        """Samples seen since the last reset."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean of the stream."""
+        return self._mean
+
+    def update(self, value: float) -> ChangePoint | None:
+        """Feed one observation; returns a detection or ``None``.
+
+        On detection the detector resets itself, so the caller can keep
+        streaming without bookkeeping.
+        """
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        if self._count < self.min_observations or self._mean == 0.0:
+            return None
+        slack = self.delta * abs(self._mean)
+        deviation = value - self._mean
+        # Upward shift accumulator (values rising above the mean).
+        self._cum_up += deviation - slack
+        self._min_up = min(self._min_up, self._cum_up)
+        # Downward shift accumulator.
+        self._cum_down += deviation + slack
+        self._max_down = max(self._max_down, self._cum_down)
+
+        scale = abs(self._mean)
+        if self._cum_up - self._min_up > self.threshold * scale:
+            change = ChangePoint(at_observation=self._count,
+                                 direction="up",
+                                 magnitude=(self._cum_up - self._min_up)
+                                 / scale)
+            self.reset()
+            return change
+        if self._max_down - self._cum_down > self.threshold * scale:
+            change = ChangePoint(at_observation=self._count,
+                                 direction="down",
+                                 magnitude=(self._max_down -
+                                            self._cum_down) / scale)
+            self.reset()
+            return change
+        return None

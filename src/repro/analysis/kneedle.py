@@ -1,0 +1,160 @@
+"""Kneedle knee-point detection (Satopaa et al., ICDCSW'11).
+
+The SCG model's Estimation Phase finds the knee of the smoothed
+concurrency-goodput curve — the concurrency beyond which extra
+parallelism stops paying — and recommends it as the optimal soft
+resource allocation (§3.2–3.3).
+
+Algorithm (offline form):
+
+1. normalize ``x``/``y`` to the unit square;
+2. transform so the curve is concave increasing;
+3. compute the difference curve ``d = y_n − x_n``;
+4. local maxima of ``d`` are knee candidates; a candidate is confirmed
+   if ``d`` drops below its sensitivity threshold
+   ``T = d(max) − S·mean(Δx_n)`` before the next local maximum.
+
+The sensitivity ``S`` trades early detection against false positives
+(the paper uses the default ``S = 1``).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+Curve = _t.Literal["concave", "convex"]
+Direction = _t.Literal["increasing", "decreasing"]
+
+
+@dataclass(frozen=True)
+class KneeResult:
+    """Outcome of knee detection.
+
+    Attributes:
+        found: whether any knee was confirmed.
+        knee_x / knee_y: coordinates of the selected knee in the
+            original units (NaN when not found).
+        all_knee_x: every confirmed knee, in x order.
+        difference: the normalized difference curve (diagnostics).
+    """
+
+    found: bool
+    knee_x: float
+    knee_y: float
+    all_knee_x: tuple[float, ...]
+    difference: np.ndarray
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+def _transform(x_n: np.ndarray, y_n: np.ndarray, curve: Curve,
+               direction: Direction) -> tuple[np.ndarray, np.ndarray]:
+    """Reflect axes so that the curve is concave increasing."""
+    if curve == "concave" and direction == "increasing":
+        return x_n, y_n
+    if curve == "concave" and direction == "decreasing":
+        return (1.0 - x_n)[::-1], y_n[::-1]
+    if curve == "convex" and direction == "increasing":
+        return (1.0 - x_n)[::-1], (1.0 - y_n)[::-1]
+    if curve == "convex" and direction == "decreasing":
+        return x_n, 1.0 - y_n
+    raise ValueError(f"invalid curve/direction: {curve}/{direction}")
+
+
+def find_knee(x: _t.Sequence[float] | np.ndarray,
+              y: _t.Sequence[float] | np.ndarray, *,
+              curve: Curve = "concave",
+              direction: Direction = "increasing",
+              sensitivity: float = 1.0,
+              select: _t.Literal["first", "prominent"] = "first"
+              ) -> KneeResult:
+    """Detect the knee of an ``x``-sorted curve.
+
+    Args:
+        x: strictly or weakly increasing abscissa.
+        y: curve values (smooth them first; see
+            :mod:`repro.analysis.smoothing`).
+        curve / direction: curve shape, as in the Kneedle paper.
+        sensitivity: the ``S`` parameter; larger is more conservative.
+        select: which confirmed knee to report — the ``first`` one (the
+            kneed library's default) or the most ``prominent`` one (the
+            largest difference value).
+
+    Returns:
+        A :class:`KneeResult`; ``found`` is False for degenerate inputs
+        (fewer than 3 points, flat curves, no confirmed knee).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if sensitivity < 0:
+        raise ValueError(f"sensitivity must be >= 0, got {sensitivity}")
+    not_found = KneeResult(found=False, knee_x=float("nan"),
+                           knee_y=float("nan"), all_knee_x=(),
+                           difference=np.empty(0))
+    if x.size < 3:
+        return not_found
+    if np.any(np.diff(x) < 0):
+        raise ValueError("x must be sorted ascending")
+
+    x_span = float(x.max() - x.min())
+    y_span = float(y.max() - y.min())
+    if x_span == 0.0 or y_span == 0.0:
+        return not_found
+    x_n = (x - x.min()) / x_span
+    y_n = (y - y.min()) / y_span
+    x_t, y_t = _transform(x_n, y_n, curve, direction)
+    difference = y_t - x_t
+
+    # Local maxima of the difference curve (candidate knees).
+    interior = np.arange(1, difference.size - 1)
+    is_max = ((difference[interior] > difference[interior - 1]) &
+              (difference[interior] >= difference[interior + 1]))
+    maxima = interior[is_max]
+    if maxima.size == 0:
+        return not_found
+
+    mean_spacing = float(np.mean(np.abs(np.diff(x_t))))
+    confirmed: list[int] = []
+    for position, index in enumerate(maxima):
+        threshold = difference[index] - sensitivity * mean_spacing
+        limit = maxima[position + 1] if position + 1 < maxima.size \
+            else difference.size
+        if np.any(difference[index + 1:limit] < threshold):
+            confirmed.append(int(index))
+    if not confirmed:
+        # A terminal local maximum with no room to decay still marks the
+        # curve's flattening when it is the global maximum (offline use).
+        last = int(maxima[-1])
+        if last >= difference.size - 2 and \
+                difference[last] == difference.max():
+            confirmed = [last]
+        else:
+            return not_found
+
+    # Map transformed indices back to original-array indices.
+    def original_index(transformed_index: int) -> int:
+        if curve == "convex" and direction == "decreasing":
+            return transformed_index
+        if curve == "concave" and direction == "increasing":
+            return transformed_index
+        return difference.size - 1 - transformed_index
+
+    original = sorted(original_index(i) for i in confirmed)
+    if select == "prominent":
+        chosen_t = max(confirmed, key=lambda i: difference[i])
+        chosen = original_index(chosen_t)
+    else:
+        chosen = original[0]
+    return KneeResult(
+        found=True,
+        knee_x=float(x[chosen]),
+        knee_y=float(y[chosen]),
+        all_knee_x=tuple(float(x[i]) for i in original),
+        difference=difference,
+    )

@@ -1,0 +1,107 @@
+"""Scatter-graph smoothing for knee detection (paper §3.3).
+
+The SCG model fits a smoothing polynomial to the noisy
+concurrency-goodput scatter before running Kneedle. The paper tunes the
+polynomial degree *incrementally*: too low a degree cannot expose a
+valid knee, too high a degree overfits measurement noise; degrees 5–8
+typically fit a 1-minute profile. :func:`incremental_degree_fit`
+implements that strategy: starting from ``min_degree``, raise the degree
+until the fit stops improving materially (or the cap is reached).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PolynomialFit:
+    """A fitted polynomial evaluated over a dense grid."""
+
+    degree: int
+    coefficients: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    rmse: float
+
+    def __call__(self, x: _t.Sequence[float] | np.ndarray) -> np.ndarray:
+        """Evaluate the fitted polynomial."""
+        return np.polyval(self.coefficients, np.asarray(x, dtype=float))
+
+
+def aggregate_scatter(x: np.ndarray, y: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Average ``y`` per distinct ``x`` ("for a specific concurrency Q_n
+    we calculate the average goodput GP_n", §3.2), sorted by ``x``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        return x, y
+    order = np.argsort(x, kind="stable")
+    x_sorted, y_sorted = x[order], y[order]
+    unique_x, starts = np.unique(x_sorted, return_index=True)
+    sums = np.add.reduceat(y_sorted, starts)
+    counts = np.diff(np.append(starts, x_sorted.size))
+    return unique_x, sums / counts
+
+
+def fit_polynomial(x: np.ndarray, y: np.ndarray, degree: int,
+                   grid_points: int = 200) -> PolynomialFit:
+    """Least-squares polynomial fit evaluated on a dense grid.
+
+    Raises ``ValueError`` if there are not enough distinct points to
+    support ``degree``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    if np.unique(x).size <= degree:
+        raise ValueError(
+            f"need more than {degree} distinct x values, have "
+            f"{np.unique(x).size}")
+    coefficients = np.polyfit(x, y, degree)
+    fitted = np.polyval(coefficients, x)
+    rmse = float(np.sqrt(np.mean((fitted - y) ** 2)))
+    grid = np.linspace(float(x.min()), float(x.max()), grid_points)
+    return PolynomialFit(degree=degree, coefficients=coefficients,
+                         x=grid, y=np.polyval(coefficients, grid),
+                         rmse=rmse)
+
+
+def incremental_degree_fit(x: np.ndarray, y: np.ndarray, *,
+                           min_degree: int = 3, max_degree: int = 8,
+                           improvement_tolerance: float = 0.02,
+                           grid_points: int = 200) -> PolynomialFit:
+    """Fit with the minimum polynomial degree that matches the data.
+
+    Degrees are tried from ``min_degree`` upward; the search stops at the
+    first degree whose RMSE improvement over the previous one falls below
+    ``improvement_tolerance`` (relative), mirroring the paper's
+    "incremental tuning strategy to quickly identify the minimum
+    polynomial degree" (§3.3). Degrees that the data cannot support are
+    skipped; if none fits, ``ValueError`` propagates.
+    """
+    if min_degree > max_degree:
+        raise ValueError(f"min_degree {min_degree} > max_degree {max_degree}")
+    best: PolynomialFit | None = None
+    for degree in range(min_degree, max_degree + 1):
+        try:
+            fit = fit_polynomial(x, y, degree, grid_points=grid_points)
+        except ValueError:
+            break  # not enough distinct points for higher degrees
+        if best is not None:
+            reference = best.rmse if best.rmse > 0 else 1.0
+            if (best.rmse - fit.rmse) / reference < improvement_tolerance:
+                return best
+        best = fit
+    if best is None:
+        raise ValueError(
+            f"cannot fit any degree in [{min_degree}, {max_degree}]: "
+            f"only {np.unique(np.asarray(x)).size} distinct x values")
+    return best

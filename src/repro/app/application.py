@@ -1,0 +1,168 @@
+"""The application: a graph of services plus end-to-end accounting.
+
+An :class:`Application` registers services, routes invocations between
+them, and closes the loop on each user request: it starts the root span
+at the entrypoint service, records the finished trace into the
+:class:`~repro.tracing.warehouse.TraceWarehouse`, and logs the
+end-to-end response time per request type.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+import networkx as nx
+import numpy as np
+
+from repro.app.request import Request
+from repro.app.service import Microservice
+from repro.sim.engine import Environment
+from repro.sim.process import Process
+from repro.tracing.span import Span
+from repro.tracing.warehouse import TraceWarehouse
+
+
+class EndToEndLog:
+    """Time-ordered record of finished user requests of one type."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._latencies: list[float] = []
+        self.total = 0
+
+    def record(self, completed_at: float, response_time: float) -> None:
+        """Append one completion."""
+        self._times.append(completed_at)
+        self._latencies.append(response_time)
+        self.total += 1
+
+    def window(self, since: float = 0.0, until: float = float("inf")
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """``(completion_times, response_times)`` in ``[since, until)``."""
+        lo = bisect.bisect_left(self._times, since)
+        hi = bisect.bisect_left(self._times, until)
+        return (np.asarray(self._times[lo:hi]),
+                np.asarray(self._latencies[lo:hi]))
+
+    def response_times(self) -> np.ndarray:
+        """All recorded response times."""
+        return np.asarray(self._latencies)
+
+
+class Application:
+    """A microservices-based application under simulation.
+
+    Args:
+        env: simulation environment.
+        warehouse: trace storage (a fresh one is created if omitted).
+    """
+
+    def __init__(self, env: Environment,
+                 warehouse: TraceWarehouse | None = None) -> None:
+        self.env = env
+        self.warehouse = warehouse or TraceWarehouse()
+        self.services: dict[str, Microservice] = {}
+        self.entrypoints: dict[str, tuple[str, str]] = {}
+        self.latency: dict[str, EndToEndLog] = {}
+        self.in_flight = 0
+        self.total_submitted = 0
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def add_service(self, service: Microservice) -> Microservice:
+        """Register a service (name must be unique)."""
+        if service.name in self.services:
+            raise ValueError(f"duplicate service {service.name!r}")
+        service.app = self
+        self.services[service.name] = service
+        return service
+
+    def service(self, name: str) -> Microservice:
+        """Look up a registered service."""
+        try:
+            return self.services[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r} "
+                           f"(has: {sorted(self.services)})") from None
+
+    def set_entrypoint(self, request_type: str, service: str,
+                       operation: str = "default") -> None:
+        """Map a request type to its front-door service/operation."""
+        if service not in self.services:
+            raise KeyError(f"unknown service {service!r}")
+        if operation not in self.services[service].operations:
+            raise KeyError(f"service {service!r} has no operation "
+                           f"{operation!r}")
+        self.entrypoints[request_type] = (service, operation)
+        self.latency.setdefault(request_type, EndToEndLog())
+
+    def call_graph(self) -> nx.DiGraph:
+        """The static service dependency graph (who calls whom)."""
+        graph = nx.DiGraph()
+        for name, service in self.services.items():
+            graph.add_node(name)
+            for operation in service.operations.values():
+                for call in operation.downstream_calls():
+                    graph.add_edge(name, call.service)
+        return graph
+
+    def validate(self) -> None:
+        """Check every Call targets a registered service/operation."""
+        for name, service in self.services.items():
+            for operation in service.operations.values():
+                for call in operation.downstream_calls():
+                    target = self.services.get(call.service)
+                    if target is None:
+                        raise ValueError(
+                            f"{name}.{operation.name} calls unknown "
+                            f"service {call.service!r}")
+                    if call.operation not in target.operations:
+                        raise ValueError(
+                            f"{name}.{operation.name} calls unknown "
+                            f"operation {call.service}.{call.operation}")
+                    if call.via_pool and call.via_pool not in \
+                            service.client_pools:
+                        raise ValueError(
+                            f"{name}.{operation.name} references missing "
+                            f"client pool {call.via_pool!r}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def submit(self, request_type: str) -> tuple[Request, Process]:
+        """Inject one user request; returns it plus the process to wait
+        on (the process's value is the finished request)."""
+        if request_type not in self.entrypoints:
+            raise KeyError(f"unknown request type {request_type!r} "
+                           f"(has: {sorted(self.entrypoints)})")
+        request = Request(request_type=request_type, issued_at=self.env.now)
+        self.in_flight += 1
+        self.total_submitted += 1
+        process = self.env.process(self._drive(request),
+                                   name=f"request:{request_type}")
+        return request, process
+
+    def route(self, service_name: str, operation: str, request: Request,
+              parent_span: Span | None):
+        """Route one invocation to a service (sub-process generator)."""
+        service = self.services.get(service_name)
+        if service is None:
+            raise KeyError(f"unknown service {service_name!r}")
+        result = yield from service.handle(request, operation, parent_span)
+        return result
+
+    def _drive(self, request: Request):
+        service_name, operation = self.entrypoints[request.request_type]
+        try:
+            root_span = yield from self.route(
+                service_name, operation, request, None)
+        finally:
+            self.in_flight -= 1
+        request.root_span = root_span
+        request.completed_at = self.env.now
+        self.latency[request.request_type].record(
+            request.completed_at, request.response_time)
+        self.warehouse.record(root_span)
+        return request

@@ -1,0 +1,97 @@
+"""Operation behaviors: what a service does when it handles a request.
+
+An :class:`Operation` is a sequence of steps executed by a replica:
+
+- :class:`Compute` — burn CPU (a demand drawn from a distribution);
+- :class:`Call` — synchronous downstream RPC, optionally gated by a named
+  client-side connection pool (e.g. Catalogue's DB connection pool, or
+  Home-Timeline's Thrift ClientPool to Post Storage);
+- :class:`Parallel` — a fan-out of calls issued concurrently and joined
+  before the next step (e.g. the front-end querying Cart and Catalogue).
+
+Topology builders compose these into the Sock Shop / Social Network call
+graphs.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.distributions import Distribution
+
+
+class Step:
+    """Marker base class for operation steps."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Step):
+    """Burn CPU for a sampled number of core-seconds."""
+
+    demand: Distribution
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.demand, Distribution):
+            raise TypeError(f"demand must be a Distribution, got "
+                            f"{self.demand!r}")
+
+
+@dataclass(frozen=True)
+class Call(Step):
+    """A synchronous call to a downstream service.
+
+    Args:
+        service: target service name.
+        operation: operation to invoke there.
+        via_pool: name of a client pool on the *calling* service that a
+            connection must be acquired from for the call's duration
+            (``None`` means no client-side gating).
+    """
+
+    service: str
+    operation: str = "default"
+    via_pool: str | None = None
+
+
+@dataclass(frozen=True)
+class Parallel(Step):
+    """Issue several calls concurrently and wait for all of them."""
+
+    calls: tuple[Call, ...]
+
+    def __init__(self, calls: _t.Sequence[Call]) -> None:
+        if not calls:
+            raise ValueError("Parallel requires at least one call")
+        if not all(isinstance(c, Call) for c in calls):
+            raise TypeError("Parallel accepts only Call steps")
+        object.__setattr__(self, "calls", tuple(calls))
+
+
+@dataclass
+class Operation:
+    """A named behavior of a service: an ordered list of steps."""
+
+    name: str
+    steps: list[Step] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for step in self.steps:
+            if not isinstance(step, Step):
+                raise TypeError(f"{step!r} is not a Step")
+
+    def compute_steps(self) -> list[Compute]:
+        """All CPU steps (used by demand-scaling helpers)."""
+        return [s for s in self.steps if isinstance(s, Compute)]
+
+    def downstream_calls(self) -> list[Call]:
+        """All calls, flattened out of Parallel groups."""
+        calls: list[Call] = []
+        for step in self.steps:
+            if isinstance(step, Call):
+                calls.append(step)
+            elif isinstance(step, Parallel):
+                calls.extend(step.calls)
+        return calls

@@ -1,0 +1,60 @@
+"""Load-balancing policies for picking a replica.
+
+Kubernetes services spread requests across pod replicas; the policy
+matters for the paper's observation that newly-added replicas can be
+imbalanced against warm ones (§5.3). Round-robin reproduces that effect;
+least-connections avoids it.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+import numpy as np
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.app.service import Replica
+
+
+class LoadBalancer(abc.ABC):
+    """Strategy object choosing a replica for each incoming request."""
+
+    @abc.abstractmethod
+    def pick(self, replicas: _t.Sequence["Replica"]) -> "Replica":
+        """Choose one replica from a non-empty sequence."""
+
+
+class RoundRobin(LoadBalancer):
+    """Cycle through replicas in order (Kubernetes default-ish)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, replicas: _t.Sequence["Replica"]) -> "Replica":
+        if not replicas:
+            raise ValueError("no replicas available")
+        replica = replicas[self._next % len(replicas)]
+        self._next = (self._next + 1) % len(replicas)
+        return replica
+
+
+class LeastConnections(LoadBalancer):
+    """Pick the replica with the fewest in-flight requests."""
+
+    def pick(self, replicas: _t.Sequence["Replica"]) -> "Replica":
+        if not replicas:
+            raise ValueError("no replicas available")
+        return min(replicas, key=lambda r: r.active_requests)
+
+
+class RandomChoice(LoadBalancer):
+    """Uniformly random replica selection."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def pick(self, replicas: _t.Sequence["Replica"]) -> "Replica":
+        if not replicas:
+            raise ValueError("no replicas available")
+        return replicas[int(self._rng.integers(len(replicas)))]

@@ -1,0 +1,42 @@
+"""User requests flowing through the microservice application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.tracing.span import Span
+
+_request_ids = count(1)
+
+
+@dataclass
+class Request:
+    """One end-user request (one trace).
+
+    Attributes:
+        request_id: unique id, doubles as the trace id.
+        request_type: the entrypoint workload class ("cart", "catalogue",
+            "read_home_timeline", ...).
+        issued_at: time the user (or generator) submitted it.
+        completed_at: time the final response left the front-end.
+        root_span: the root of the request's call tree once started.
+    """
+
+    request_type: str
+    issued_at: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    completed_at: float | None = None
+    root_span: Span | None = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the end-to-end response has been delivered."""
+        return self.completed_at is not None
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end response time in seconds."""
+        if self.completed_at is None:
+            raise ValueError(f"request {self.request_id} is not finished")
+        return self.completed_at - self.issued_at

@@ -1,0 +1,443 @@
+"""Microservices, replicas, and request handling.
+
+A :class:`Microservice` owns one or more :class:`Replica` instances
+(pods). Each replica has a core-limited CPU and, unless the service is
+implemented in an async style (Golang goroutines), a server thread pool
+gating its request-processing concurrency. Services may also own named
+*client pools* (DB connection pools, RPC client pools) gating their
+outbound calls.
+
+Hardware scaling maps onto Kubernetes primitives:
+
+- horizontal (HPA): :meth:`Microservice.scale_replicas`
+- vertical (VPA / FIRM): :meth:`Microservice.set_cores`
+
+Soft resource adaptation (what Sora does):
+
+- :meth:`Microservice.set_thread_pool_size` (per replica), and
+- :meth:`Microservice.resize_client_pool` (shared across replicas).
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+import numpy as np
+
+from repro.app.behavior import Call, Compute, Operation, Parallel, Step
+from repro.app.loadbalancer import LoadBalancer, RoundRobin
+from repro.app.request import Request
+from repro.resources.cpu import ProcessorSharingCpu
+from repro.resources.pool import SoftResourcePool
+from repro.sim.engine import Environment
+from repro.tracing.span import Span
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.app.application import Application
+
+
+class ServiceMetrics:
+    """Per-service completion log for fine-grained metric extraction.
+
+    Records ``(departure_time, residence_time)`` for every span the
+    service finishes, in time order, supporting the goodput/throughput
+    window queries the SCG and SCT models need.
+    """
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._latencies: list[float] = []
+        self._processing: list[float] = []
+        self.total_completed = 0
+
+    def record(self, departure: float, latency: float,
+               processing: float | None = None) -> None:
+        """Append one completion (departures arrive in time order).
+
+        ``processing`` is the residence time *excluding* the service's
+        own admission-queue wait (defaults to ``latency``); adapters use
+        it to tell "slow because waiting" from "slow while processing".
+        """
+        if processing is None:
+            processing = latency
+        if self._times and departure < self._times[-1]:
+            index = bisect.bisect_right(self._times, departure)
+            self._times.insert(index, departure)
+            self._latencies.insert(index, latency)
+            self._processing.insert(index, processing)
+        else:
+            self._times.append(departure)
+            self._latencies.append(latency)
+            self._processing.append(processing)
+        self.total_completed += 1
+
+    def completions(self, since: float = 0.0,
+                    until: float = float("inf")
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(departure_times, latencies)`` within ``[since, until)``."""
+        lo = bisect.bisect_left(self._times, since)
+        hi = bisect.bisect_left(self._times, until)
+        return (np.asarray(self._times[lo:hi]),
+                np.asarray(self._latencies[lo:hi]))
+
+    def processing_times(self, since: float = 0.0,
+                         until: float = float("inf")) -> np.ndarray:
+        """Post-admission processing times within ``[since, until)``."""
+        lo = bisect.bisect_left(self._times, since)
+        hi = bisect.bisect_left(self._times, until)
+        return np.asarray(self._processing[lo:hi])
+
+    def throughput(self, since: float, until: float) -> float:
+        """Completions per second in the window."""
+        if until <= since:
+            return 0.0
+        lo = bisect.bisect_left(self._times, since)
+        hi = bisect.bisect_left(self._times, until)
+        return (hi - lo) / (until - since)
+
+    def goodput(self, since: float, until: float, threshold: float) -> float:
+        """Completions per second whose residence time met ``threshold``."""
+        if until <= since:
+            return 0.0
+        _times, latencies = self.completions(since, until)
+        if latencies.size == 0:
+            return 0.0
+        return float(np.count_nonzero(latencies <= threshold)) / (
+            until - since)
+
+    def prune(self, before: float) -> None:
+        """Drop completions older than ``before`` (bounded memory)."""
+        cut = bisect.bisect_left(self._times, before)
+        if cut:
+            del self._times[:cut]
+            del self._latencies[:cut]
+            del self._processing[:cut]
+
+
+class Replica:
+    """One pod of a microservice: a CPU plus an optional thread pool."""
+
+    def __init__(self, env: Environment, service_name: str, index: int,
+                 cores: float, cpu_overhead: float,
+                 thread_pool_size: int | None) -> None:
+        self.env = env
+        self.name = f"{service_name}-{index}"
+        self.cpu = ProcessorSharingCpu(
+            env, cores=cores, overhead=cpu_overhead, name=f"{self.name}.cpu")
+        self.server_pool: SoftResourcePool | None = None
+        if thread_pool_size is not None:
+            self.server_pool = SoftResourcePool(
+                env, capacity=thread_pool_size, name=f"{self.name}.threads")
+        self.active_requests = 0
+        self.draining = False
+        self._active_integral = 0.0
+        self._active_since = env.now
+
+    @property
+    def concurrency(self) -> int:
+        """Requests currently being *processed* (not queued)."""
+        if self.server_pool is not None:
+            return self.server_pool.in_use
+        return self.active_requests
+
+    def request_started(self) -> None:
+        """Account one request entering the replica."""
+        self._integrate_active()
+        self.active_requests += 1
+
+    def request_finished(self) -> None:
+        """Account one request leaving the replica."""
+        self._integrate_active()
+        self.active_requests -= 1
+
+    def active_integral(self) -> float:
+        """Cumulative in-flight-request-seconds (mean concurrency via
+        differencing — used for async services with no server pool)."""
+        self._integrate_active()
+        return self._active_integral
+
+    def concurrency_integral(self) -> float:
+        """Cumulative processing-concurrency-seconds for this replica."""
+        if self.server_pool is not None:
+            return self.server_pool.in_use_integral()
+        return self.active_integral()
+
+    def _integrate_active(self) -> None:
+        now = self.env.now
+        dt = now - self._active_since
+        if dt > 0:
+            self._active_integral += self.active_requests * dt
+        self._active_since = now
+
+    def __repr__(self) -> str:
+        return (f"<Replica {self.name} cores={self.cpu.cores} "
+                f"active={self.active_requests}>")
+
+
+class Microservice:
+    """A named, replicated microservice.
+
+    Args:
+        env: simulation environment.
+        name: service name ("cart", "catalogue-db", ...).
+        rng: random generator for this service's demand draws.
+        cores: per-replica CPU limit.
+        cpu_overhead: context-switch penalty (see
+            :class:`~repro.resources.cpu.ProcessorSharingCpu`).
+        thread_pool_size: per-replica server thread pool; ``None`` means
+            async request handling with no server-side gate (Golang
+            style).
+        replicas: initial replica count.
+        load_balancer: replica selection policy (default round-robin).
+    """
+
+    def __init__(self, env: Environment, name: str,
+                 rng: np.random.Generator, *, cores: float = 2.0,
+                 cpu_overhead: float = 0.0,
+                 thread_pool_size: int | None = None, replicas: int = 1,
+                 load_balancer: LoadBalancer | None = None) -> None:
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.env = env
+        self.name = name
+        self._rng = rng
+        self._default_cores = float(cores)
+        self._cpu_overhead = float(cpu_overhead)
+        self._thread_pool_size = thread_pool_size
+        self.load_balancer = load_balancer or RoundRobin()
+        self.operations: dict[str, Operation] = {}
+        self.client_pools: dict[str, SoftResourcePool] = {}
+        self.metrics = ServiceMetrics()
+        self.app: "Application | None" = None
+        #: Multiplier applied to every sampled CPU demand — the hook used
+        #: to model system-state drift (light -> heavy requests, §2.3).
+        self.demand_scale = 1.0
+
+        self._replica_counter = 0
+        self.replicas: list[Replica] = []
+        self._retired_busy = 0.0
+        self._retired_capacity = 0.0
+        self._retired_concurrency = 0.0
+        for _ in range(replicas):
+            self._add_replica()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_operation(self, operation: Operation) -> "Microservice":
+        """Register a behavior; returns self for chaining."""
+        self.operations[operation.name] = operation
+        return self
+
+    def add_client_pool(self, name: str, capacity: int) -> SoftResourcePool:
+        """Create a named client pool shared by all replicas."""
+        if name in self.client_pools:
+            raise ValueError(f"client pool {name!r} already exists")
+        pool = SoftResourcePool(self.env, capacity=capacity,
+                                name=f"{self.name}.{name}")
+        self.client_pools[name] = pool
+        return pool
+
+    def client_pool(self, name: str) -> SoftResourcePool:
+        """Look up a client pool by name."""
+        return self.client_pools[name]
+
+    # ------------------------------------------------------------------
+    # Hardware scaling
+    # ------------------------------------------------------------------
+    @property
+    def replica_count(self) -> int:
+        """Active (non-draining) replicas."""
+        return len(self.replicas)
+
+    @property
+    def cores_per_replica(self) -> float:
+        """Current per-replica CPU limit."""
+        return self._default_cores
+
+    def scale_replicas(self, count: int) -> None:
+        """Horizontal scaling: grow or (gracefully) shrink the replica
+        set. Removed replicas finish their in-flight requests but stop
+        receiving new ones."""
+        if count < 1:
+            raise ValueError(f"need at least one replica, got {count}")
+        while len(self.replicas) < count:
+            self._add_replica()
+        while len(self.replicas) > count:
+            replica = self.replicas.pop()
+            replica.draining = True
+            self._retired_busy += replica.cpu.busy_core_seconds()
+            self._retired_capacity += replica.cpu.capacity_core_seconds()
+            self._retired_concurrency += replica.concurrency_integral()
+
+    def set_cores(self, cores: float) -> None:
+        """Vertical scaling: change the CPU limit of every replica."""
+        self._default_cores = float(cores)
+        for replica in self.replicas:
+            replica.cpu.set_cores(cores)
+
+    # ------------------------------------------------------------------
+    # Soft resource adaptation
+    # ------------------------------------------------------------------
+    @property
+    def thread_pool_size(self) -> int | None:
+        """Per-replica server thread pool size (``None`` = unbounded)."""
+        return self._thread_pool_size
+
+    def set_thread_pool_size(self, size: int) -> None:
+        """Resize every replica's server thread pool online."""
+        if self._thread_pool_size is None:
+            raise ValueError(
+                f"service {self.name!r} has no server thread pool")
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self._thread_pool_size = size
+        for replica in self.replicas:
+            assert replica.server_pool is not None
+            replica.server_pool.resize(size)
+
+    def resize_client_pool(self, name: str, capacity: int) -> None:
+        """Resize a named client pool online."""
+        self.client_pools[name].resize(capacity)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def server_concurrency(self) -> int:
+        """Instantaneous processing concurrency across replicas."""
+        return sum(replica.concurrency for replica in self.replicas)
+
+    def server_concurrency_integral(self) -> float:
+        """Cumulative processing-concurrency-seconds across replicas
+        (including retired ones); difference over a window for the mean
+        concurrency the SCG model samples."""
+        return self._retired_concurrency + sum(
+            replica.concurrency_integral() for replica in self.replicas)
+
+    def server_pool_capacity(self) -> int | None:
+        """Aggregate thread pool allocation (``None`` if unbounded)."""
+        if self._thread_pool_size is None:
+            return None
+        return self._thread_pool_size * len(self.replicas)
+
+    def queued_requests(self) -> int:
+        """Requests waiting for a server thread across replicas."""
+        return sum(r.server_pool.queue_length for r in self.replicas
+                   if r.server_pool is not None)
+
+    def cpu_totals(self) -> tuple[float, float]:
+        """``(busy_core_seconds, capacity_core_seconds)`` cumulative over
+        all replicas, including retired ones. Monitors difference these
+        across a window to obtain utilization."""
+        busy = self._retired_busy
+        capacity = self._retired_capacity
+        for replica in self.replicas:
+            busy += replica.cpu.busy_core_seconds()
+            capacity += replica.cpu.capacity_core_seconds()
+        return busy, capacity
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, request: Request, operation_name: str = "default",
+               parent_span: Span | None = None):
+        """Process one invocation (a simulation sub-process).
+
+        Returns the finished :class:`Span` as the generator's value.
+        """
+        operation = self.operations.get(operation_name)
+        if operation is None:
+            raise KeyError(
+                f"service {self.name!r} has no operation "
+                f"{operation_name!r} (has: {sorted(self.operations)})")
+        replica = self.load_balancer.pick(self.replicas)
+        span = Span(request.request_id, self.name, operation_name,
+                    arrival=self.env.now, parent=parent_span,
+                    replica=replica.name)
+        replica.request_started()
+        pool_request = None
+        try:
+            if replica.server_pool is not None:
+                pool_request = replica.server_pool.acquire()
+                try:
+                    yield pool_request
+                except BaseException:
+                    # Abandoned while queued (e.g. interrupted): the
+                    # pending request must be cancelled or its eventual
+                    # grant would leak a token forever.
+                    if pool_request.granted_at is None:
+                        replica.server_pool.cancel(pool_request)
+                        pool_request = None
+                    raise
+            span.started = self.env.now
+            for step in operation.steps:
+                yield from self._execute(replica, step, request, span)
+        finally:
+            if pool_request is not None and \
+                    pool_request.granted_at is not None:
+                assert replica.server_pool is not None
+                replica.server_pool.release()
+            replica.request_finished()
+            span.departure = self.env.now
+            self.metrics.record(span.departure, span.duration,
+                                span.duration - span.queue_wait)
+        return span
+
+    def _execute(self, replica: Replica, step: Step, request: Request,
+                 span: Span):
+        if isinstance(step, Compute):
+            demand = step.demand.sample(self._rng) * self.demand_scale
+            yield replica.cpu.submit(demand)
+        elif isinstance(step, Call):
+            yield from self._invoke(step, request, span)
+        elif isinstance(step, Parallel):
+            branches = [
+                self.env.process(self._invoke(call, request, span),
+                                 name=f"{self.name}->{call.service}")
+                for call in step.calls
+            ]
+            yield self.env.all_of(branches)
+        else:  # pragma: no cover - Operation validates step types
+            raise TypeError(f"unknown step {step!r}")
+
+    def _invoke(self, call: Call, request: Request, span: Span):
+        if self.app is None:
+            raise RuntimeError(
+                f"service {self.name!r} is not attached to an application")
+        pool = self.client_pools.get(call.via_pool) if call.via_pool else None
+        pool_request = None
+        if pool is not None:
+            pool_request = pool.acquire()
+            try:
+                yield pool_request
+            except BaseException:
+                if pool_request.granted_at is None:
+                    pool.cancel(pool_request)
+                    pool_request = None
+                raise
+        try:
+            result = yield from self.app.route(
+                call.service, call.operation, request, span)
+        finally:
+            if pool_request is not None and \
+                    pool_request.granted_at is not None:
+                pool.release()
+        return result
+
+    def __repr__(self) -> str:
+        return (f"<Microservice {self.name!r} replicas={self.replica_count} "
+                f"cores={self._default_cores} "
+                f"threads={self._thread_pool_size}>")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _add_replica(self) -> Replica:
+        replica = Replica(self.env, self.name, self._replica_counter,
+                          cores=self._default_cores,
+                          cpu_overhead=self._cpu_overhead,
+                          thread_pool_size=self._thread_pool_size)
+        self._replica_counter += 1
+        self.replicas.append(replica)
+        return replica

@@ -1,0 +1,17 @@
+"""Benchmark application topologies (paper Fig. 2)."""
+
+from repro.app.topologies.sock_shop import build_sock_shop
+from repro.app.topologies.social_network import (
+    HEAVY_POSTS,
+    LIGHT_POSTS,
+    build_social_network,
+    set_request_weight,
+)
+
+__all__ = [
+    "HEAVY_POSTS",
+    "LIGHT_POSTS",
+    "build_social_network",
+    "build_sock_shop",
+    "set_request_weight",
+]

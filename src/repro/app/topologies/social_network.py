@@ -1,0 +1,231 @@
+"""The DeathStarBench Social Network topology (paper Fig. 2(ii)).
+
+A broadcast-style social network with 36 microservices. The paper's
+instrumented soft resource here is the Apache Thrift *ClientPool*:
+request connections from the Read-Home-Timeline service to the
+Post-Storage service (Figs. 3(e,f), 9(c), 12).
+
+Post Storage's per-request compute is proportional to the number of
+posts fetched; :func:`set_request_weight` flips the workload between
+*light* (2 posts) and *heavy* (10 posts) to reproduce the paper's
+system-state-drift experiments (§2.3, §5.3).
+"""
+
+from __future__ import annotations
+
+from repro.app.application import Application
+from repro.app.behavior import Call, Compute, Operation, Parallel
+from repro.app.service import Microservice
+from repro.sim.distributions import LogNormal
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+#: Demand multiplier for the light (2-post) and heavy (10-post) variants
+#: of a Read-Home-Timeline request; compute is proportional to the
+#: number of posts accessed (§2.3).
+LIGHT_POSTS = 2
+HEAVY_POSTS = 10
+
+CPU_OVERHEAD = 0.015
+
+#: Number of fan-out search index shards (Index0..IndexN in Fig. 2).
+INDEX_SHARDS = 4
+
+
+def build_social_network(env: Environment, streams: RandomStreams, *,
+                         post_storage_connections: int = 10,
+                         post_storage_cores: float = 2.0,
+                         post_storage_replicas: int = 1,
+                         home_timeline_threads: int = 200,
+                         post_demand_ms: float = 0.5,
+                         demand_cv: float = 0.6) -> Application:
+    """Assemble the Social Network application.
+
+    Args:
+        env: simulation environment.
+        streams: named random streams.
+        post_storage_connections: initial ClientPool size on the
+            home-timeline service for calls to post-storage.
+        post_storage_cores: per-replica CPU limit of post-storage.
+        post_storage_replicas: initial post-storage replica count.
+        home_timeline_threads: thread pool of the home-timeline service.
+        post_demand_ms: CPU demand per post fetched at post-storage.
+        demand_cv: coefficient of variation for demand draws.
+
+    Returns:
+        A validated :class:`Application` with entrypoints
+        ``read_home_timeline``, ``compose_post``, ``read_user_timeline``
+        and ``search``.
+    """
+    app = Application(env)
+
+    def svc(name: str, **kwargs) -> Microservice:
+        kwargs.setdefault("cores", 2.0)
+        kwargs.setdefault("cpu_overhead", CPU_OVERHEAD)
+        service = Microservice(env, name, streams.stream(f"{name}.demand"),
+                               **kwargs)
+        return app.add_service(service)
+
+    def demand(mean_ms: float) -> LogNormal:
+        return LogNormal(mean=mean_ms / 1000.0, cv=demand_cv)
+
+    def store_pair(prefix: str,
+                   mongo_demand_ms: float = 0.8
+                   ) -> tuple[Microservice, Microservice]:
+        memcached = svc(f"{prefix}-memcached", cores=2.0)
+        memcached.add_operation(Operation("default", [
+            Compute(demand(0.15))]))
+        mongodb = svc(f"{prefix}-mongodb", cores=4.0)
+        mongodb.add_operation(Operation("default", [
+            Compute(demand(mongo_demand_ms))]))
+        return memcached, mongodb
+
+    front_end = svc("front-end", cores=4.0)
+    home_timeline = svc("home-timeline",
+                        thread_pool_size=home_timeline_threads, cores=4.0)
+    user_timeline = svc("user-timeline", thread_pool_size=30)
+    write_home_timeline = svc("write-home-timeline", thread_pool_size=30)
+    post_storage = svc("post-storage", cores=post_storage_cores,
+                       replicas=post_storage_replicas)
+    compose_post = svc("compose-post", thread_pool_size=40, cores=4.0)
+    social_graph = svc("social-graph")
+    user_service = svc("user")
+    user_tag = svc("user-tag")
+    url_shorten = svc("url-shorten")
+    text_service = svc("text")
+    media = svc("media")
+    unique_id = svc("unique-id")
+    search = svc("search")
+    recommender = svc("recommender")
+
+    # Post fetches dominate the post-storage Mongo's work; its demand is
+    # what system-state drift (more posts per request) scales.
+    store_pair("post-storage", mongo_demand_ms=1.5)
+    store_pair("user-timeline")
+    store_pair("social-graph")
+
+    index_names = [f"index{i}" for i in range(INDEX_SHARDS)]
+    for name in index_names:
+        shard = svc(name)
+        shard.add_operation(Operation("default", [Compute(demand(1.2))]))
+
+    home_timeline.add_client_pool("poststorage", post_storage_connections)
+
+    # --- leaves ----------------------------------------------------------
+    unique_id.add_operation(Operation("default", [Compute(demand(0.2))]))
+    media.add_operation(Operation("default", [Compute(demand(0.8))]))
+    user_tag.add_operation(Operation("default", [Compute(demand(0.5))]))
+    url_shorten.add_operation(Operation("default", [Compute(demand(0.4))]))
+    recommender.add_operation(Operation("default", [Compute(demand(1.0))]))
+
+    text_service.add_operation(Operation("default", [
+        Compute(demand(0.6)),
+        Parallel([Call("url-shorten"), Call("user-tag")]),
+    ]))
+    user_service.add_operation(Operation("default", [Compute(demand(0.5))]))
+
+    social_graph.add_operation(Operation("default", [
+        Compute(demand(0.5)),
+        Call("social-graph-memcached"),
+        Call("social-graph-mongodb"),
+    ]))
+
+    # Post Storage: cache lookup, then a DB fetch per miss; per-request
+    # compute is proportional to the number of posts (scaled by the
+    # service-level demand_scale knob, see set_request_weight).
+    post_storage.add_operation(Operation("default", [
+        Compute(demand(post_demand_ms * LIGHT_POSTS)),
+        Call("post-storage-memcached"),
+        Call("post-storage-mongodb"),
+        Compute(demand(post_demand_ms * LIGHT_POSTS / 2.0)),
+    ]))
+    post_storage.add_operation(Operation("write", [
+        Compute(demand(post_demand_ms * 2)),
+        Call("post-storage-mongodb"),
+    ]))
+
+    user_timeline.add_operation(Operation("read", [
+        Compute(demand(0.6)),
+        Call("user-timeline-memcached"),
+        Call("user-timeline-mongodb"),
+    ]))
+    user_timeline.add_operation(Operation("write", [
+        Compute(demand(0.5)),
+        Call("user-timeline-mongodb"),
+    ]))
+
+    home_timeline.add_operation(Operation("read", [
+        Compute(demand(0.8)),
+        Call("social-graph"),
+        Call("post-storage", via_pool="poststorage"),
+        Compute(demand(0.4)),
+    ]))
+
+    write_home_timeline.add_operation(Operation("default", [
+        Compute(demand(0.5)),
+        Call("social-graph"),
+    ]))
+
+    compose_post.add_operation(Operation("default", [
+        Compute(demand(0.8)),
+        Parallel([Call("unique-id"), Call("text"), Call("media"),
+                  Call("user")]),
+        Parallel([Call("post-storage", operation="write"),
+                  Call("user-timeline", operation="write"),
+                  Call("write-home-timeline")]),
+    ]))
+
+    search.add_operation(Operation("default", [
+        Compute(demand(0.8)),
+        Parallel([Call(name) for name in index_names]),
+    ]))
+
+    # --- front-end --------------------------------------------------------
+    front_end.add_operation(Operation("read_home_timeline", [
+        Compute(demand(0.5)),
+        Call("home-timeline", operation="read"),
+        Compute(demand(0.2)),
+    ]))
+    front_end.add_operation(Operation("compose_post", [
+        Compute(demand(0.5)),
+        Call("compose-post"),
+    ]))
+    front_end.add_operation(Operation("read_user_timeline", [
+        Compute(demand(0.5)),
+        Call("user-timeline", operation="read"),
+    ]))
+    front_end.add_operation(Operation("search", [
+        Compute(demand(0.5)),
+        Call("search"),
+    ]))
+
+    app.set_entrypoint("read_home_timeline", "front-end",
+                       "read_home_timeline")
+    app.set_entrypoint("compose_post", "front-end", "compose_post")
+    app.set_entrypoint("read_user_timeline", "front-end",
+                       "read_user_timeline")
+    app.set_entrypoint("search", "front-end", "search")
+    app.validate()
+    return app
+
+
+def set_request_weight(app: Application, posts: int) -> None:
+    """Drift the system state: make each Read-Home-Timeline request fetch
+    ``posts`` posts.
+
+    Fetching more posts mostly stresses the *downstream* store — the
+    paper observes that "serving heavy requests stresses downstream
+    database services, making the Post Storage replicas route more
+    requests to downstream services" (§5.3) — so the Mongo demand scales
+    with the post count while Post Storage's own compute grows more
+    gently. Connections to Post Storage are then held longer per
+    request, shifting the optimal ClientPool size upward (Figs. 3(e,f)).
+
+    Use ``posts=LIGHT_POSTS`` (2) or ``posts=HEAVY_POSTS`` (10) for the
+    paper's light/heavy variants (§2.3, Fig. 12).
+    """
+    if posts < 1:
+        raise ValueError(f"posts must be >= 1, got {posts}")
+    ratio = posts / LIGHT_POSTS
+    app.service("post-storage-mongodb").demand_scale = ratio
+    app.service("post-storage").demand_scale = ratio ** 0.5

@@ -1,0 +1,178 @@
+"""The Sock Shop e-commerce benchmark topology (paper Fig. 2(i)).
+
+Service graph and soft-resource placement follow the paper:
+
+- **Cart** is SpringBoot-based: an embedded *server thread pool* gates
+  its processing concurrency (the soft resource adapted in Figs. 3, 4,
+  9(a), 10, 11 and Tables 1–3).
+- **Catalogue** is Golang-based: request handling is async (goroutines,
+  no server pool) but a *database connection pool* gates its calls to
+  catalogue-db (Figs. 1, 9(b)).
+- The front-end fans out to Cart and Catalogue for browse requests, so
+  either branch can become the critical path (Fig. 5).
+
+CPU demands are calibrated for a laptop-scale simulation: the cluster
+saturates at a few hundred requests/second instead of the testbed's few
+thousand; the controller dynamics are rate-invariant.
+"""
+
+from __future__ import annotations
+
+from repro.app.application import Application
+from repro.app.behavior import Call, Compute, Operation, Parallel
+from repro.app.service import Microservice
+from repro.sim.distributions import LogNormal
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+#: Default per-replica CPU limits (cores) per service.
+DEFAULT_CORES = {
+    "front-end": 4.0,
+    "cart": 2.0,
+    "cart-db": 6.0,
+    "catalogue": 2.0,
+    "catalogue-db": 4.0,
+    "user": 2.0,
+    "user-db": 2.0,
+    "orders": 2.0,
+    "orders-db": 2.0,
+    "payment": 2.0,
+    "shipping": 2.0,
+    "queue-master": 2.0,
+    "recommender": 2.0,
+}
+
+#: Context-switch overhead coefficient used across Sock Shop services.
+CPU_OVERHEAD = 0.015
+
+
+def build_sock_shop(env: Environment, streams: RandomStreams, *,
+                    cart_threads: int = 5,
+                    cart_cores: float = 2.0,
+                    catalogue_cores: float = 2.0,
+                    catalogue_db_connections: int = 10,
+                    cart_demand_ms: float = 4.0,
+                    cart_db_demand_ms: float = 10.0,
+                    catalogue_demand_ms: float = 3.0,
+                    catalogue_db_demand_ms: float = 8.0,
+                    demand_cv: float = 0.6) -> Application:
+    """Assemble the Sock Shop application.
+
+    Args:
+        env: simulation environment.
+        streams: named random streams (one per service is derived).
+        cart_threads: initial Cart server thread pool size per replica.
+        cart_cores: initial Cart CPU limit.
+        catalogue_cores: initial Catalogue CPU limit.
+        catalogue_db_connections: initial Catalogue DB connection pool.
+        cart_demand_ms / cart_db_demand_ms / catalogue_demand_ms /
+            catalogue_db_demand_ms: mean CPU demand per request (ms).
+        demand_cv: coefficient of variation for all demand draws.
+
+    Returns:
+        A validated :class:`Application` with entrypoints ``cart``,
+        ``catalogue``, ``browse`` (parallel Cart+Catalogue, Fig. 5),
+        ``login`` and ``order``.
+    """
+    app = Application(env)
+
+    def svc(name: str, **kwargs) -> Microservice:
+        defaults = dict(cores=DEFAULT_CORES[name],
+                        cpu_overhead=CPU_OVERHEAD)
+        defaults.update(kwargs)
+        service = Microservice(env, name, streams.stream(f"{name}.demand"),
+                               **defaults)
+        return app.add_service(service)
+
+    def demand(mean_ms: float) -> LogNormal:
+        return LogNormal(mean=mean_ms / 1000.0, cv=demand_cv)
+
+    front_end = svc("front-end")
+    cart = svc("cart", cores=cart_cores, thread_pool_size=cart_threads)
+    cart_db = svc("cart-db")
+    catalogue = svc("catalogue", cores=catalogue_cores)  # async Golang service
+    catalogue_db = svc("catalogue-db")
+    user = svc("user", thread_pool_size=30)
+    user_db = svc("user-db")
+    orders = svc("orders", thread_pool_size=30)
+    orders_db = svc("orders-db")
+    payment = svc("payment")
+    shipping = svc("shipping")
+    queue_master = svc("queue-master")
+    recommender = svc("recommender")
+
+    catalogue.add_client_pool("db", catalogue_db_connections)
+
+    # --- leaf behaviors -------------------------------------------------
+    cart_db.add_operation(Operation("default", [
+        Compute(demand(cart_db_demand_ms))]))
+    catalogue_db.add_operation(Operation("default", [
+        Compute(demand(catalogue_db_demand_ms))]))
+    user_db.add_operation(Operation("default", [Compute(demand(1.0))]))
+    orders_db.add_operation(Operation("default", [Compute(demand(1.5))]))
+    payment.add_operation(Operation("default", [Compute(demand(1.0))]))
+    queue_master.add_operation(Operation("default", [Compute(demand(0.8))]))
+    recommender.add_operation(Operation("default", [Compute(demand(1.5))]))
+
+    shipping.add_operation(Operation("default", [
+        Compute(demand(0.8)),
+        Call("queue-master"),
+    ]))
+
+    # --- mid-tier behaviors ----------------------------------------------
+    cart.add_operation(Operation("default", [
+        Compute(demand(cart_demand_ms)),
+        Call("cart-db"),
+        Compute(demand(cart_demand_ms / 2.0)),
+    ]))
+    catalogue.add_operation(Operation("default", [
+        Compute(demand(catalogue_demand_ms)),
+        Call("catalogue-db", via_pool="db"),
+        Compute(demand(catalogue_demand_ms / 2.0)),
+    ]))
+    user.add_operation(Operation("default", [
+        Compute(demand(1.0)),
+        Call("user-db"),
+    ]))
+    orders.add_operation(Operation("default", [
+        Compute(demand(1.5)),
+        Call("user"),
+        Call("cart"),
+        Call("payment"),
+        Call("shipping"),
+        Call("orders-db"),
+    ]))
+
+    # --- front-end -------------------------------------------------------
+    front_end.add_operation(Operation("cart", [
+        Compute(demand(0.6)),
+        Call("cart"),
+        Compute(demand(0.3)),
+    ]))
+    front_end.add_operation(Operation("catalogue", [
+        Compute(demand(0.6)),
+        Call("catalogue"),
+        Compute(demand(0.3)),
+    ]))
+    front_end.add_operation(Operation("browse", [
+        Compute(demand(0.6)),
+        Parallel([Call("cart"), Call("catalogue")]),
+        Compute(demand(0.3)),
+    ]))
+    front_end.add_operation(Operation("login", [
+        Compute(demand(0.5)),
+        Call("user"),
+    ]))
+    front_end.add_operation(Operation("order", [
+        Compute(demand(0.8)),
+        Call("orders"),
+        Compute(demand(0.4)),
+    ]))
+
+    app.set_entrypoint("cart", "front-end", "cart")
+    app.set_entrypoint("catalogue", "front-end", "catalogue")
+    app.set_entrypoint("browse", "front-end", "browse")
+    app.set_entrypoint("login", "front-end", "login")
+    app.set_entrypoint("order", "front-end", "order")
+    app.validate()
+    return app

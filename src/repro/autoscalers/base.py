@@ -1,0 +1,81 @@
+"""Autoscaler interface and scale-event plumbing.
+
+Sora is deliberately decoupled from the hardware scaler (paper §4.1):
+any autoscaler that emits :class:`ScaleEvent` notifications can host
+Sora's Concurrency Adapter, which re-applies optimal soft-resource
+allocations right after hardware changes.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+from dataclasses import dataclass
+
+from repro.sim.engine import Environment
+
+ScaleKind = _t.Literal["horizontal", "vertical"]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One hardware scaling action.
+
+    Attributes:
+        time: when it happened.
+        service: the scaled service's name.
+        kind: "horizontal" (replicas) or "vertical" (cores).
+        before / after: replica count or core limit around the action.
+    """
+
+    time: float
+    service: str
+    kind: ScaleKind
+    before: float
+    after: float
+
+
+class Autoscaler(abc.ABC):
+    """A periodic hardware-scaling control loop."""
+
+    def __init__(self, env: Environment, period: float = 15.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.env = env
+        self.period = period
+        self.scale_log: list[ScaleEvent] = []
+        self._callbacks: list[_t.Callable[[ScaleEvent], None]] = []
+        self._started = False
+
+    def on_scale(self, callback: _t.Callable[[ScaleEvent], None]) -> None:
+        """Register a callback invoked after every scaling action."""
+        self._callbacks.append(callback)
+
+    def start(self) -> None:
+        """Launch the control loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._loop(),
+                         name=f"autoscaler:{type(self).__name__}")
+
+    @abc.abstractmethod
+    def control(self) -> None:
+        """Run one control iteration (may emit scale events)."""
+
+    def _emit(self, event: ScaleEvent) -> None:
+        self.scale_log.append(event)
+        for callback in self._callbacks:
+            callback(event)
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.period)
+            self.control()
+
+
+class NullAutoscaler(Autoscaler):
+    """No hardware scaling at all (static-provisioning baseline)."""
+
+    def control(self) -> None:
+        """Do nothing."""

@@ -1,0 +1,121 @@
+"""FIRM-style hardware-only autoscaler (paper baseline, §5.2).
+
+FIRM (OSDI'20) detects the critical microservice instance behind SLO
+violations and reprovisions its low-level hardware resources
+(fine-grained CPU scaling), learning its policy with RL. For the
+comparison the paper makes, what matters is FIRM's *shape*: accurate
+critical-component localization plus reactive, fine-grained **vertical
+CPU scaling** that never touches soft resources. This implementation
+reproduces exactly that shape deterministically:
+
+1. localize the critical service (utilization screen + Pearson
+   correlation, the same two-step method FIRM inspired in §3.2);
+2. on SLO violation or near-saturation, grow that service's CPU limit
+   by a fine-grained step; shrink it when comfortably idle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.application import Application
+from repro.autoscalers.base import Autoscaler, ScaleEvent
+from repro.core.localization import CriticalServiceLocator
+from repro.core.monitoring import MonitoringModule
+from repro.sim.engine import Environment
+
+
+class FirmAutoscaler(Autoscaler):
+    """Critical-service-targeted vertical CPU scaling.
+
+    Args:
+        env: simulation environment.
+        app: the application (end-to-end latency source).
+        monitoring: utilization source.
+        request_type: the request class whose SLO is enforced.
+        sla: end-to-end SLO in seconds.
+        scalable: names of services FIRM may scale (defaults to all
+            services that appear in the app).
+        locator: critical-service locator (a default is built).
+        step: cores per scaling action (FIRM is fine-grained).
+        min_cores / max_cores: CPU limit bounds.
+        violation_quantile: latency percentile checked against the SLO.
+        util_high / util_low: saturation / idleness thresholds.
+        period / window: control period and analysis window.
+    """
+
+    def __init__(self, env: Environment, app: Application,
+                 monitoring: MonitoringModule, *, request_type: str,
+                 sla: float, scalable: list[str] | None = None,
+                 locator: CriticalServiceLocator | None = None,
+                 step: float = 1.0, min_cores: float = 1.0,
+                 max_cores: float = 8.0,
+                 violation_quantile: float = 95.0,
+                 util_high: float = 0.8, util_low: float = 0.3,
+                 period: float = 15.0, window: float = 15.0,
+                 scale_down_stabilization: float = 60.0) -> None:
+        super().__init__(env, period=period)
+        if sla <= 0:
+            raise ValueError(f"sla must be positive, got {sla}")
+        self.app = app
+        self.monitoring = monitoring
+        self.request_type = request_type
+        self.sla = sla
+        self.scalable = set(scalable if scalable is not None
+                            else app.services)
+        self.locator = locator or CriticalServiceLocator(
+            utilization_threshold=util_high, exclude=("front-end",))
+        self.step = step
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+        self.violation_quantile = violation_quantile
+        self.util_high = util_high
+        self.util_low = util_low
+        self.window = window
+        self.scale_down_stabilization = scale_down_stabilization
+        self._calm_since: dict[str, float] = {}
+        #: Localization reports per control tick (diagnostics).
+        self.reports = []
+
+    def _slo_violated(self) -> bool:
+        since = self.env.now - self.window
+        _times, latencies = self.app.latency[self.request_type].window(
+            since, self.env.now)
+        if latencies.size == 0:
+            return False
+        return float(np.percentile(latencies,
+                                   self.violation_quantile)) > self.sla
+
+    def control(self) -> None:
+        since = self.env.now - self.window
+        traces = self.app.warehouse.traces(since, self.env.now)
+        utilizations = self.monitoring.utilizations(self.window)
+        report = self.locator.locate(traces, utilizations)
+        self.reports.append(report)
+        critical = report.critical_service
+        if critical is None or critical not in self.scalable:
+            return
+        service = self.app.service(critical)
+        utilization = utilizations.get(critical, 0.0)
+        current = service.cores_per_replica
+
+        if (self._slo_violated() or utilization > self.util_high) and \
+                current < self.max_cores:
+            self._calm_since.pop(critical, None)
+            after = min(self.max_cores, current + self.step)
+            service.set_cores(after)
+            self._emit(ScaleEvent(time=self.env.now, service=critical,
+                                  kind="vertical", before=current,
+                                  after=after))
+        elif utilization < self.util_low and not self._slo_violated() \
+                and current > self.min_cores:
+            started = self._calm_since.setdefault(critical, self.env.now)
+            if self.env.now - started >= self.scale_down_stabilization:
+                after = max(self.min_cores, current - self.step)
+                service.set_cores(after)
+                self._emit(ScaleEvent(time=self.env.now, service=critical,
+                                      kind="vertical", before=current,
+                                      after=after))
+                self._calm_since.pop(critical, None)
+        else:
+            self._calm_since.pop(critical, None)

@@ -1,0 +1,97 @@
+"""Kubernetes Horizontal Pod Autoscaler (rule-based, paper §5.3).
+
+Implements the documented HPA algorithm shape::
+
+    desired = ceil(current_replicas * observed_util / target_util)
+
+with a tolerance band around 1.0 and a scale-down stabilization window
+(scale-down applies only after the lower recommendation has persisted).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.app.service import Microservice
+from repro.autoscalers.base import Autoscaler, ScaleEvent
+from repro.core.monitoring import MonitoringModule
+from repro.sim.engine import Environment
+
+
+class HorizontalPodAutoscaler(Autoscaler):
+    """Rule-based replica scaling on CPU utilization.
+
+    Args:
+        env: simulation environment.
+        service: the scaled service.
+        monitoring: utilization source.
+        target_utilization: desired mean utilization fraction (the
+            paper's rule of thumb is "CPU utilization > 80%" to scale).
+        min_replicas / max_replicas: replica bounds.
+        period: control period (Kubernetes default 15 s).
+        tolerance: no action when ``observed/target`` is within
+            ``1 ± tolerance``.
+        scale_down_stabilization: a lower recommendation must persist
+            this long before it is applied (Kubernetes default 300 s;
+            shortened here to match scaled-down trace durations).
+        window: utilization averaging window.
+    """
+
+    def __init__(self, env: Environment, service: Microservice,
+                 monitoring: MonitoringModule, *,
+                 target_utilization: float = 0.5,
+                 min_replicas: int = 1, max_replicas: int = 8,
+                 period: float = 15.0, tolerance: float = 0.1,
+                 scale_down_stabilization: float = 60.0,
+                 window: float = 15.0) -> None:
+        super().__init__(env, period=period)
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError(
+                f"target_utilization must be in (0, 1], got "
+                f"{target_utilization}")
+        if not 1 <= min_replicas <= max_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"[{min_replicas}, {max_replicas}]")
+        self.service = service
+        self.monitoring = monitoring
+        self.target_utilization = target_utilization
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.tolerance = tolerance
+        self.scale_down_stabilization = scale_down_stabilization
+        self.window = window
+        self._below_since: float | None = None
+
+    def desired_replicas(self) -> int:
+        """The HPA recommendation for the current observation."""
+        observed = self.monitoring.utilization_over(
+            self.service.name, self.window)
+        current = self.service.replica_count
+        ratio = observed / self.target_utilization
+        if abs(ratio - 1.0) <= self.tolerance:
+            return current
+        desired = math.ceil(current * ratio)
+        return max(self.min_replicas, min(self.max_replicas, desired))
+
+    def control(self) -> None:
+        current = self.service.replica_count
+        desired = self.desired_replicas()
+        if desired > current:
+            self._below_since = None
+            self._apply(current, desired)
+        elif desired < current:
+            if self._below_since is None:
+                self._below_since = self.env.now
+            persisted = self.env.now - self._below_since
+            if persisted >= self.scale_down_stabilization:
+                self._apply(current, desired)
+                self._below_since = None
+        else:
+            self._below_since = None
+
+    def _apply(self, before: int, after: int) -> None:
+        self.service.scale_replicas(after)
+        self._emit(ScaleEvent(time=self.env.now, service=self.service.name,
+                              kind="horizontal", before=before,
+                              after=after))

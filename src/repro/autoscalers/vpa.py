@@ -1,0 +1,82 @@
+"""Threshold-based Vertical Pod Autoscaler (paper §5.2, ConScale/Sora
+substrate).
+
+Adjusts the per-replica CPU limit in whole steps when the observed
+utilization leaves a dead band, with stabilization on scale-down.
+"""
+
+from __future__ import annotations
+
+from repro.app.service import Microservice
+from repro.autoscalers.base import Autoscaler, ScaleEvent
+from repro.core.monitoring import MonitoringModule
+from repro.sim.engine import Environment
+
+
+class VerticalPodAutoscaler(Autoscaler):
+    """Threshold-based per-replica CPU scaling.
+
+    Args:
+        env: simulation environment.
+        service: the scaled service.
+        monitoring: utilization source.
+        low / high: utilization dead band — scale up above ``high``,
+            down below ``low``.
+        step: cores added/removed per action.
+        min_cores / max_cores: CPU limit bounds.
+        period: control period.
+        scale_down_stabilization: required persistence below ``low``
+            before shrinking.
+        window: utilization averaging window.
+    """
+
+    def __init__(self, env: Environment, service: Microservice,
+                 monitoring: MonitoringModule, *, low: float = 0.35,
+                 high: float = 0.8, step: float = 1.0,
+                 min_cores: float = 1.0, max_cores: float = 8.0,
+                 period: float = 15.0,
+                 scale_down_stabilization: float = 60.0,
+                 window: float = 15.0) -> None:
+        super().__init__(env, period=period)
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError(f"need 0 <= low < high <= 1, got "
+                             f"[{low}, {high}]")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if not 0 < min_cores <= max_cores:
+            raise ValueError(f"need 0 < min_cores <= max_cores, got "
+                             f"[{min_cores}, {max_cores}]")
+        self.service = service
+        self.monitoring = monitoring
+        self.low = low
+        self.high = high
+        self.step = step
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+        self.scale_down_stabilization = scale_down_stabilization
+        self.window = window
+        self._below_since: float | None = None
+
+    def control(self) -> None:
+        observed = self.monitoring.utilization_over(
+            self.service.name, self.window)
+        current = self.service.cores_per_replica
+        if observed > self.high and current < self.max_cores:
+            self._below_since = None
+            after = min(self.max_cores, current + self.step)
+            self._apply(current, after)
+        elif observed < self.low and current > self.min_cores:
+            if self._below_since is None:
+                self._below_since = self.env.now
+            if self.env.now - self._below_since >= \
+                    self.scale_down_stabilization:
+                after = max(self.min_cores, current - self.step)
+                self._apply(current, after)
+                self._below_since = None
+        else:
+            self._below_since = None
+
+    def _apply(self, before: float, after: float) -> None:
+        self.service.set_cores(after)
+        self._emit(ScaleEvent(time=self.env.now, service=self.service.name,
+                              kind="vertical", before=before, after=after))

@@ -1,0 +1,146 @@
+"""Command-line interface: run reproduction scenarios from the shell.
+
+Examples::
+
+    python -m repro.cli traces
+    python -m repro.cli run --scenario cart --trace steep_tri_phase \\
+        --controller sora --autoscaler firm --duration 240
+    python -m repro.cli compare --scenario drift --trace large_variation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ascii_table,
+    run_scenario,
+    social_network_drift_scenario,
+    sock_shop_cart_scenario,
+    sock_shop_catalogue_scenario,
+)
+from repro.experiments.reporting import sparkline
+from repro.workloads import TRACE_NAMES, build_trace
+
+SCENARIOS = {
+    "cart": sock_shop_cart_scenario,
+    "catalogue": sock_shop_catalogue_scenario,
+    "drift": social_network_drift_scenario,
+}
+
+
+def _build_scenario(args, controller: str):
+    trace = build_trace(args.trace, duration=args.duration,
+                        peak_users=args.peak_users,
+                        min_users=args.min_users)
+    builder = SCENARIOS[args.scenario]
+    kwargs = dict(trace=trace, controller=controller,
+                  autoscaler=args.autoscaler, sla=args.sla,
+                  seed=args.seed)
+    if args.scenario == "drift":
+        kwargs["drift_at"] = args.duration / 3.0
+    return builder(**kwargs)
+
+
+def _report(result, label: str) -> list:
+    summary = result.summary_row()
+    _t, rt = result.response_time_series(interval=args_interval(result))
+    print(f"{label:<14} p95 over time: {sparkline(rt * 1000)}")
+    return [label, summary["goodput_rps"], summary["p95_ms"],
+            summary["p99_ms"], len(result.scale_events),
+            len(result.adaptation_actions)]
+
+
+def args_interval(result) -> float:
+    return max(2.0, result.duration / 48.0)
+
+
+def cmd_traces(_args) -> int:
+    rows = []
+    for name in TRACE_NAMES:
+        trace = build_trace(name, duration=120.0, peak_users=100,
+                            min_users=10)
+        users = [u for _t, u in trace.series(interval=2.0)]
+        rows.append([name, sparkline(users, width=48)])
+    print(ascii_table(["trace", "shape"], rows,
+                      title="The six bursty workload traces (Table 2)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    scenario = _build_scenario(args, args.controller)
+    result = run_scenario(scenario, duration=args.duration)
+    row = _report(result, args.controller)
+    print(ascii_table(
+        ["controller", "goodput [req/s]", "p95 [ms]", "p99 [ms]",
+         "HW scalings", "adaptations"], [row],
+        title=f"{args.scenario} / {args.trace} "
+              f"(SLA {args.sla * 1000:.0f} ms)"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for controller in ("none", args.controller):
+        scenario = _build_scenario(args, controller)
+        result = run_scenario(scenario, duration=args.duration)
+        label = ("hardware-only" if controller == "none"
+                 else controller)
+        rows.append(_report(result, label))
+    print(ascii_table(
+        ["controller", "goodput [req/s]", "p95 [ms]", "p99 [ms]",
+         "HW scalings", "adaptations"], rows,
+        title=f"{args.scenario} / {args.trace} "
+              f"(SLA {args.sla * 1000:.0f} ms)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sora (Middleware '23) reproduction scenarios")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("traces", help="show the six workload trace shapes")
+
+    def add_run_args(p):
+        p.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       default="cart")
+        p.add_argument("--trace", choices=TRACE_NAMES,
+                       default="steep_tri_phase")
+        p.add_argument("--controller",
+                       choices=("sora", "conscale", "none"),
+                       default="sora")
+        p.add_argument("--autoscaler",
+                       choices=("firm", "vpa", "hpa", "none"),
+                       default="firm")
+        p.add_argument("--duration", type=float, default=240.0)
+        p.add_argument("--peak-users", type=int, default=450)
+        p.add_argument("--min-users", type=int, default=80)
+        p.add_argument("--sla", type=float, default=0.4,
+                       help="end-to-end SLA in seconds")
+        p.add_argument("--seed", type=int, default=42)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    add_run_args(run_parser)
+    compare_parser = sub.add_parser(
+        "compare",
+        help="run hardware-only vs the chosen controller side by side")
+    add_run_args(compare_parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "traces":
+        return cmd_traces(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Critical Service Localization (SCG phase 1, paper §3.2).
+
+Two-step method inspired by FIRM:
+
+1. *Utilization screening* — services whose resource utilization is
+   near capacity are candidate critical services (congestion suspects).
+2. *Correlation ranking* — over the traces in the analysis window,
+   compute the Pearson correlation between each service's processing
+   time (:math:`PT_{s_i}`, downstream-excluded) and the end-to-end
+   response time of the critical path (:math:`RT_{CP}`). The service
+   with the largest coefficient contributes most to latency variation.
+
+When both steps nominate a service (they "overlap most of the time" per
+the paper) that service is returned; otherwise the correlation winner
+among the utilization candidates, falling back to the global
+correlation winner.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.correlation import pearson
+from repro.tracing.critical_path import extract_critical_path
+from repro.tracing.span import Span
+
+
+@dataclass(frozen=True)
+class LocalizationReport:
+    """Outcome of one localization pass.
+
+    Attributes:
+        critical_service: the nominated service (``None`` if the window
+            held no traces).
+        dominant_path: the most frequent critical path in the window.
+        correlations: PCC(PT_s, RT_CP) per service.
+        utilizations: the utilization snapshot used for screening.
+        candidates: services that passed the utilization screen.
+        path_frequencies: occurrences of each distinct critical path.
+    """
+
+    critical_service: str | None
+    dominant_path: tuple[str, ...]
+    correlations: dict[str, float] = field(default_factory=dict)
+    utilizations: dict[str, float] = field(default_factory=dict)
+    candidates: tuple[str, ...] = ()
+    path_frequencies: dict[tuple[str, ...], int] = field(
+        default_factory=dict)
+
+
+class CriticalServiceLocator:
+    """Locates the bottleneck service on the dominant critical path.
+
+    Args:
+        utilization_threshold: utilization fraction above which a
+            service is considered a congestion candidate (step 1).
+        exclude: services never nominated (e.g. the front-end itself,
+            which hardware/soft scaling does not target).
+    """
+
+    def __init__(self, utilization_threshold: float = 0.7,
+                 exclude: _t.Sequence[str] = ()) -> None:
+        if not 0.0 < utilization_threshold <= 1.0:
+            raise ValueError(
+                f"utilization_threshold must be in (0, 1], got "
+                f"{utilization_threshold}")
+        self.utilization_threshold = utilization_threshold
+        self.exclude = frozenset(exclude)
+
+    def locate(self, traces: _t.Sequence[Span],
+               utilizations: dict[str, float]) -> LocalizationReport:
+        """Analyze ``traces`` (finished roots) plus a utilization
+        snapshot and nominate the critical service."""
+        if not traces:
+            return LocalizationReport(
+                critical_service=None, dominant_path=(),
+                utilizations=dict(utilizations))
+
+        # Per-trace critical paths; collect (PT_s, RT_CP) sample pairs.
+        path_counter: Counter[tuple[str, ...]] = Counter()
+        processing: dict[str, list[float]] = defaultdict(list)
+        path_durations: dict[str, list[float]] = defaultdict(list)
+        for root in traces:
+            path = extract_critical_path(root)
+            path_counter[path.services] += 1
+            duration = path.duration
+            for span in path.spans:
+                processing[span.service].append(span.self_time())
+                path_durations[span.service].append(duration)
+
+        dominant_path = path_counter.most_common(1)[0][0]
+        correlations = {
+            service: pearson(processing[service], path_durations[service])
+            for service in processing
+            if service not in self.exclude
+        }
+        candidates = tuple(
+            service for service, value in utilizations.items()
+            if value >= self.utilization_threshold
+            and service not in self.exclude
+        )
+
+        critical = self._pick(correlations, candidates, dominant_path)
+        return LocalizationReport(
+            critical_service=critical,
+            dominant_path=dominant_path,
+            correlations=correlations,
+            utilizations=dict(utilizations),
+            candidates=candidates,
+            path_frequencies=dict(path_counter),
+        )
+
+    def _pick(self, correlations: dict[str, float],
+              candidates: tuple[str, ...],
+              dominant_path: tuple[str, ...]) -> str | None:
+        if not correlations:
+            return None
+        # Prefer utilization candidates that actually sit on critical
+        # paths; fall back to pure correlation ranking.
+        scored_candidates = [c for c in candidates if c in correlations]
+        pool = scored_candidates or [s for s in correlations]
+        if not pool:
+            return None
+        best = max(pool, key=lambda s: (correlations[s],
+                                        s in dominant_path))
+        return best

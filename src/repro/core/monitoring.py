@@ -1,0 +1,105 @@
+"""Monitoring Module (paper §4.1).
+
+Collects the two metric families Sora consumes:
+
+- **system-level metrics**: per-service CPU utilization, sampled by a
+  cAdvisor-style agent (the signal hardware-only autoscalers act on);
+- **performance metrics**: request traces (the application already
+  streams them into the :class:`TraceWarehouse`), plus per-service
+  completion logs for goodput extraction.
+
+The module also performs the housekeeping a real deployment delegates
+to retention policies: pruning the warehouse and completion logs so
+memory stays bounded by the analysis window.
+"""
+
+from __future__ import annotations
+
+from repro.app.application import Application
+from repro.metrics.sampler import TimeSeries
+from repro.sim.engine import Environment
+
+
+class MonitoringModule:
+    """Periodic utilization sampling + trace retention for one app.
+
+    Args:
+        env: simulation environment.
+        app: the monitored application.
+        interval: utilization sampling period (seconds).
+        retention: how much history to keep (seconds); should exceed the
+            longest analysis window used by models and autoscalers.
+    """
+
+    def __init__(self, env: Environment, app: Application,
+                 interval: float = 1.0, retention: float = 300.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if retention <= 0:
+            raise ValueError(f"retention must be positive, got {retention}")
+        self.env = env
+        self.app = app
+        self.interval = interval
+        self.retention = retention
+        #: service -> utilization fraction time series (busy/capacity).
+        self.utilization: dict[str, TimeSeries] = {
+            name: TimeSeries() for name in app.services}
+        #: service -> busy-cores time series (CPU use in core units, the
+        #: "Pod CPU Util %" panel of Figs. 10-12 is this * 100).
+        self.busy_cores: dict[str, TimeSeries] = {
+            name: TimeSeries() for name in app.services}
+        self._last_totals: dict[str, tuple[float, float]] = {}
+        self._started = False
+
+    def start(self) -> None:
+        """Launch the sampling loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for name, service in self.app.services.items():
+            self._last_totals[name] = service.cpu_totals()
+        self.env.process(self._loop(), name="monitoring")
+
+    def utilization_over(self, service: str, window: float) -> float:
+        """Mean utilization fraction over the trailing ``window``."""
+        series = self.utilization[service]
+        _times, values = series.window(self.env.now - window)
+        if values.size == 0:
+            return 0.0
+        return float(values.mean())
+
+    def busy_cores_over(self, service: str, window: float) -> float:
+        """Mean busy cores over the trailing ``window``."""
+        series = self.busy_cores[service]
+        _times, values = series.window(self.env.now - window)
+        if values.size == 0:
+            return 0.0
+        return float(values.mean())
+
+    def utilizations(self, window: float) -> dict[str, float]:
+        """Mean utilization per service over the trailing ``window``."""
+        return {name: self.utilization_over(name, window)
+                for name in self.utilization}
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            now = self.env.now
+            for name, service in self.app.services.items():
+                busy, capacity = service.cpu_totals()
+                last_busy, last_capacity = self._last_totals[name]
+                self._last_totals[name] = (busy, capacity)
+                delta_busy = busy - last_busy
+                delta_capacity = capacity - last_capacity
+                fraction = (delta_busy / delta_capacity
+                            if delta_capacity > 0 else 0.0)
+                self.utilization[name].append(now, fraction)
+                self.busy_cores[name].append(
+                    now, delta_busy / self.interval)
+            horizon = now - self.retention
+            if horizon > 0:
+                self.app.warehouse.prune(horizon)
+                for name, service in self.app.services.items():
+                    service.metrics.prune(horizon)
+                    self.utilization[name].prune(horizon)
+                    self.busy_cores[name].prune(horizon)

@@ -1,0 +1,200 @@
+"""The Scatter-Concurrency-Goodput (SCG) model (paper §3) and its
+throughput-based counterpart SCT (ConScale's model, §3.1).
+
+Both models consume ``<concurrency, rate>`` sample pairs collected at a
+fine granularity over a short window and estimate the optimal
+concurrency as the knee of the main sequence curve:
+
+- **SCG** pairs concurrency with *goodput* under a (propagated)
+  response-time threshold — latency sensitive;
+- **SCT** pairs concurrency with *throughput* — latency agnostic.
+
+Estimation pipeline (phases 3–4 of Fig. 6): aggregate the scatter (mean
+rate per distinct concurrency), fit a smoothing polynomial whose degree
+is tuned incrementally (§3.3), and run Kneedle on the smooth curve.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.kneedle import KneeResult, find_knee
+from repro.analysis.smoothing import (
+    PolynomialFit,
+    aggregate_scatter,
+    fit_polynomial,
+)
+
+EstimateMethod = _t.Literal["knee", "argmax"]
+
+
+@dataclass(frozen=True)
+class ScatterModelConfig:
+    """Tuning knobs shared by SCG and SCT.
+
+    Attributes:
+        min_degree / max_degree: polynomial degree search range (the
+            paper finds 5–8 adequate; too low misses the knee, too high
+            overfits noise).
+        sensitivity: Kneedle ``S`` parameter.
+        min_samples: minimum number of raw pairs to attempt estimation.
+        min_distinct: minimum number of distinct concurrency levels.
+        quantum: interval-mean concurrency values are rounded to this
+            grid before per-level averaging, so scatter aggregation has
+            levels to aggregate over.
+        knee_quality: a knee is accepted only if the smoothed rate at
+            the knee reaches this fraction of the curve's maximum — a
+            "knee" the curve keeps climbing past is a fitting artifact,
+            not a capacity knee.
+        allow_argmax_fallback: when no knee is confirmed, fall back to
+            the concurrency with the maximum smoothed rate.
+    """
+
+    min_degree: int = 4
+    max_degree: int = 8
+    sensitivity: float = 1.0
+    min_samples: int = 40
+    min_distinct: int = 6
+    quantum: float = 0.5
+    knee_quality: float = 0.85
+    allow_argmax_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_degree < 1 or self.max_degree < self.min_degree:
+            raise ValueError(
+                f"invalid degree range [{self.min_degree}, "
+                f"{self.max_degree}]")
+        if self.min_samples < 1 or self.min_distinct < 3:
+            raise ValueError("min_samples >= 1 and min_distinct >= 3 "
+                             "required")
+        if self.quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {self.quantum}")
+        if not 0.0 <= self.knee_quality <= 1.0:
+            raise ValueError(
+                f"knee_quality must be in [0, 1], got {self.knee_quality}")
+
+
+@dataclass(frozen=True)
+class ConcurrencyEstimate:
+    """A recommended optimal concurrency setting.
+
+    Attributes:
+        optimal_concurrency: the recommendation (>= 1).
+        method: how it was obtained ("knee" or "argmax" fallback).
+        knee: the Kneedle result (may be not-found for argmax).
+        fit: the accepted polynomial fit.
+        samples: number of raw pairs used.
+        threshold: RT threshold active during collection (None for SCT).
+        max_concurrency: highest concurrency observed in the window —
+            recommendations are only evidenced up to this level.
+    """
+
+    optimal_concurrency: int
+    method: EstimateMethod
+    knee: KneeResult
+    fit: PolynomialFit
+    samples: int
+    threshold: float | None = None
+    max_concurrency: float = 0.0
+
+
+class ScatterCurveModel:
+    """Shared estimation machinery over ``<Q, rate>`` pairs."""
+
+    #: Human-readable model name (subclasses override).
+    name = "scatter-curve"
+
+    def __init__(self, config: ScatterModelConfig | None = None) -> None:
+        self.config = config or ScatterModelConfig()
+
+    def estimate(self, concurrency: np.ndarray, rate: np.ndarray,
+                 threshold: float | None = None
+                 ) -> ConcurrencyEstimate | None:
+        """Estimate the optimal concurrency from sample pairs.
+
+        Returns ``None`` when the window does not hold enough signal
+        (too few samples or distinct concurrency levels, or no usable
+        curve) — callers keep the previous allocation in that case.
+        """
+        concurrency = np.asarray(concurrency, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        if concurrency.shape != rate.shape:
+            raise ValueError(
+                f"shape mismatch: {concurrency.shape} vs {rate.shape}")
+        config = self.config
+        if concurrency.size < config.min_samples:
+            return None
+        # Idle samples (zero concurrency) carry no information about the
+        # service's capacity curve.
+        busy = concurrency > 0
+        quantized = np.round(concurrency[busy] / config.quantum) * \
+            config.quantum
+        q_values, gp_values = aggregate_scatter(quantized, rate[busy])
+        distinct = int(np.unique(q_values).size)
+        if distinct < config.min_distinct:
+            return None
+        # A degree close to the number of aggregated levels interpolates
+        # the noise instead of smoothing it (wild oscillation between
+        # levels); keep at least one excess degree of freedom.
+        max_degree = min(config.max_degree, distinct - 2)
+        if max_degree < config.min_degree:
+            return None
+
+        fallback_fit: PolynomialFit | None = None
+        for degree in range(config.min_degree, max_degree + 1):
+            try:
+                fit = fit_polynomial(q_values, gp_values, degree)
+            except ValueError:  # pragma: no cover - guarded by max_degree
+                break
+            fallback_fit = fit
+            knee = find_knee(fit.x, fit.y,
+                             sensitivity=config.sensitivity)
+            if knee.found and knee.knee_x > 0 and \
+                    knee.knee_y >= config.knee_quality * float(fit.y.max()):
+                return ConcurrencyEstimate(
+                    optimal_concurrency=max(1, int(round(knee.knee_x))),
+                    method="knee", knee=knee, fit=fit,
+                    samples=int(concurrency.size), threshold=threshold,
+                    max_concurrency=float(q_values.max()))
+        if config.allow_argmax_fallback and fallback_fit is not None:
+            best = int(np.argmax(fallback_fit.y))
+            optimal = max(1, int(round(float(fallback_fit.x[best]))))
+            return ConcurrencyEstimate(
+                optimal_concurrency=optimal, method="argmax",
+                knee=find_knee(fallback_fit.x, fallback_fit.y,
+                               sensitivity=self.config.sensitivity),
+                fit=fallback_fit, samples=int(concurrency.size),
+                threshold=threshold,
+                max_concurrency=float(q_values.max()))
+        return None
+
+
+class SCGModel(ScatterCurveModel):
+    """Scatter-Concurrency-**Goodput** model — Sora's estimator.
+
+    Pair concurrency samples with goodput measured under the propagated
+    response-time threshold, then hand the pairs to :meth:`estimate`.
+    """
+
+    name = "scg"
+
+
+class SCTModel(ScatterCurveModel):
+    """Scatter-Concurrency-**Throughput** model — ConScale's estimator.
+
+    Identical machinery; callers feed throughput pairs (no threshold),
+    making the model latency agnostic by construction.
+    """
+
+    name = "sct"
+
+    def estimate(self, concurrency: np.ndarray, rate: np.ndarray,
+                 threshold: float | None = None
+                 ) -> ConcurrencyEstimate | None:
+        if threshold is not None:
+            raise ValueError(
+                "SCT is latency-agnostic; do not pass a threshold")
+        return super().estimate(concurrency, rate, threshold=None)

@@ -1,0 +1,156 @@
+"""Step-by-step heuristic tuning baseline (paper §3.1).
+
+The paper contrasts its one-shot knee estimation against "a step-by-step
+heuristic approach such as Bayesian optimization" (BestConfig, iter8,
+ConfAdvisor): tuners that must *try* configurations sequentially and
+measure each one before moving on. This module implements that family's
+simplest honest member — stochastic hill climbing over the pool size —
+so the adaptation-speed comparison the paper argues for can be run:
+
+- each evaluation period, measure the goodput of the current allocation;
+- propose a neighboring allocation (multiplicative step up or down);
+- keep the proposal if it measured better, otherwise step back and flip
+  the search direction.
+
+One observation per period is the family's defining cost: where the SCG
+model extracts the whole goodput-vs-concurrency curve from a single
+window (because bursty traffic naturally sweeps the concurrency range),
+a sequential tuner needs one *window per configuration probed*.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.app.application import Application
+from repro.core.sora import AdaptationAction
+from repro.core.targets import SoftResourceTarget
+from repro.sim.engine import Environment
+
+
+@dataclass
+class HillClimbConfig:
+    """Tuning knobs for the sequential tuner.
+
+    Attributes:
+        evaluation_period: how long each configuration is measured
+            before the next move (one "trial").
+        step_factor: multiplicative neighborhood (1.3 → try ±30%).
+        min_allocation / max_allocation: search bounds.
+        tolerance: relative goodput improvement below which a move is
+            considered neutral (random restart direction).
+    """
+
+    evaluation_period: float = 15.0
+    step_factor: float = 1.3
+    min_allocation: int = 2
+    max_allocation: int = 512
+    tolerance: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.evaluation_period <= 0:
+            raise ValueError("evaluation_period must be positive")
+        if self.step_factor <= 1.0:
+            raise ValueError(
+                f"step_factor must exceed 1, got {self.step_factor}")
+        if not 1 <= self.min_allocation <= self.max_allocation:
+            raise ValueError("invalid allocation bounds")
+
+
+class HillClimbController:
+    """Sequential configuration tuner over one soft-resource target.
+
+    Interface-compatible with the adaptation frameworks where the
+    harness needs it (``start()``, ``actions``): measurements use the
+    target service's goodput under a fixed SLA threshold.
+    """
+
+    def __init__(self, env: Environment, app: Application,
+                 target: SoftResourceTarget, *, sla: float,
+                 rng: np.random.Generator,
+                 config: HillClimbConfig | None = None) -> None:
+        if sla <= 0:
+            raise ValueError(f"sla must be positive, got {sla}")
+        self.env = env
+        self.app = app
+        self.target = target
+        self.sla = sla
+        self.config = config or HillClimbConfig()
+        self._rng = rng
+        self.actions: list[AdaptationAction] = []
+        #: ``(time, allocation, goodput)`` measurement log.
+        self.trials: list[tuple[float, int, float]] = []
+        self._direction = 1
+        self._previous_goodput: float | None = None
+        self._previous_allocation: int | None = None
+        self._started = False
+
+    def start(self) -> None:
+        """Launch the tuning loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._loop(), name="hill-climb")
+
+    def _measure(self, since: float) -> float:
+        latencies = self.target.completion_latencies(since, self.env.now)
+        window = self.env.now - since
+        if window <= 0 or latencies.size == 0:
+            return 0.0
+        return float(np.count_nonzero(latencies <= self.sla)) / window
+
+    def _apply(self, allocation: int) -> None:
+        before = self.target.allocation()
+        if allocation == before:
+            return
+        self.target.apply(allocation)
+        self.actions.append(AdaptationAction(
+            time=self.env.now, target=self.target.name, before=before,
+            after=allocation, method="hill-climb", trigger="periodic",
+            threshold=self.sla))
+
+    def _propose(self, current: int) -> int:
+        factor = self.config.step_factor
+        if self._direction > 0:
+            candidate = max(current + 1, math.ceil(current * factor))
+        else:
+            candidate = min(current - 1, math.floor(current / factor))
+        return max(self.config.min_allocation,
+                   min(self.config.max_allocation, candidate))
+
+    def _loop(self):
+        config = self.config
+        while True:
+            window_start = self.env.now
+            yield self.env.timeout(config.evaluation_period)
+            current = self.target.allocation()
+            goodput = self._measure(window_start)
+            self.trials.append((self.env.now, current, goodput))
+
+            if self._previous_goodput is not None and \
+                    self._previous_allocation is not None and \
+                    self._previous_allocation != current:
+                reference = max(self._previous_goodput, 1e-9)
+                change = (goodput - self._previous_goodput) / reference
+                if change < -config.tolerance:
+                    # Worse: revert and flip direction.
+                    self._direction *= -1
+                    self._apply(self._previous_allocation)
+                    self._previous_goodput = goodput
+                    self._previous_allocation = current
+                    continue
+                if abs(change) <= config.tolerance and \
+                        self._rng.random() < 0.5:
+                    self._direction *= -1
+            self._previous_goodput = goodput
+            self._previous_allocation = current
+            proposal = self._propose(current)
+            if proposal == current:
+                # Pinned against a search bound: turn around.
+                self._direction *= -1
+                proposal = self._propose(current)
+            self._apply(proposal)

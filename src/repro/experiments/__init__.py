@@ -1,0 +1,40 @@
+"""Experiment harness: scenarios, runner, and text reporting."""
+
+from repro.experiments.harness import Scenario, ScenarioResult, run_scenario
+from repro.experiments.reporting import (
+    ascii_table,
+    ratio,
+    series_table,
+    sparkline,
+)
+from repro.experiments.persistence import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.experiments.sweep import SweepResult, sweep
+from repro.experiments.scenarios import (
+    social_network_drift_scenario,
+    sock_shop_cart_scenario,
+    sock_shop_catalogue_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "SweepResult",
+    "ascii_table",
+    "load_result",
+    "ratio",
+    "result_from_dict",
+    "result_to_dict",
+    "run_scenario",
+    "save_result",
+    "series_table",
+    "social_network_drift_scenario",
+    "sock_shop_cart_scenario",
+    "sock_shop_catalogue_scenario",
+    "sparkline",
+    "sweep",
+]

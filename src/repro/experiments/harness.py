@@ -1,0 +1,212 @@
+"""Scenario harness: assemble, run, and summarize one experiment.
+
+Every table and figure reproduction runs through this module: it wires
+an application, a workload driver, optional autoscaler and concurrency
+controller together, runs the simulation, and collects the time series
+the paper plots (end-to-end response time, goodput, per-service CPU,
+pool allocation/occupancy) plus summary statistics.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.app.application import Application
+from repro.autoscalers.base import Autoscaler, ScaleEvent
+from repro.core.monitoring import MonitoringModule
+from repro.core.sora import (
+    AdaptationAction,
+    ConcurrencyAdaptationFramework,
+)
+from repro.core.targets import SoftResourceTarget
+from repro.metrics.sampler import IntervalSampler
+from repro.metrics.summary import (
+    LatencySummary,
+    bucketed_percentile,
+    bucketed_rate,
+)
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class Scenario:
+    """A fully assembled experiment, ready to run.
+
+    Attributes:
+        name: label for reports.
+        env / streams: simulation kernel objects.
+        app: the application under test.
+        monitoring: the monitoring module (created if absent).
+        drivers: workload drivers (objects with ``start()``).
+        controller: concurrency adaptation framework (Sora/ConScale) or
+            ``None`` for soft-resource-static baselines.
+        autoscaler: hardware autoscaler or ``None``.
+        target: primary adapted soft resource (series are recorded for
+            it even when no controller is attached).
+        request_type: the request class reported on.
+        sla: the end-to-end SLA used for goodput reporting (seconds).
+        extra_probes: additional ``name -> callable`` probes sampled
+            once per second into the result.
+    """
+
+    name: str
+    env: Environment
+    streams: RandomStreams
+    app: Application
+    monitoring: MonitoringModule
+    drivers: list
+    request_type: str
+    sla: float
+    controller: ConcurrencyAdaptationFramework | None = None
+    autoscaler: Autoscaler | None = None
+    target: SoftResourceTarget | None = None
+    extra_probes: dict[str, _t.Callable[[], float]] = field(
+        default_factory=dict)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the paper's figures/tables need from one run."""
+
+    name: str
+    request_type: str
+    sla: float
+    duration: float
+    completion_times: np.ndarray
+    response_times: np.ndarray
+    samples: dict[str, tuple[np.ndarray, np.ndarray]]
+    scale_events: list[ScaleEvent]
+    adaptation_actions: list[AdaptationAction]
+    total_submitted: int
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def latency_summary(self) -> LatencySummary:
+        """Distribution summary of end-to-end response times."""
+        return LatencySummary.from_values(self.response_times)
+
+    def percentile(self, q: float) -> float:
+        """End-to-end latency percentile in seconds."""
+        if self.response_times.size == 0:
+            return 0.0
+        return float(np.percentile(self.response_times, q))
+
+    def goodput(self, threshold: float | None = None) -> float:
+        """Mean goodput (req/s) under ``threshold`` (default: the SLA)."""
+        threshold = self.sla if threshold is None else threshold
+        good = int(np.count_nonzero(self.response_times <= threshold))
+        return good / self.duration
+
+    def throughput(self) -> float:
+        """Mean completion rate over the run."""
+        return self.response_times.size / self.duration
+
+    # ------------------------------------------------------------------
+    # Time series (figure panels)
+    # ------------------------------------------------------------------
+    def goodput_series(self, interval: float = 5.0,
+                       threshold: float | None = None
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Goodput over time (panel (i) of Figs. 10-12)."""
+        threshold = self.sla if threshold is None else threshold
+        good = self.response_times <= threshold
+        return bucketed_rate(self.completion_times, interval=interval,
+                             since=0.0, until=self.duration,
+                             predicate=good)
+
+    def response_time_series(self, interval: float = 5.0, q: float = 95.0
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bucket latency percentile over time."""
+        return bucketed_percentile(
+            self.completion_times, self.response_times,
+            interval=interval, since=0.0, until=self.duration, q=q)
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """A recorded probe series by name (see :func:`run_scenario`)."""
+        try:
+            return self.samples[name]
+        except KeyError:
+            raise KeyError(f"unknown series {name!r} "
+                           f"(have: {sorted(self.samples)})") from None
+
+    def summary_row(self) -> dict[str, float]:
+        """A flat dict for table rendering."""
+        latency = self.latency_summary().scaled(1000.0)
+        return {
+            "requests": float(latency.count),
+            "throughput_rps": round(self.throughput(), 1),
+            "goodput_rps": round(self.goodput(), 1),
+            "p50_ms": round(latency.p50, 1),
+            "p95_ms": round(latency.p95, 1),
+            "p99_ms": round(latency.p99, 1),
+        }
+
+
+def run_scenario(scenario: Scenario, duration: float,
+                 probe_interval: float = 1.0,
+                 drain: float = 2.0) -> ScenarioResult:
+    """Run an assembled scenario and collect results.
+
+    Args:
+        scenario: the experiment to run.
+        duration: simulated seconds of workload.
+        probe_interval: sampling period for the recorded series.
+        drain: extra simulated seconds allowed for in-flight requests.
+    """
+    env = scenario.env
+    probes: dict[str, _t.Callable[[], float]] = {}
+    target = scenario.target
+    if target is not None:
+        probes[f"{target.name}.allocation"] = \
+            lambda: float(target.total_allocation())
+        probes[f"{target.name}.in_use"] = \
+            lambda: float(target.concurrency() *
+                          max(1, target.service.replica_count))
+        service = target.service
+        probes[f"{service.name}.cores"] = \
+            lambda: service.cores_per_replica * service.replica_count
+        probes[f"{service.name}.replicas"] = \
+            lambda: float(service.replica_count)
+        probes[f"{service.name}.busy_cores"] = \
+            lambda: scenario.monitoring.busy_cores_over(service.name, 1.0)
+    probes.update(scenario.extra_probes)
+    samplers = {
+        name: IntervalSampler(env, probe, interval=probe_interval,
+                              name=name)
+        for name, probe in probes.items()
+    }
+
+    if scenario.controller is not None:
+        scenario.controller.start()
+    else:
+        scenario.monitoring.start()
+        if scenario.autoscaler is not None:
+            scenario.autoscaler.start()
+    for sampler in samplers.values():
+        sampler.start()
+    for driver in scenario.drivers:
+        driver.start()
+    env.run(until=duration + drain)
+
+    times, latencies = scenario.app.latency[
+        scenario.request_type].window(0.0, duration + drain)
+    return ScenarioResult(
+        name=scenario.name,
+        request_type=scenario.request_type,
+        sla=scenario.sla,
+        duration=duration,
+        completion_times=times,
+        response_times=latencies,
+        samples={name: sampler.series.window()
+                 for name, sampler in samplers.items()},
+        scale_events=(list(scenario.autoscaler.scale_log)
+                      if scenario.autoscaler else []),
+        adaptation_actions=(list(scenario.controller.actions)
+                            if scenario.controller else []),
+        total_submitted=scenario.app.total_submitted,
+    )

@@ -1,0 +1,95 @@
+"""Persist scenario results to JSON for offline post-processing.
+
+A :class:`~repro.experiments.harness.ScenarioResult` holds everything a
+figure needs (latency log, probe series, action logs); saving it lets
+plotting or statistics happen outside the simulation process — the
+analogue of archiving a testbed run's metrics dump.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+import numpy as np
+
+from repro.autoscalers.base import ScaleEvent
+from repro.core.sora import AdaptationAction
+from repro.experiments.harness import ScenarioResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ScenarioResult) -> dict:
+    """A JSON-serializable dict capturing the full result."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": result.name,
+        "request_type": result.request_type,
+        "sla": result.sla,
+        "duration": result.duration,
+        "total_submitted": result.total_submitted,
+        "completion_times": result.completion_times.tolist(),
+        "response_times": result.response_times.tolist(),
+        "samples": {
+            name: {"times": times.tolist(), "values": values.tolist()}
+            for name, (times, values) in result.samples.items()
+        },
+        "scale_events": [
+            {"time": e.time, "service": e.service, "kind": e.kind,
+             "before": e.before, "after": e.after}
+            for e in result.scale_events
+        ],
+        "adaptation_actions": [
+            {"time": a.time, "target": a.target, "before": a.before,
+             "after": a.after, "method": a.method, "trigger": a.trigger,
+             "threshold": a.threshold}
+            for a in result.adaptation_actions
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ScenarioResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    return ScenarioResult(
+        name=payload["name"],
+        request_type=payload["request_type"],
+        sla=payload["sla"],
+        duration=payload["duration"],
+        completion_times=np.asarray(payload["completion_times"]),
+        response_times=np.asarray(payload["response_times"]),
+        samples={
+            name: (np.asarray(series["times"]),
+                   np.asarray(series["values"]))
+            for name, series in payload["samples"].items()
+        },
+        scale_events=[
+            ScaleEvent(time=e["time"], service=e["service"],
+                       kind=e["kind"], before=e["before"],
+                       after=e["after"])
+            for e in payload["scale_events"]
+        ],
+        adaptation_actions=[
+            AdaptationAction(time=a["time"], target=a["target"],
+                             before=a["before"], after=a["after"],
+                             method=a["method"], trigger=a["trigger"],
+                             threshold=a["threshold"])
+            for a in payload["adaptation_actions"]
+        ],
+        total_submitted=payload["total_submitted"],
+    )
+
+
+def save_result(path: str, result: ScenarioResult) -> None:
+    """Write a result to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle)
+
+
+def load_result(path: str) -> ScenarioResult:
+    """Read a result previously written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_dict(json.load(handle))

@@ -1,0 +1,104 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper
+as text: tables as aligned ASCII grids, figure panels as sampled series
+columns (suitable for eyeballing shape and for piping to a plotter).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+
+def ascii_table(headers: _t.Sequence[str],
+                rows: _t.Sequence[_t.Sequence[object]],
+                title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    cells += [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def series_table(columns: dict[str, tuple[np.ndarray, np.ndarray]],
+                 *, step: float, until: float,
+                 time_label: str = "t[s]",
+                 title: str | None = None) -> str:
+    """Render several time series resampled onto a shared time grid.
+
+    Args:
+        columns: label -> (times, values) series.
+        step: output grid spacing (seconds).
+        until: grid extent.
+        time_label: heading of the time column.
+        title: optional heading line.
+    """
+    grid = np.arange(0.0, until + step / 2, step)
+    headers = [time_label] + list(columns)
+    rows = []
+    for t in grid:
+        row: list[object] = [f"{t:.0f}"]
+        for times, values in columns.values():
+            row.append(_sample_at(times, values, t, step))
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def _sample_at(times: np.ndarray, values: np.ndarray, t: float,
+               step: float) -> float:
+    if times.size == 0:
+        return float("nan")
+    mask = (times >= t - step / 2) & (times < t + step / 2)
+    if not mask.any():
+        index = int(np.argmin(np.abs(times - t)))
+        return float(values[index])
+    window = values[mask]
+    window = window[~np.isnan(window)]
+    if window.size == 0:
+        return float("nan")
+    return float(np.mean(window))
+
+
+def sparkline(values: _t.Sequence[float], width: int = 60) -> str:
+    """A one-line unicode sketch of a series (quick shape checks)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    array = np.asarray([v for v in values if v == v], dtype=float)
+    if array.size == 0:
+        return ""
+    if array.size > width:
+        edges = np.linspace(0, array.size, width + 1).astype(int)
+        array = np.asarray([array[a:b].mean() if b > a else array[min(a, array.size - 1)]
+                            for a, b in zip(edges[:-1], edges[1:])])
+    low, high = float(array.min()), float(array.max())
+    if high == low:
+        return blocks[0] * array.size
+    scaled = (array - low) / (high - low) * (len(blocks) - 1)
+    return "".join(blocks[int(round(s))] for s in scaled)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ``a / b`` (0 when b is 0) for speedup columns."""
+    return a / b if b else 0.0

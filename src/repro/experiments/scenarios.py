@@ -1,0 +1,201 @@
+"""Pre-wired experiment scenarios matching the paper's evaluation.
+
+Two families:
+
+- **Sock Shop / Cart** (§5.2, Figs. 10-11, Tables 2-3): the Cart
+  service's thread pool under vertical scaling (FIRM or K8s VPA), with
+  Sora / ConScale / no concurrency adaptation.
+- **Social Network / Post Storage** (§5.3, Fig. 12): the request
+  connection pool from Home-Timeline to Post Storage under horizontal
+  scaling (K8s HPA), with mid-run system-state drift.
+
+All scales are laptop-sized: the paper's 3500-user, 12-minute traces
+map to a few hundred users over a few simulated minutes (the
+controllers are rate- and duration-invariant).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.app.topologies import (
+    HEAVY_POSTS,
+    build_social_network,
+    build_sock_shop,
+    set_request_weight,
+)
+from repro.autoscalers import (
+    FirmAutoscaler,
+    HorizontalPodAutoscaler,
+    NullAutoscaler,
+    VerticalPodAutoscaler,
+)
+from repro.core import (
+    ClientPoolTarget,
+    ConScaleController,
+    MonitoringModule,
+    SoraController,
+    ThreadPoolTarget,
+)
+from repro.experiments.harness import Scenario
+from repro.sim import Environment, RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+ControllerKind = _t.Literal["sora", "conscale", "none"]
+AutoscalerKind = _t.Literal["firm", "vpa", "hpa", "none"]
+
+
+def sock_shop_cart_scenario(
+        *, trace: WorkloadTrace, sla: float = 0.4,
+        controller: ControllerKind = "none",
+        autoscaler: AutoscalerKind = "firm",
+        cart_threads: int = 5, cart_cores: float = 2.0,
+        max_cores: float = 4.0, seed: int = 42,
+        name: str | None = None) -> Scenario:
+    """The paper's §5.2 setup: Cart under a bursty trace.
+
+    The Cart thread pool starts at the 2-core optimum (pre-profiled, as
+    in the paper); the hardware autoscaler scales Cart's CPU; the
+    controller (if any) adapts the thread pool.
+    """
+    env = Environment()
+    streams = RandomStreams(seed)
+    app = build_sock_shop(env, streams, cart_threads=cart_threads,
+                          cart_cores=cart_cores)
+    cart = app.service("cart")
+    monitoring = MonitoringModule(env, app)
+    driver = ClosedLoopDriver(env, app, "cart", trace,
+                              streams.stream("driver"), ramp_up=10.0)
+    target = ThreadPoolTarget(cart)
+
+    scaler = _build_autoscaler(autoscaler, env, app, monitoring, cart,
+                               sla=sla, max_cores=max_cores,
+                               request_type="cart")
+    ctrl = _build_controller(controller, env, app, monitoring, [target],
+                             sla=sla, autoscaler=scaler)
+    return Scenario(
+        name=name or f"{trace.name}/{controller}+{autoscaler}",
+        env=env, streams=streams, app=app, monitoring=monitoring,
+        drivers=[driver], request_type="cart", sla=sla,
+        controller=ctrl, autoscaler=scaler, target=target)
+
+
+def sock_shop_catalogue_scenario(
+        *, trace: WorkloadTrace, sla: float = 0.4,
+        controller: ControllerKind = "none",
+        autoscaler: AutoscalerKind = "hpa",
+        db_connections: int = 60, max_replicas: int = 3,
+        seed: int = 42, name: str | None = None) -> Scenario:
+    """The paper's Fig. 1 setup: the Golang Catalogue service under
+    Kubernetes HPA with a (badly sized) DB connection pool.
+
+    Hardware-only HPA scales Catalogue replicas out, but the shared DB
+    connection pool keeps admitting excessive concurrency into
+    catalogue-db, producing the response-time spikes of Fig. 1; Sora
+    re-sizes the pool online.
+    """
+    env = Environment()
+    streams = RandomStreams(seed)
+    app = build_sock_shop(env, streams,
+                          catalogue_db_connections=db_connections)
+    catalogue = app.service("catalogue")
+    catalogue_db = app.service("catalogue-db")
+    monitoring = MonitoringModule(env, app)
+    driver = ClosedLoopDriver(env, app, "catalogue", trace,
+                              streams.stream("driver"), ramp_up=10.0)
+    target = ClientPoolTarget(catalogue, "db", catalogue_db)
+
+    scaler = _build_autoscaler(autoscaler, env, app, monitoring,
+                               catalogue, sla=sla,
+                               max_replicas=max_replicas,
+                               request_type="catalogue")
+    ctrl = _build_controller(controller, env, app, monitoring, [target],
+                             sla=sla, autoscaler=scaler)
+    return Scenario(
+        name=name or f"{trace.name}/{controller}+{autoscaler}/catalogue",
+        env=env, streams=streams, app=app, monitoring=monitoring,
+        drivers=[driver], request_type="catalogue", sla=sla,
+        controller=ctrl, autoscaler=scaler, target=target,
+        extra_probes={
+            "catalogue.busy_cores": lambda: monitoring.busy_cores_over(
+                "catalogue", 1.0),
+            "catalogue.replicas": lambda: float(catalogue.replica_count),
+        })
+
+
+def social_network_drift_scenario(
+        *, trace: WorkloadTrace, sla: float = 0.4,
+        controller: ControllerKind = "none",
+        autoscaler: AutoscalerKind = "hpa",
+        connections: int = 50, drift_at: float | None = None,
+        drift_posts: int = HEAVY_POSTS, max_replicas: int = 4,
+        seed: int = 42, name: str | None = None) -> Scenario:
+    """The paper's §5.3 setup: Read-Home-Timeline under HPA with
+    system-state drift.
+
+    At ``drift_at`` seconds the request type flips from light to heavy
+    (posts fetched per request increases), shifting the optimal
+    connection allocation; Kubernetes HPA scales Post Storage
+    horizontally; the controller (if any) adapts the shared connection
+    pool from Home-Timeline to Post Storage.
+    """
+    env = Environment()
+    streams = RandomStreams(seed)
+    app = build_social_network(env, streams,
+                               post_storage_connections=connections)
+    post_storage = app.service("post-storage")
+    home_timeline = app.service("home-timeline")
+    monitoring = MonitoringModule(env, app)
+    driver = ClosedLoopDriver(env, app, "read_home_timeline", trace,
+                              streams.stream("driver"), ramp_up=10.0)
+    target = ClientPoolTarget(home_timeline, "poststorage", post_storage)
+
+    scaler = _build_autoscaler(autoscaler, env, app, monitoring,
+                               post_storage, sla=sla,
+                               max_replicas=max_replicas,
+                               request_type="read_home_timeline")
+    ctrl = _build_controller(controller, env, app, monitoring, [target],
+                             sla=sla, autoscaler=scaler)
+
+    if drift_at is not None:
+        def drift():
+            yield env.timeout(drift_at)
+            set_request_weight(app, drift_posts)
+        env.process(drift(), name="state-drift")
+
+    return Scenario(
+        name=name or f"{trace.name}/{controller}+{autoscaler}/drift",
+        env=env, streams=streams, app=app, monitoring=monitoring,
+        drivers=[driver], request_type="read_home_timeline", sla=sla,
+        controller=ctrl, autoscaler=scaler, target=target)
+
+
+def _build_autoscaler(kind: AutoscalerKind, env, app, monitoring,
+                      service, *, sla: float, request_type: str,
+                      max_cores: float = 4.0, max_replicas: int = 4):
+    if kind == "firm":
+        return FirmAutoscaler(
+            env, app, monitoring, request_type=request_type, sla=sla,
+            scalable=[service.name], max_cores=max_cores)
+    if kind == "vpa":
+        return VerticalPodAutoscaler(
+            env, service, monitoring, max_cores=max_cores)
+    if kind == "hpa":
+        return HorizontalPodAutoscaler(
+            env, service, monitoring, max_replicas=max_replicas)
+    if kind == "none":
+        return NullAutoscaler(env)
+    raise ValueError(f"unknown autoscaler kind {kind!r}")
+
+
+def _build_controller(kind: ControllerKind, env, app, monitoring,
+                      targets, *, sla: float, autoscaler):
+    if kind == "sora":
+        return SoraController(env, app, monitoring, targets, sla=sla,
+                              autoscaler=autoscaler)
+    if kind == "conscale":
+        return ConScaleController(env, app, monitoring, targets,
+                                  autoscaler=autoscaler)
+    if kind == "none":
+        return None
+    raise ValueError(f"unknown controller kind {kind!r}")

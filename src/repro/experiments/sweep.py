@@ -1,0 +1,62 @@
+"""Parameter sweep utilities.
+
+The evaluation repeatedly answers "what is the goodput-optimal value of
+knob X under workload W?" (Fig. 3's panels, Fig. 9's validations,
+Table 1's ground truths). :func:`sweep` factors that pattern out: run a
+scenario factory across a grid, collect a metric, and report the
+argmax with its margin over the runner-up.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+Value = _t.TypeVar("Value")
+
+
+@dataclass(frozen=True)
+class SweepResult(_t.Generic[Value]):
+    """Outcome of a one-dimensional sweep.
+
+    Attributes:
+        metric_by_value: metric measured at each grid point.
+        best: the argmax grid point.
+        margin: best metric divided by the runner-up's (1.0 = tie).
+    """
+
+    metric_by_value: dict[Value, float]
+    best: Value
+    margin: float
+
+    @property
+    def is_tie(self) -> bool:
+        """Whether the sweep failed to separate the grid (margin < 3%)."""
+        return self.margin < 1.03
+
+    def normalized(self) -> dict[Value, float]:
+        """Metric scaled so the best point is 1.0."""
+        peak = self.metric_by_value[self.best] or 1.0
+        return {value: metric / peak
+                for value, metric in self.metric_by_value.items()}
+
+
+def sweep(grid: _t.Sequence[Value],
+          measure: _t.Callable[[Value], float]) -> SweepResult[Value]:
+    """Measure ``measure(value)`` at each grid point; find the best.
+
+    ``measure`` should be a pure function of the grid value (build the
+    scenario, run it, return goodput).
+    """
+    if not grid:
+        raise ValueError("empty grid")
+    metric_by_value = {value: float(measure(value)) for value in grid}
+    ranked = sorted(metric_by_value, key=metric_by_value.get,
+                    reverse=True)
+    best = ranked[0]
+    if len(ranked) > 1 and metric_by_value[ranked[1]] > 0:
+        margin = metric_by_value[best] / metric_by_value[ranked[1]]
+    else:
+        margin = float("inf") if metric_by_value[best] > 0 else 1.0
+    return SweepResult(metric_by_value=metric_by_value, best=best,
+                       margin=margin)

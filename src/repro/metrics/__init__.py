@@ -1,0 +1,29 @@
+"""Fine-grained performance metrics: samplers, summaries, MAPE."""
+
+from repro.metrics.mape import mape
+from repro.metrics.sampler import (
+    ConcurrencyGoodputSampler,
+    IntervalSampler,
+    TimeSeries,
+)
+from repro.metrics.summary import (
+    GoodputSplit,
+    LatencySummary,
+    bucketed_percentile,
+    bucketed_rate,
+    goodput_split,
+    response_time_histogram,
+)
+
+__all__ = [
+    "ConcurrencyGoodputSampler",
+    "GoodputSplit",
+    "IntervalSampler",
+    "LatencySummary",
+    "TimeSeries",
+    "bucketed_percentile",
+    "bucketed_rate",
+    "goodput_split",
+    "mape",
+    "response_time_histogram",
+]

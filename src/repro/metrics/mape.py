@@ -1,0 +1,25 @@
+"""Mean Absolute Percentage Error (paper Table 1)."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+
+def mape(actual: _t.Sequence[float] | np.ndarray,
+         predicted: _t.Sequence[float] | np.ndarray) -> float:
+    """MAPE in percent: ``100/n * sum(|A - P| / |A|)``.
+
+    Raises on length mismatch, empty input, or zero actual values (the
+    metric is undefined there).
+    """
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise ValueError("MAPE of empty input is undefined")
+    if np.any(a == 0):
+        raise ValueError("MAPE is undefined when an actual value is zero")
+    return float(100.0 * np.mean(np.abs((a - p) / a)))

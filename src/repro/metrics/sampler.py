@@ -1,0 +1,183 @@
+"""Fine-grained online samplers.
+
+The SCG/SCT models consume ``<concurrency, goodput>`` pairs sampled at a
+fixed interval (100 ms by default, §3.2 / Table 1). The samplers here
+are simulation processes that poll live objects and keep a bounded
+time-indexed record that window queries slice efficiently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+import numpy as np
+
+from repro.sim.engine import Environment
+
+
+class TimeSeries:
+    """An append-only time series with window slicing."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record one observation (times must be non-decreasing)."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time {time} precedes last sample {self._times[-1]}")
+        self._times.append(time)
+        self._values.append(value)
+
+    def window(self, since: float = 0.0, until: float = float("inf")
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` with ``since <= t < until``."""
+        lo = bisect.bisect_left(self._times, since)
+        hi = bisect.bisect_left(self._times, until)
+        return np.asarray(self._times[lo:hi]), np.asarray(self._values[lo:hi])
+
+    def latest(self) -> tuple[float, float]:
+        """The most recent ``(time, value)``."""
+        if not self._times:
+            raise ValueError("empty time series")
+        return self._times[-1], self._values[-1]
+
+    def prune(self, before: float) -> None:
+        """Drop samples older than ``before``."""
+        cut = bisect.bisect_left(self._times, before)
+        if cut:
+            del self._times[:cut]
+            del self._values[:cut]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+class IntervalSampler:
+    """Polls a callable every ``interval`` seconds into a TimeSeries.
+
+    Args:
+        env: simulation environment.
+        probe: zero-argument callable returning the current value.
+        interval: sampling period in seconds.
+        name: label for debugging.
+    """
+
+    def __init__(self, env: Environment, probe: _t.Callable[[], float],
+                 interval: float = 0.1, name: str = "sampler") -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.probe = probe
+        self.interval = interval
+        self.name = name
+        self.series = TimeSeries()
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._loop(), name=f"sampler:{self.name}")
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            self.series.append(self.env.now, float(self.probe()))
+            yield self.env.timeout(self.interval)
+
+
+class ConcurrencyGoodputSampler:
+    """Samples ``<Q_n, GP_n>`` pairs at a fixed granularity (§3.2).
+
+    Every tick it records the *mean* concurrency ``Q`` of the monitored
+    soft resource over the elapsed interval (by differencing a
+    cumulative concurrency-seconds integral) and the goodput ``GP`` over
+    the same interval — completions whose residence time met the
+    (possibly time-varying) response-time threshold, as a rate in
+    requests/second. The threshold provider makes the same sampler serve
+    both the SCG model (propagated deadline) and the SCT baseline
+    (``inf``: goodput degenerates to throughput).
+
+    Args:
+        env: simulation environment.
+        concurrency_integral: returns cumulative concurrency-seconds up
+            to now; the sampler differences consecutive readings.
+        completion_source: ``(since, until) -> np.ndarray`` of residence
+            times for completions in the window (e.g. a closure over
+            :meth:`ServiceMetrics.completions`).
+        threshold_provider: returns the current RT threshold in seconds.
+        interval: sampling granularity (default 100 ms).
+    """
+
+    def __init__(self, env: Environment,
+                 concurrency_integral: _t.Callable[[], float],
+                 completion_source: _t.Callable[[float, float], np.ndarray],
+                 threshold_provider: _t.Callable[[], float],
+                 interval: float = 0.1, name: str = "scg-sampler") -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.concurrency_integral = concurrency_integral
+        self.completion_source = completion_source
+        self.threshold_provider = threshold_provider
+        self.interval = interval
+        self.name = name
+        self.concurrency = TimeSeries()
+        self.goodput = TimeSeries()
+        self.throughput = TimeSeries()
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._loop(), name=f"sampler:{self.name}")
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._running = False
+
+    def pairs(self, since: float = 0.0, until: float = float("inf"),
+              use_threshold: bool = True
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """``(Q, GP)`` sample pairs in the window (or ``(Q, TP)`` when
+        ``use_threshold`` is false)."""
+        _t1, concurrency = self.concurrency.window(since, until)
+        output = self.goodput if use_threshold else self.throughput
+        _t2, rates = output.window(since, until)
+        size = min(len(concurrency), len(rates))
+        return concurrency[:size], rates[:size]
+
+    def prune(self, before: float) -> None:
+        """Drop samples older than ``before``."""
+        self.concurrency.prune(before)
+        self.goodput.prune(before)
+        self.throughput.prune(before)
+
+    def _loop(self):
+        last = self.env.now
+        last_integral = float(self.concurrency_integral())
+        while self._running:
+            yield self.env.timeout(self.interval)
+            now = self.env.now
+            latencies = self.completion_source(last, now)
+            threshold = self.threshold_provider()
+            elapsed = now - last
+            good = float(np.count_nonzero(
+                np.asarray(latencies) <= threshold))
+            total = float(np.asarray(latencies).size)
+            integral = float(self.concurrency_integral())
+            self.concurrency.append(
+                now, (integral - last_integral) / elapsed)
+            self.goodput.append(now, good / elapsed)
+            self.throughput.append(now, total / elapsed)
+            last = now
+            last_integral = integral

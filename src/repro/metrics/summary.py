@@ -1,0 +1,149 @@
+"""Latency summaries: percentiles, goodput/badput, bucketed series.
+
+Implements the paper's simplified SLA model (§2.3): requests whose
+end-to-end response time is at or below a threshold count as *goodput*;
+the rest are *badput*; their sum is the classic throughput.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a set of response times (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: _t.Sequence[float] | np.ndarray
+                    ) -> "LatencySummary":
+        """Summarize ``values`` (empty input yields all-zero summary)."""
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                       maximum=0.0)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            p50=float(np.percentile(array, 50)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+            maximum=float(array.max()),
+        )
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Unit conversion helper (e.g. seconds -> milliseconds)."""
+        return LatencySummary(
+            count=self.count, mean=self.mean * factor,
+            p50=self.p50 * factor, p95=self.p95 * factor,
+            p99=self.p99 * factor, maximum=self.maximum * factor)
+
+
+@dataclass(frozen=True)
+class GoodputSplit:
+    """Goodput/badput decomposition over a window (rates in req/s)."""
+
+    goodput: float
+    badput: float
+    threshold: float
+
+    @property
+    def throughput(self) -> float:
+        """Total completion rate: goodput + badput."""
+        return self.goodput + self.badput
+
+
+def goodput_split(latencies: _t.Sequence[float] | np.ndarray,
+                  threshold: float, duration: float) -> GoodputSplit:
+    """Split completions into goodput and badput rates.
+
+    Args:
+        latencies: response times of completions in the window.
+        threshold: the SLA response-time threshold (seconds).
+        duration: window length (seconds).
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    array = np.asarray(latencies, dtype=float)
+    good = int(np.count_nonzero(array <= threshold))
+    bad = int(array.size - good)
+    return GoodputSplit(goodput=good / duration, badput=bad / duration,
+                        threshold=threshold)
+
+
+def bucketed_rate(times: np.ndarray, *, interval: float, since: float,
+                  until: float,
+                  predicate: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Event rate per fixed-width bucket.
+
+    Args:
+        times: event timestamps (sorted or not).
+        interval: bucket width in seconds.
+        since/until: series extent (buckets cover ``[since, until)``).
+        predicate: optional boolean mask — only counted events.
+
+    Returns:
+        ``(bucket_centers, rates)`` arrays.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if until <= since:
+        raise ValueError(f"empty window [{since}, {until})")
+    times = np.asarray(times, dtype=float)
+    if predicate is not None:
+        times = times[np.asarray(predicate, dtype=bool)]
+    edges = np.arange(since, until + interval, interval)
+    counts, _ = np.histogram(times, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts / interval
+
+
+def bucketed_percentile(times: np.ndarray, values: np.ndarray, *,
+                        interval: float, since: float, until: float,
+                        q: float = 95.0
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bucket percentile of ``values`` (e.g. RT over time plots).
+
+    Empty buckets yield NaN so plots show gaps rather than zeros.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    edges = np.arange(since, until + interval, interval)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    result = np.full(centers.shape, np.nan)
+    indexes = np.digitize(times, edges) - 1
+    for bucket in range(len(centers)):
+        mask = indexes == bucket
+        if mask.any():
+            result[bucket] = np.percentile(values[mask], q)
+    return centers, result
+
+
+def response_time_histogram(latencies: np.ndarray, *, bin_width: float,
+                            maximum: float
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Frequency histogram of response times (paper Fig. 4 semi-log).
+
+    Returns ``(bin_centers, counts)``; latencies above ``maximum`` land
+    in the last bin.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    array = np.clip(np.asarray(latencies, dtype=float), 0.0, maximum)
+    edges = np.arange(0.0, maximum + bin_width, bin_width)
+    counts, _ = np.histogram(array, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts

@@ -1,0 +1,12 @@
+"""Hardware and soft resource models.
+
+- :class:`ProcessorSharingCpu` — core-limited CPU with context-switch
+  overhead (the hardware resource that autoscalers scale).
+- :class:`SoftResourcePool` — thread/connection pools (the soft resource
+  that Sora adapts).
+"""
+
+from repro.resources.cpu import ProcessorSharingCpu
+from repro.resources.pool import PoolRequest, SoftResourcePool
+
+__all__ = ["PoolRequest", "ProcessorSharingCpu", "SoftResourcePool"]

@@ -1,0 +1,199 @@
+"""Soft resource pools: the objects Sora adapts.
+
+A :class:`SoftResourcePool` models any concurrency-gating software
+resource — a server thread pool, a database connection pool, or an RPC
+client connection pool. It is a counted token gate with a FIFO admission
+queue:
+
+- ``acquire()`` returns an event that succeeds once a token is granted;
+  requests that find the pool exhausted wait in arrival order.
+- ``release()`` returns a token and wakes the head waiter.
+- ``resize()`` changes the capacity online. Growth grants queued waiters
+  immediately; shrinkage is *lazy* — outstanding tokens above the new
+  capacity are reclaimed as they are released, exactly how a live thread
+  pool drains surplus workers.
+
+The pool keeps the statistics the SCG/SCT models sample: instantaneous
+concurrency (tokens in use), queue length, and waiting-time accounting.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class PoolRequest(Event):
+    """A pending or granted acquisition; also the event to wait on."""
+
+    __slots__ = ("enqueued_at", "granted_at", "cancelled")
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self.enqueued_at = env.now
+        self.granted_at: float | None = None
+        self.cancelled = False
+
+    @property
+    def wait_time(self) -> float:
+        """Seconds spent queued before the grant (0 if ungranted)."""
+        if self.granted_at is None:
+            return 0.0
+        return self.granted_at - self.enqueued_at
+
+
+class SoftResourcePool:
+    """A resizable counted token gate with FIFO admission.
+
+    Args:
+        env: simulation environment.
+        capacity: initial number of tokens.
+        name: label for metrics and error messages ("cart.threads", ...).
+    """
+
+    def __init__(self, env: Environment, capacity: int,
+                 name: str = "pool") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self._capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: deque[PoolRequest] = deque()
+
+        # Cumulative counters for monitors.
+        self.total_requests = 0
+        self.total_granted = 0
+        self.total_wait_time = 0.0
+        self._in_use_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_update = env.now
+        self._resize_log: list[tuple[float, int]] = [(env.now, capacity)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Current allocated pool size."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Tokens currently held — the service's *concurrency*."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a token."""
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        """Tokens free to grant right now."""
+        return max(0, self._capacity - self._in_use)
+
+    @property
+    def resize_log(self) -> list[tuple[float, int]]:
+        """``(time, capacity)`` records of every resize, oldest first."""
+        return list(self._resize_log)
+
+    def in_use_integral(self) -> float:
+        """Cumulative token-seconds held up to now.
+
+        Differencing this across a sampling interval yields the
+        interval's *mean* concurrency — the ``Q`` of the SCG model's
+        ``<Q, GP>`` pairs.
+        """
+        self._integrate()
+        return self._in_use_integral
+
+    def mean_in_use(self, duration: float | None = None) -> float:
+        """Time-averaged concurrency since creation (or over ``duration``
+        ending now, computed by the caller via differencing)."""
+        self._integrate()
+        elapsed = duration if duration is not None else self.env.now
+        if elapsed <= 0:
+            return 0.0
+        return self._in_use_integral / elapsed
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def acquire(self) -> PoolRequest:
+        """Request a token; the returned event succeeds when granted."""
+        self._integrate()
+        request = PoolRequest(self.env)
+        self.total_requests += 1
+        if self._in_use < self._capacity and not self._waiters:
+            self._grant(request)
+        else:
+            self._waiters.append(request)
+        return request
+
+    def release(self) -> None:
+        """Return a token; wakes the head waiter if capacity allows."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"pool {self.name!r}: release without acquire")
+        self._integrate()
+        self._in_use -= 1
+        self._grant_waiters()
+
+    def cancel(self, request: PoolRequest) -> None:
+        """Abandon a queued (ungranted) request.
+
+        Safe to call on granted requests only if the caller will not also
+        release; granted requests must be released instead.
+        """
+        if request.granted_at is not None:
+            raise RuntimeError(
+                f"pool {self.name!r}: cannot cancel a granted request")
+        request.cancelled = True
+        # Physically removed lazily by _grant_waiters.
+
+    def resize(self, capacity: int) -> None:
+        """Change the pool size online (grow grants waiters; shrink is
+        lazy)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity == self._capacity:
+            return
+        self._integrate()
+        self._capacity = int(capacity)
+        self._resize_log.append((self.env.now, self._capacity))
+        self._grant_waiters()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grant(self, request: PoolRequest) -> None:
+        self._in_use += 1
+        request.granted_at = self.env.now
+        self.total_granted += 1
+        self.total_wait_time += request.wait_time
+        request.succeed()
+
+    def _grant_waiters(self) -> None:
+        while self._waiters and self._in_use < self._capacity:
+            request = self._waiters.popleft()
+            if request.cancelled:
+                continue
+            self._grant(request)
+        # Trim cancelled requests at the head so queue_length stays honest.
+        while self._waiters and self._waiters[0].cancelled:
+            self._waiters.popleft()
+
+    def _integrate(self) -> None:
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0:
+            self._in_use_integral += self._in_use * dt
+            self._queue_integral += len(self._waiters) * dt
+        self._last_update = now
+
+    def __repr__(self) -> str:
+        return (f"<SoftResourcePool {self.name!r} {self._in_use}/"
+                f"{self._capacity} queued={len(self._waiters)}>")

@@ -1,0 +1,57 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic SimPy-style kernel: an :class:`Environment`
+event loop, generator-based :class:`Process` coroutines, and named
+reproducible random streams.
+"""
+
+from repro.sim.distributions import (
+    Constant,
+    Distribution,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Scaled,
+    Uniform,
+    Weibull,
+)
+from repro.sim.engine import NORMAL, URGENT, Environment
+from repro.sim.errors import (
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+    UnhandledProcessError,
+)
+from repro.sim.events import Condition, Event, Timeout, all_of, any_of
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Condition",
+    "Constant",
+    "Distribution",
+    "Environment",
+    "Erlang",
+    "Event",
+    "EventAlreadyTriggered",
+    "Exponential",
+    "Interrupt",
+    "LogNormal",
+    "NORMAL",
+    "Pareto",
+    "Process",
+    "ProcessGenerator",
+    "RandomStreams",
+    "Scaled",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "URGENT",
+    "Uniform",
+    "UnhandledProcessError",
+    "Weibull",
+    "all_of",
+    "any_of",
+]

@@ -1,0 +1,231 @@
+"""Service-time and think-time distributions.
+
+A :class:`Distribution` is a tiny sampling object bound to nothing: the
+random generator is passed at sampling time so the same distribution
+object can be shared across components with distinct streams.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+
+class Distribution(abc.ABC):
+    """A non-negative continuous distribution."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The distribution's expected value."""
+
+    def scaled(self, factor: float) -> "Scaled":
+        """This distribution with all draws multiplied by ``factor``."""
+        return Scaled(self, factor)
+
+
+class Constant(Distribution):
+    """A degenerate distribution that always returns ``value``."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative value {value}")
+        self._value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Constant({self._value})"
+
+
+class Exponential(Distribution):
+    """Exponential distribution parameterized by its mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"non-positive mean {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterized by mean and coefficient of
+    variation — the natural shape for request service times, which are
+    right-skewed with a long tail."""
+
+    def __init__(self, mean: float, cv: float = 0.5) -> None:
+        if mean <= 0:
+            raise ValueError(f"non-positive mean {mean}")
+        if cv <= 0:
+            raise ValueError(f"non-positive cv {cv}")
+        self._mean = float(mean)
+        self._cv = float(cv)
+        sigma2 = math.log(1.0 + cv * cv)
+        self._sigma = math.sqrt(sigma2)
+        self._mu = math.log(mean) - sigma2 / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self._sigma))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stddev / mean)."""
+        return self._cv
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean}, cv={self._cv})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid range [{low}, {high}]")
+        self._low = float(low)
+        self._high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self._low, self._high))
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self._low}, {self._high})"
+
+
+class Erlang(Distribution):
+    """Erlang-k distribution parameterized by shape ``k`` and mean —
+    lower variance than exponential, useful for disciplined backends."""
+
+    def __init__(self, k: int, mean: float) -> None:
+        if k < 1:
+            raise ValueError(f"shape must be >= 1, got {k}")
+        if mean <= 0:
+            raise ValueError(f"non-positive mean {mean}")
+        self._k = int(k)
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self._k, self._mean / self._k))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self._k}, mean={self._mean})"
+
+
+class Pareto(Distribution):
+    """Pareto (Lomax-style, shifted) distribution — heavy-tailed service
+    times for worst-case tail experiments.
+
+    Parameterized by mean and shape ``alpha > 1`` (smaller alpha means
+    a heavier tail); samples are ``x_m * U^(-1/alpha)`` with ``x_m``
+    chosen so the mean matches.
+    """
+
+    def __init__(self, mean: float, alpha: float = 2.5) -> None:
+        if mean <= 0:
+            raise ValueError(f"non-positive mean {mean}")
+        if alpha <= 1.0:
+            raise ValueError(
+                f"alpha must exceed 1 for a finite mean, got {alpha}")
+        self._mean = float(mean)
+        self._alpha = float(alpha)
+        self._scale = mean * (alpha - 1.0) / alpha  # x_m
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._scale * (1.0 + rng.pareto(self._alpha)))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def alpha(self) -> float:
+        """Tail index (smaller = heavier)."""
+        return self._alpha
+
+    def __repr__(self) -> str:
+        return f"Pareto(mean={self._mean}, alpha={self._alpha})"
+
+
+class Weibull(Distribution):
+    """Weibull distribution parameterized by mean and shape ``k`` —
+    sub-exponential tails for ``k < 1``, disciplined for ``k > 1``."""
+
+    def __init__(self, mean: float, k: float = 1.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"non-positive mean {mean}")
+        if k <= 0:
+            raise ValueError(f"non-positive shape {k}")
+        self._mean = float(mean)
+        self._k = float(k)
+        self._scale = mean / math.gamma(1.0 + 1.0 / k)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._scale * rng.weibull(self._k))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def k(self) -> float:
+        """Shape parameter."""
+        return self._k
+
+    def __repr__(self) -> str:
+        return f"Weibull(mean={self._mean}, k={self._k})"
+
+
+class Scaled(Distribution):
+    """A distribution whose draws are multiplied by a constant factor.
+
+    Used to model *state drift* (e.g. heavier requests after a dataset
+    grows) without rebuilding the underlying distribution.
+    """
+
+    def __init__(self, base: Distribution, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"non-positive factor {factor}")
+        self._base = base
+        self._factor = float(factor)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._base.sample(rng) * self._factor
+
+    @property
+    def mean(self) -> float:
+        return self._base.mean * self._factor
+
+    def __repr__(self) -> str:
+        return f"Scaled({self._base!r}, factor={self._factor})"

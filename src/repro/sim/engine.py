@@ -1,0 +1,165 @@
+"""The discrete-event simulation environment (event loop).
+
+:class:`Environment` owns the simulated clock and the event heap. All
+other kernel objects (events, timeouts, processes) are created through
+its factory methods so user code rarely imports anything else::
+
+    env = Environment()
+    env.process(my_generator(env))
+    env.run(until=600.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.sim.errors import StopSimulation, UnhandledProcessError
+from repro.sim.events import Condition, Event, Timeout, all_of, any_of
+from repro.sim.process import Process, ProcessGenerator
+
+#: Scheduling priorities: URGENT events process before NORMAL ones that
+#: share the same timestamp (used for bookkeeping that must observe state
+#: before user processes run).
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Process | None = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Sequence[Event]) -> Condition:
+        """Condition satisfied once all ``events`` succeed."""
+        return all_of(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> Condition:
+        """Condition satisfied once any of ``events`` succeeds."""
+        return any_of(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling / stepping
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Put a triggered event onto the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._eid), event))
+
+    def call_at(self, when: float, callback: _t.Callable[[], None],
+                priority: int = NORMAL) -> Event:
+        """Run ``callback()`` at absolute simulated time ``when``.
+
+        Returns the underlying event; the callback can be descheduled by
+        simply ignoring the event (see lazy invalidation in
+        :mod:`repro.resources.cpu`).
+        """
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        event = Event(self)
+        event.callbacks.append(lambda _e: callback())
+        event._ok = True
+        event._value = None
+        heapq.heappush(self._heap, (when, priority, next(self._eid), event))
+        return event
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _prio, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            cause = _t.cast(BaseException, event._value)
+            error = UnhandledProcessError(
+                f"unhandled failure in simulation at t={when:.6f}: {cause!r}")
+            raise error from cause
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the event loop.
+
+        Args:
+            until: stop criterion — an absolute time, an event (stop when it
+                triggers, returning its value), or ``None`` to exhaust all
+                events.
+
+        Returns:
+            The value of ``until`` when it is an event, else ``None``.
+        """
+        stop_event: Event | None = None
+        horizon = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.add_callback(self._stop_callback)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})")
+
+        try:
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+        except StopSimulation:
+            pass
+
+        if stop_event is not None:
+            if stop_event.processed:
+                if not stop_event.ok:
+                    raise _t.cast(BaseException, stop_event.value)
+                return stop_event.value
+            raise RuntimeError(
+                "run() ran out of events before the stop event triggered")
+        if horizon != float("inf"):
+            self._now = horizon
+        return None
+
+    @staticmethod
+    def _stop_callback(_event: Event) -> None:
+        raise StopSimulation

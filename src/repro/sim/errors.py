@@ -1,0 +1,41 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early.
+
+    User code can raise it from within a process to stop the event loop;
+    :meth:`Environment.run` catches it and returns normally.
+    """
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class UnhandledProcessError(SimulationError):
+    """A process crashed and no other process was waiting on it.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    Attributes:
+        cause: arbitrary value passed to ``interrupt()`` describing why.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,183 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic SimPy design: an :class:`Event` is a
+one-shot container for a value (or an exception) plus a list of callbacks
+that the :class:`~repro.sim.engine.Environment` invokes when the event is
+processed. Processes (see :mod:`repro.sim.process`) are generators that
+``yield`` events to wait for them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.errors import EventAlreadyTriggered
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+#: Sentinel marking an event that has not yet been triggered.
+PENDING: object = object()
+
+Callback = _t.Callable[["Event"], None]
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called,
+    which also schedules it onto the environment's event heap. When the
+    environment pops it, the event is *processed*: all registered callbacks
+    run exactly once and further callback registration is illegal.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks to invoke on processing; ``None`` once processed.
+        self.callbacks: _t.Optional[list[Callback]] = []
+        self._value: object = PENDING
+        self._ok: bool = True
+        #: A failed event whose exception was delivered to at least one
+        #: waiter is "defused" and will not crash the event loop.
+        self.defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception when it failed)."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` thrown into them.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the state of ``event`` onto this event (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(_t.cast(BaseException, event._value))
+
+    def add_callback(self, callback: Callback) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} has already been processed")
+        self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callback) -> None:
+        """Unregister a callback previously added (no-op if absent)."""
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds.
+
+    Used through the :func:`all_of` / :func:`any_of` helpers. The condition
+    fails as soon as any child fails.
+    """
+
+    __slots__ = ("_events", "_count", "_needed")
+
+    def __init__(self, env: "Environment", events: _t.Sequence[Event],
+                 needed: int) -> None:
+        super().__init__(env)
+        self._events = tuple(events)
+        self._count = 0
+        self._needed = min(needed, len(self._events))
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        if self._needed == 0:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, object]:
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(_t.cast(BaseException, event._value))
+            return
+        self._count += 1
+        if self._count >= self._needed:
+            self.succeed(self._collect())
+
+
+def all_of(env: "Environment", events: _t.Sequence[Event]) -> Condition:
+    """An event that triggers once *all* ``events`` have succeeded."""
+    return Condition(env, events, needed=len(events))
+
+
+def any_of(env: "Environment", events: _t.Sequence[Event]) -> Condition:
+    """An event that triggers once *any* of ``events`` has succeeded."""
+    return Condition(env, events, needed=1 if events else 0)

@@ -1,0 +1,110 @@
+"""Generator-based simulation processes.
+
+A process is an ordinary Python generator that yields :class:`Event`
+instances; the kernel resumes the generator with the event's value once
+the event is processed. A :class:`Process` is itself an event, so
+processes can wait on each other, e.g.::
+
+    def child(env):
+        yield env.timeout(5)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        assert result == "done"
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event, PENDING
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+ProcessGenerator = _t.Generator[Event, object, object]
+
+
+class Process(Event):
+    """Wraps a generator and steps it through the events it yields."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Event | None = None
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must still be alive and may not interrupt itself.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever we were waiting on, then resume immediately
+        # with a pre-failed event carrying the Interrupt.
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        poke = Event(self.env)
+        poke.callbacks.append(self._resume)
+        poke.defused = True
+        poke.fail(Interrupt(cause))
+
+    def _resume(self, trigger: Event) -> None:
+        env = self.env
+        env._active_process = self
+        self._target = None
+        try:
+            if trigger._ok:
+                target = self._generator.send(
+                    None if trigger._value is PENDING else trigger._value)
+            else:
+                trigger.defused = True
+                target = self._generator.throw(
+                    _t.cast(BaseException, trigger._value))
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self.fail(exc)
+            if isinstance(exc, Interrupt):
+                # A process killed by an uncaught interrupt died
+                # intentionally; only crash the simulation if a waiter
+                # re-raises it, not merely because nobody was watching.
+                self.defused = True
+            return
+        env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {target!r}")
+        if target.processed:
+            # The event already fired; resume on the next kernel step so
+            # that processes never starve the event loop.
+            poke = Event(env)
+            poke.callbacks.append(self._resume)
+            poke.trigger(target)
+        else:
+            self._target = target
+            target.add_callback(self._resume)

@@ -1,0 +1,27 @@
+"""Distributed tracing substrate (Jaeger/Zipkin stand-in).
+
+Spans record per-service arrival/departure timestamps; the
+:class:`TraceWarehouse` indexes finished traces for the SCG model's
+fine-grained metric extraction; :func:`extract_critical_path` finds the
+maximal-duration root-to-leaf chain of a request call tree.
+"""
+
+from repro.tracing.export import export_traces, trace_to_jaeger, write_traces
+from repro.tracing.critical_path import (
+    CriticalPath,
+    critical_path_frequencies,
+    extract_critical_path,
+)
+from repro.tracing.span import Span
+from repro.tracing.warehouse import TraceWarehouse
+
+__all__ = [
+    "CriticalPath",
+    "Span",
+    "TraceWarehouse",
+    "critical_path_frequencies",
+    "export_traces",
+    "extract_critical_path",
+    "trace_to_jaeger",
+    "write_traces",
+]

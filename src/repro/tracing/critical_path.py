@@ -1,0 +1,101 @@
+"""Critical path extraction from request call trees.
+
+A *critical path* of a call graph is the path of maximal duration that
+starts with the user request and ends with the final response (paper
+§3.1, footnote 1). Under synchronous RPC semantics the parent span
+always encloses its children, so the path is built top-down: at each
+span, descend into the child whose completion *determines* the parent's
+critical timing — the longest child among each group of time-overlapping
+(parallel) children; with purely sequential children, the longest child
+is the one that dominates the parent's variability.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.tracing.span import Span
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """An ordered root-to-leaf chain of spans with timing attribution."""
+
+    spans: tuple[Span, ...]
+
+    @property
+    def services(self) -> tuple[str, ...]:
+        """Service names along the path, root first."""
+        return tuple(span.service for span in self.spans)
+
+    @property
+    def duration(self) -> float:
+        """End-to-end duration of the path (root residence time)."""
+        return self.spans[0].duration
+
+    def self_times(self) -> dict[str, float]:
+        """Per-service processing time (:math:`PT_{s_i}`) along the path."""
+        return {span.service: span.self_time() for span in self.spans}
+
+    def upstream_of(self, service: str) -> tuple[Span, ...]:
+        """Spans strictly above ``service`` on the path (its upstreams)."""
+        result: list[Span] = []
+        for span in self.spans:
+            if span.service == service:
+                return tuple(result)
+            result.append(span)
+        raise ValueError(f"{service!r} is not on this critical path")
+
+    def __contains__(self, service: str) -> bool:
+        return any(span.service == service for span in self.spans)
+
+
+def _dominant_child(span: Span) -> Span | None:
+    """The child that contributes most to this span's critical timing."""
+    finished = [c for c in span.children if c.finished]
+    if not finished:
+        return None
+    # Group children into overlapping (parallel) clusters; the cluster
+    # ending last gates the parent's completion, and within it the
+    # longest child is critical.
+    finished.sort(key=lambda c: c.arrival)
+    clusters: list[list[Span]] = []
+    cluster_end = -float("inf")
+    for child in finished:
+        if not clusters or child.arrival >= cluster_end:
+            clusters.append([child])
+            cluster_end = _t.cast(float, child.departure)
+        else:
+            clusters[-1].append(child)
+            cluster_end = max(cluster_end, _t.cast(float, child.departure))
+    last_cluster = clusters[-1]
+    return max(last_cluster, key=lambda c: c.duration)
+
+
+def extract_critical_path(root: Span) -> CriticalPath:
+    """Walk the call tree from ``root`` and return its critical path."""
+    if not root.finished:
+        raise ValueError("trace is not finished")
+    chain = [root]
+    node: Span | None = root
+    while node is not None:
+        node = _dominant_child(node)
+        if node is not None:
+            chain.append(node)
+    return CriticalPath(spans=tuple(chain))
+
+
+def critical_path_frequencies(
+        roots: _t.Iterable[Span]) -> dict[tuple[str, ...], int]:
+    """How often each distinct critical path occurred in ``roots``.
+
+    Useful for observing the paper's point that call graphs are dynamic:
+    the same request type can exercise different critical paths run to
+    run (Fig. 5).
+    """
+    counts: dict[tuple[str, ...], int] = {}
+    for root in roots:
+        path = extract_critical_path(root).services
+        counts[path] = counts.get(path, 0) + 1
+    return counts

@@ -1,0 +1,79 @@
+"""Trace export in a Jaeger-compatible JSON shape.
+
+The paper's monitoring stack stores OpenTracing spans via Jaeger; this
+module serializes simulated traces into the same structure Jaeger's
+HTTP API returns (``data[].spans[]`` with microsecond timestamps and
+``CHILD_OF`` references), so external tooling — or a human with `jq` —
+can inspect simulated request flows exactly like production ones.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from repro.tracing.span import Span
+
+#: Simulated time zero maps to this epoch microsecond (arbitrary but
+#: stable, so exported traces are reproducible byte-for-byte).
+EPOCH_US = 1_600_000_000_000_000
+
+
+def _span_dict(span: Span, trace_id: str) -> dict:
+    start_us = EPOCH_US + int(span.arrival * 1e6)
+    duration_us = int(span.duration * 1e6)
+    references = []
+    if span.parent is not None:
+        references.append({
+            "refType": "CHILD_OF",
+            "traceID": trace_id,
+            "spanID": format(span.parent.span_id, "016x"),
+        })
+    tags = [
+        {"key": "operation", "type": "string", "value": span.operation},
+        {"key": "queue_wait_us", "type": "int64",
+         "value": int(span.queue_wait * 1e6)},
+        {"key": "self_time_us", "type": "int64",
+         "value": int(span.self_time() * 1e6)},
+    ]
+    if span.replica is not None:
+        tags.append({"key": "replica", "type": "string",
+                     "value": span.replica})
+    return {
+        "traceID": trace_id,
+        "spanID": format(span.span_id, "016x"),
+        "operationName": f"{span.service}.{span.operation}",
+        "references": references,
+        "startTime": start_us,
+        "duration": duration_us,
+        "tags": tags,
+        "processID": span.service,
+    }
+
+
+def trace_to_jaeger(root: Span) -> dict:
+    """One finished trace as a Jaeger ``data[]`` element."""
+    if not root.finished:
+        raise ValueError("cannot export an unfinished trace")
+    trace_id = format(root.trace_id, "032x")
+    spans = [_span_dict(span, trace_id) for span in root.walk()]
+    processes = {
+        span.service: {"serviceName": span.service, "tags": []}
+        for span in root.walk()
+    }
+    return {"traceID": trace_id, "spans": spans, "processes": processes}
+
+
+def export_traces(roots: _t.Iterable[Span], *, indent: int | None = None
+                  ) -> str:
+    """Serialize traces to a Jaeger-API-shaped JSON document."""
+    document = {"data": [trace_to_jaeger(root) for root in roots]}
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def write_traces(path: str, roots: _t.Iterable[Span]) -> int:
+    """Write traces to ``path``; returns the number exported."""
+    data = [trace_to_jaeger(root) for root in roots]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"data": data}, handle, sort_keys=True)
+    return len(data)

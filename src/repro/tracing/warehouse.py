@@ -1,0 +1,105 @@
+"""Trace warehouse: storage and time-window queries over finished traces.
+
+Stands in for the paper's Jaeger collector + Neo4j/Mongo trace warehouse:
+completed request traces (root spans) are appended as they finish, and a
+per-service index of span completions supports the fine-grained metric
+extraction the SCG model performs (arrival/departure timestamps per
+service at millisecond granularity).
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+from collections import deque
+
+from repro.tracing.span import Span
+
+
+class TraceWarehouse:
+    """Bounded store of finished traces with per-service indexes.
+
+    Args:
+        max_traces: ring-buffer capacity; oldest traces are evicted (the
+            real system retains a sliding window of trace data too).
+    """
+
+    def __init__(self, max_traces: int = 200_000) -> None:
+        self._traces: deque[Span] = deque(maxlen=max_traces)
+        # service -> parallel lists (departure_times, spans), kept sorted
+        # by departure since traces arrive in completion order.
+        self._by_service: dict[str, tuple[list[float], list[Span]]] = {}
+        self.total_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def record(self, root: Span) -> None:
+        """Store a finished trace (all spans must have departed)."""
+        if not root.finished:
+            raise ValueError("cannot record an unfinished trace")
+        self._traces.append(root)
+        self.total_recorded += 1
+        for span in root.walk():
+            if span.departure is None:
+                raise ValueError(
+                    f"span {span.service} of trace {span.trace_id} "
+                    "has not finished")
+            times, spans = self._by_service.setdefault(
+                span.service, ([], []))
+            if times and span.departure < times[-1]:
+                index = bisect.bisect_right(times, span.departure)
+                times.insert(index, span.departure)
+                spans.insert(index, span)
+            else:
+                times.append(span.departure)
+                spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def traces(self, since: float = 0.0,
+               until: float = float("inf")) -> list[Span]:
+        """Finished traces whose root departed within ``[since, until)``."""
+        return [root for root in self._traces
+                if since <= _t.cast(float, root.departure) < until]
+
+    def spans_for(self, service: str, since: float = 0.0,
+                  until: float = float("inf")) -> list[Span]:
+        """Spans of ``service`` that departed within ``[since, until)``."""
+        entry = self._by_service.get(service)
+        if entry is None:
+            return []
+        times, spans = entry
+        lo = bisect.bisect_left(times, since)
+        hi = bisect.bisect_left(times, until)
+        return spans[lo:hi]
+
+    def services(self) -> list[str]:
+        """Names of all services observed so far."""
+        return sorted(self._by_service)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(self, before: float) -> int:
+        """Drop traces and index entries that departed before ``before``.
+
+        Long-running monitors call this periodically so memory stays
+        proportional to the analysis window, not the run length.
+        Returns the number of traces dropped.
+        """
+        dropped = 0
+        while self._traces and _t.cast(
+                float, self._traces[0].departure) < before:
+            self._traces.popleft()
+            dropped += 1
+        for service, (times, spans) in self._by_service.items():
+            cut = bisect.bisect_left(times, before)
+            if cut:
+                del times[:cut]
+                del spans[:cut]
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._traces)

@@ -1,0 +1,193 @@
+"""Workload drivers: closed-loop user populations and open-loop arrivals.
+
+The paper drives its benchmarks with the RUBBoS generator: a closed
+loop of simulated users that think, issue an HTTP request, and wait for
+the response, with the population following a bursty trace. The
+:class:`ClosedLoopDriver` reproduces that; :class:`OpenLoopDriver`
+offers rate-driven Poisson arrivals for controlled model-validation
+experiments.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.app.application import Application
+from repro.sim.distributions import Distribution, Exponential
+from repro.sim.engine import Environment
+from repro.workloads.traces import WorkloadTrace
+
+
+class _UserFlag:
+    """Cooperative stop flag handed to each closed-loop user."""
+
+    __slots__ = ("stopped",)
+
+    def __init__(self) -> None:
+        self.stopped = False
+
+
+class ClosedLoopDriver:
+    """A trace-following population of think-submit-wait users.
+
+    Args:
+        env: simulation environment.
+        app: the application under test.
+        request_type: entrypoint to exercise — either a single type
+            name, or a ``{type: weight}`` mix from which each user draws
+            independently per request (the way RUBBoS interleaves page
+            types).
+        trace: user-population trace to follow.
+        rng: random generator (think times and mix draws).
+        think_time: per-user think-time distribution (default Exp(1 s),
+            the classic RUBBoS setting).
+        control_interval: how often the population is reconciled with
+            the trace.
+        ramp_up: seconds over which the initial population is phased in
+            (avoids an artificial t=0 stampede of simultaneous users
+            into a cold system; 0 disables).
+    """
+
+    def __init__(self, env: Environment, app: Application,
+                 request_type: str | dict[str, float],
+                 trace: WorkloadTrace,
+                 rng: np.random.Generator,
+                 think_time: Distribution | None = None,
+                 control_interval: float = 1.0,
+                 ramp_up: float = 0.0) -> None:
+        if control_interval <= 0:
+            raise ValueError(
+                f"control_interval must be positive, got {control_interval}")
+        if ramp_up < 0:
+            raise ValueError(f"negative ramp_up {ramp_up}")
+        self.env = env
+        self.app = app
+        self.request_type = request_type
+        self._mix_types: list[str] | None = None
+        self._mix_weights: np.ndarray | None = None
+        if isinstance(request_type, dict):
+            if not request_type:
+                raise ValueError("empty request mix")
+            weights = np.asarray(list(request_type.values()),
+                                 dtype=float)
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError(
+                    f"invalid mix weights {list(request_type.values())}")
+            self._mix_types = list(request_type)
+            self._mix_weights = weights / weights.sum()
+        self.trace = trace
+        self.think_time = think_time or Exponential(mean=1.0)
+        self.control_interval = control_interval
+        self.ramp_up = ramp_up
+        self._rng = rng
+        self._flags: list[_UserFlag] = []
+        self._started = False
+        self.submitted = 0
+
+    @property
+    def active_users(self) -> int:
+        """Current population size."""
+        return len(self._flags)
+
+    def start(self) -> None:
+        """Launch the population controller (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._control(), name=f"driver:{self.trace.name}")
+
+    def _control(self):
+        start_time = self.env.now
+        while self.env.now - start_time <= self.trace.duration:
+            elapsed = self.env.now - start_time
+            target = self.trace.users(elapsed)
+            if self.ramp_up > 0 and elapsed < self.ramp_up:
+                target = int(round(target * (elapsed + 1.0) /
+                                   (self.ramp_up + 1.0)))
+            while len(self._flags) < target:
+                flag = _UserFlag()
+                self._flags.append(flag)
+                self.env.process(self._user(flag), name="user")
+            while len(self._flags) > target:
+                self._flags.pop().stopped = True
+            yield self.env.timeout(self.control_interval)
+        for flag in self._flags:
+            flag.stopped = True
+        self._flags.clear()
+
+    def _pick_type(self) -> str:
+        if self._mix_types is None:
+            return _t.cast(str, self.request_type)
+        index = int(self._rng.choice(len(self._mix_types),
+                                     p=self._mix_weights))
+        return self._mix_types[index]
+
+    def _user(self, flag: _UserFlag):
+        while not flag.stopped:
+            yield self.env.timeout(self.think_time.sample(self._rng))
+            if flag.stopped:
+                return
+            self.submitted += 1
+            _request, process = self.app.submit(self._pick_type())
+            yield process
+
+
+class OpenLoopDriver:
+    """Poisson arrivals at a (possibly time-varying) rate.
+
+    Args:
+        env: simulation environment.
+        app: the application under test.
+        request_type: entrypoint to exercise.
+        rate: requests/second — a constant or a callable of absolute
+            simulation time.
+        rng: random generator (inter-arrival draws).
+        duration: stop submitting after this many seconds (None = run
+            until the environment stops).
+    """
+
+    def __init__(self, env: Environment, app: Application,
+                 request_type: str,
+                 rate: float | _t.Callable[[float], float],
+                 rng: np.random.Generator,
+                 duration: float | None = None) -> None:
+        self.env = env
+        self.app = app
+        self.request_type = request_type
+        self._rate = rate
+        self._rng = rng
+        self.duration = duration
+        self._started = False
+        self.submitted = 0
+
+    def current_rate(self) -> float:
+        """Arrival rate at the current simulation time."""
+        if callable(self._rate):
+            return float(self._rate(self.env.now))
+        return float(self._rate)
+
+    def start(self) -> None:
+        """Launch the arrival process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._arrivals(), name="open-loop-driver")
+
+    def _arrivals(self):
+        start_time = self.env.now
+        while True:
+            if self.duration is not None and \
+                    self.env.now - start_time >= self.duration:
+                return
+            rate = self.current_rate()
+            if rate <= 0:
+                yield self.env.timeout(0.1)
+                continue
+            yield self.env.timeout(self._rng.exponential(1.0 / rate))
+            if self.duration is not None and \
+                    self.env.now - start_time >= self.duration:
+                return
+            self.submitted += 1
+            self.app.submit(self.request_type)

@@ -1,0 +1,6 @@
+"""Shared pytest configuration."""
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "integration: full-stack closed-loop experiments (slower)")

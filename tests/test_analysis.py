@@ -1,0 +1,204 @@
+"""Tests for Kneedle, smoothing, and Pearson correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    aggregate_scatter,
+    find_knee,
+    fit_polynomial,
+    incremental_degree_fit,
+    pearson,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_few_points(self):
+        assert pearson([1], [2]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        y = 0.5 * x + rng.normal(size=100)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    def test_bounded(self, values):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=len(values))
+        r = pearson(values, other)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestAggregateScatter:
+    def test_averages_per_x(self):
+        x = np.array([2.0, 1.0, 2.0, 1.0])
+        y = np.array([10.0, 4.0, 20.0, 6.0])
+        ax, ay = aggregate_scatter(x, y)
+        assert list(ax) == [1.0, 2.0]
+        assert list(ay) == [5.0, 15.0]
+
+    def test_empty(self):
+        ax, ay = aggregate_scatter(np.array([]), np.array([]))
+        assert ax.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_scatter(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestPolynomialFit:
+    def test_exact_fit_of_polynomial_data(self):
+        x = np.linspace(0, 10, 50)
+        y = 2 * x ** 2 - 3 * x + 1
+        fit = fit_polynomial(x, y, degree=2)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-8)
+        assert fit(np.array([1.0]))[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_insufficient_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_polynomial(np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                           degree=3)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            fit_polynomial(np.arange(5.0), np.arange(5.0), degree=0)
+
+    def test_incremental_stops_at_sufficient_degree(self):
+        x = np.linspace(0, 10, 100)
+        y = x ** 3 - 5 * x ** 2 + x
+        fit = incremental_degree_fit(x, y, min_degree=2, max_degree=8)
+        # Degree 3 fits perfectly; 4 adds nothing, so we stop at <= 4.
+        assert fit.degree <= 4
+        assert fit.rmse < 1e-6
+
+    def test_incremental_handles_sparse_data(self):
+        # Only 6 distinct x values: degrees above 5 are unfittable and
+        # must be skipped gracefully.
+        x = np.array([3.0, 5.0, 10.0, 30.0, 80.0, 200.0])
+        y = np.array([10.0, 30.0, 60.0, 90.0, 80.0, 40.0])
+        fit = incremental_degree_fit(x, y, min_degree=3, max_degree=8)
+        assert fit.degree <= 5
+
+    def test_incremental_unfittable_raises(self):
+        with pytest.raises(ValueError):
+            incremental_degree_fit(np.array([1.0, 2.0]),
+                                   np.array([1.0, 2.0]), min_degree=3)
+
+    def test_min_greater_than_max_raises(self):
+        with pytest.raises(ValueError):
+            incremental_degree_fit(np.arange(10.0), np.arange(10.0),
+                                   min_degree=5, max_degree=3)
+
+
+class TestKneedle:
+    def test_piecewise_linear_knee(self):
+        x = np.linspace(0, 20, 200)
+        y = np.minimum(x / 5.0, 1.0)
+        result = find_knee(x, y)
+        assert result.found
+        assert result.knee_x == pytest.approx(5.0, abs=0.3)
+
+    def test_exponential_saturation(self):
+        x = np.linspace(0, 20, 200)
+        y = 1 - np.exp(-x / 3.0)
+        result = find_knee(x, y)
+        assert result.found
+        # Analytic Kneedle knee for 1-e^{-x/tau} is near 1.9*tau.
+        assert 3.0 < result.knee_x < 9.0
+
+    def test_rise_then_fall_curve(self):
+        # Goodput-like: rises to a peak then degrades. The knee should
+        # land near the start of the plateau/peak region.
+        x = np.linspace(0, 30, 300)
+        y = np.where(x < 8, x / 8.0, 1.0 - 0.02 * (x - 8))
+        result = find_knee(x, y)
+        assert result.found
+        assert result.knee_x == pytest.approx(8.0, abs=1.0)
+
+    def test_straight_line_has_no_knee(self):
+        x = np.linspace(0, 10, 100)
+        result = find_knee(x, 2 * x)
+        assert not result.found
+
+    def test_flat_curve_has_no_knee(self):
+        x = np.linspace(0, 10, 100)
+        result = find_knee(x, np.ones_like(x))
+        assert not result.found
+
+    def test_too_few_points(self):
+        assert not find_knee([1, 2], [1, 2]).found
+
+    def test_unsorted_x_rejected(self):
+        with pytest.raises(ValueError):
+            find_knee([3, 1, 2], [1, 2, 3])
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            find_knee([1, 2, 3], [1, 2, 3], sensitivity=-1.0)
+
+    def test_convex_decreasing_elbow(self):
+        x = np.linspace(0, 20, 200)
+        y = np.exp(-x / 3.0)
+        result = find_knee(x, y, curve="convex", direction="decreasing")
+        assert result.found
+        assert 3.0 < result.knee_x < 9.0
+
+    def test_concave_decreasing(self):
+        x = np.linspace(0, 10, 200)
+        y = 1 - (x / 10.0) ** 4
+        result = find_knee(x, y, curve="concave", direction="decreasing")
+        assert result.found
+        assert result.knee_x > 4.0
+
+    def test_convex_increasing(self):
+        x = np.linspace(0, 10, 200)
+        y = (x / 10.0) ** 4
+        result = find_knee(x, y, curve="convex", direction="increasing")
+        assert result.found
+        assert result.knee_x > 4.0
+
+    def test_sensitivity_increases_conservatism(self):
+        # A subtle knee confirmed at S=1 may be rejected at huge S.
+        x = np.linspace(0, 20, 100)
+        y = np.minimum(x / 5.0, 1.0) + 0.002 * x
+        loose = find_knee(x, y, sensitivity=1.0)
+        strict = find_knee(x, y, sensitivity=50.0)
+        assert loose.found
+        assert not strict.found or strict.knee_x >= loose.knee_x
+
+    def test_prominent_selection(self):
+        # Two knees: a weak early one and a strong later one.
+        x = np.linspace(0, 30, 600)
+        y = np.minimum(x / 4.0, 1.0) * 0.3 + np.where(
+            x > 10, np.minimum((x - 10) / 5.0, 1.0), 0.0) * 0.7
+        first = find_knee(x, y, select="first")
+        prominent = find_knee(x, y, select="prominent")
+        assert first.found and prominent.found
+        assert prominent.knee_x >= first.knee_x
+        assert len(first.all_knee_x) >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(knee=st.floats(2.0, 15.0), scale=st.floats(0.5, 100.0))
+    def test_recovers_piecewise_knee_location(self, knee, scale):
+        x = np.linspace(0, 20, 400)
+        y = np.minimum(x / knee, 1.0) * scale
+        result = find_knee(x, y)
+        assert result.found
+        assert result.knee_x == pytest.approx(knee, rel=0.15, abs=0.3)

@@ -1,0 +1,241 @@
+"""Tests for the hardware autoscalers (HPA, VPA, FIRM, null)."""
+
+import pytest
+
+from repro.app import Application, Compute, Microservice, Operation
+from repro.autoscalers import (
+    FirmAutoscaler,
+    HorizontalPodAutoscaler,
+    NullAutoscaler,
+    VerticalPodAutoscaler,
+)
+from repro.core import MonitoringModule
+from repro.sim import Environment, Exponential, RandomStreams
+from repro.workloads import OpenLoopDriver
+
+
+def loaded_app(env, streams, *, demand=0.02, cores=2.0, threads=32):
+    app = Application(env)
+    svc = Microservice(env, "svc", streams.stream("svc"), cores=cores,
+                       thread_pool_size=threads)
+    svc.add_operation(Operation("default", [
+        Compute(Exponential(demand))]))
+    app.add_service(svc)
+    app.set_entrypoint("go", "svc", "default")
+    return app
+
+
+def drive(env, app, streams, rate, duration=60.0):
+    driver = OpenLoopDriver(env, app, "go", rate=rate,
+                            rng=streams.stream("arr"), duration=duration)
+    driver.start()
+    return driver
+
+
+class TestHPA:
+    def test_scales_out_under_load(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        hpa = HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                      target_utilization=0.5,
+                                      max_replicas=4)
+        monitoring.start()
+        hpa.start()
+        # 2 cores, 20ms demand -> ~100/s capacity; rate 90 -> util ~0.9.
+        drive(env, app, streams, rate=90.0)
+        env.run(until=60.0)
+        assert app.service("svc").replica_count >= 2
+        assert hpa.scale_log
+        assert hpa.scale_log[0].kind == "horizontal"
+
+    def test_scale_down_needs_stabilization(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        app.service("svc").scale_replicas(3)
+        monitoring = MonitoringModule(env, app)
+        hpa = HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                      target_utilization=0.5,
+                                      scale_down_stabilization=30.0)
+        monitoring.start()
+        hpa.start()
+        drive(env, app, streams, rate=5.0, duration=120.0)
+        env.run(until=40.0)
+        count_at_40 = app.service("svc").replica_count
+        env.run(until=120.0)
+        assert count_at_40 == 3  # too early to shrink
+        assert app.service("svc").replica_count < 3  # shrunk later
+
+    def test_respects_max_replicas(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        hpa = HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                      target_utilization=0.3,
+                                      max_replicas=2)
+        monitoring.start()
+        hpa.start()
+        drive(env, app, streams, rate=95.0, duration=90.0)
+        env.run(until=90.0)
+        assert app.service("svc").replica_count <= 2
+
+    def test_tolerance_band_no_flapping(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        hpa = HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                      target_utilization=0.5,
+                                      tolerance=0.2)
+        monitoring.start()
+        hpa.start()
+        # Rate 50 -> util ~0.5 = target: inside the band, no action.
+        drive(env, app, streams, rate=50.0)
+        env.run(until=60.0)
+        assert not hpa.scale_log
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                    target_utilization=0.0)
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                    min_replicas=5, max_replicas=2)
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(env, app.service("svc"), monitoring,
+                                    period=0.0)
+
+
+class TestVPA:
+    def test_scales_up_under_load(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        vpa = VerticalPodAutoscaler(env, app.service("svc"), monitoring,
+                                    high=0.8, max_cores=4.0)
+        monitoring.start()
+        vpa.start()
+        drive(env, app, streams, rate=95.0)
+        env.run(until=60.0)
+        assert app.service("svc").cores_per_replica > 2.0
+        assert vpa.scale_log[0].kind == "vertical"
+
+    def test_scales_down_when_idle(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams, cores=4.0)
+        monitoring = MonitoringModule(env, app)
+        vpa = VerticalPodAutoscaler(env, app.service("svc"), monitoring,
+                                    low=0.35, min_cores=1.0,
+                                    scale_down_stabilization=30.0)
+        monitoring.start()
+        vpa.start()
+        drive(env, app, streams, rate=10.0, duration=120.0)
+        env.run(until=120.0)
+        assert app.service("svc").cores_per_replica < 4.0
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        svc = app.service("svc")
+        with pytest.raises(ValueError):
+            VerticalPodAutoscaler(env, svc, monitoring, low=0.8, high=0.5)
+        with pytest.raises(ValueError):
+            VerticalPodAutoscaler(env, svc, monitoring, step=0.0)
+        with pytest.raises(ValueError):
+            VerticalPodAutoscaler(env, svc, monitoring, min_cores=5,
+                                  max_cores=2)
+
+
+class TestFirm:
+    def test_scales_critical_service_on_violation(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        firm = FirmAutoscaler(env, app, monitoring, request_type="go",
+                              sla=0.1, scalable=["svc"], max_cores=4.0)
+        monitoring.start()
+        firm.start()
+        drive(env, app, streams, rate=110.0)  # over 2-core capacity
+        env.run(until=60.0)
+        assert app.service("svc").cores_per_replica > 2.0
+        assert all(e.service == "svc" for e in firm.scale_log)
+
+    def test_does_not_scale_unscalable_services(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        firm = FirmAutoscaler(env, app, monitoring, request_type="go",
+                              sla=0.1, scalable=[], max_cores=4.0)
+        monitoring.start()
+        firm.start()
+        drive(env, app, streams, rate=110.0)
+        env.run(until=60.0)
+        assert not firm.scale_log
+
+    def test_scales_down_when_calm(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams, cores=4.0)
+        monitoring = MonitoringModule(env, app)
+        firm = FirmAutoscaler(env, app, monitoring, request_type="go",
+                              sla=2.0, scalable=["svc"], min_cores=1.0,
+                              scale_down_stabilization=30.0)
+        monitoring.start()
+        firm.start()
+        drive(env, app, streams, rate=10.0, duration=150.0)
+        env.run(until=150.0)
+        assert app.service("svc").cores_per_replica < 4.0
+
+    def test_records_localization_reports(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        firm = FirmAutoscaler(env, app, monitoring, request_type="go",
+                              sla=0.1, scalable=["svc"])
+        monitoring.start()
+        firm.start()
+        drive(env, app, streams, rate=50.0, duration=40.0)
+        env.run(until=40.0)
+        assert firm.reports
+        assert firm.reports[-1].critical_service == "svc"
+
+    def test_invalid_sla(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = loaded_app(env, streams)
+        monitoring = MonitoringModule(env, app)
+        with pytest.raises(ValueError):
+            FirmAutoscaler(env, app, monitoring, request_type="go",
+                           sla=0.0)
+
+
+class TestNullAutoscaler:
+    def test_never_scales(self):
+        env = Environment()
+        scaler = NullAutoscaler(env)
+        scaler.start()
+        env.run(until=60.0)
+        assert not scaler.scale_log
+
+    def test_callbacks_registered_but_never_fired(self):
+        env = Environment()
+        scaler = NullAutoscaler(env)
+        fired = []
+        scaler.on_scale(fired.append)
+        scaler.start()
+        env.run(until=30.0)
+        assert not fired

@@ -1,0 +1,126 @@
+"""Tests for the Page-Hinkley change detector and its Sora wiring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.changepoint import ChangePoint, PageHinkley
+
+
+class TestPageHinkley:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_observations=1)
+
+    def test_stationary_stream_no_detection(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkley()
+        detections = [detector.update(v)
+                      for v in rng.normal(10.0, 0.5, 500)]
+        assert not any(d is not None for d in detections)
+
+    def test_detects_upward_shift(self):
+        rng = np.random.default_rng(1)
+        detector = PageHinkley()
+        stream = np.concatenate([rng.normal(10.0, 0.5, 100),
+                                 rng.normal(30.0, 0.5, 100)])
+        hits = [i for i, v in enumerate(stream)
+                if detector.update(float(v)) is not None]
+        assert hits, "no detection on a 3x level shift"
+        assert 100 <= hits[0] <= 130  # shortly after the shift
+
+    def test_detects_downward_shift(self):
+        rng = np.random.default_rng(2)
+        detector = PageHinkley()
+        stream = np.concatenate([rng.normal(30.0, 1.0, 100),
+                                 rng.normal(10.0, 1.0, 100)])
+        detections = [detector.update(float(v)) for v in stream]
+        directions = [d.direction for d in detections if d is not None]
+        assert "down" in directions
+
+    def test_resets_after_detection(self):
+        rng = np.random.default_rng(3)
+        detector = PageHinkley()
+        for v in rng.normal(10.0, 0.5, 100):
+            detector.update(float(v))
+        for v in rng.normal(30.0, 0.5, 60):
+            if detector.update(float(v)):
+                break
+        assert detector.observations < 30  # baseline restarted
+
+    def test_warmup_period_silent(self):
+        detector = PageHinkley(min_observations=50)
+        # A huge jump inside the warmup cannot fire.
+        for v in [1.0] * 30 + [100.0] * 10:
+            assert detector.update(v) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        level=st.floats(1.0, 100.0),
+        noise=st.floats(0.0, 0.05),
+    )
+    def test_no_false_positives_on_constant_streams(self, level, noise):
+        rng = np.random.default_rng(4)
+        detector = PageHinkley()
+        values = level * (1.0 + rng.normal(0.0, noise, 300))
+        assert not any(detector.update(float(v)) for v in values)
+
+    def test_changepoint_record_fields(self):
+        detector = PageHinkley()
+        change = None
+        for v in [10.0] * 50 + [50.0] * 50:
+            change = detector.update(v) or change
+        assert isinstance(change, ChangePoint)
+        assert change.direction == "up"
+        assert change.magnitude > 0
+
+
+class TestDriftWiringIntoSora:
+    def test_drift_detection_flushes_window(self):
+        from repro.app import (
+            Application, Call, Compute, Microservice, Operation)
+        from repro.core import (
+            FrameworkConfig, MonitoringModule, SoraController,
+            ThreadPoolTarget)
+        from repro.sim import Environment, Exponential, RandomStreams
+        from repro.workloads import OpenLoopDriver
+
+        env = Environment()
+        streams = RandomStreams(5)
+        app = Application(env)
+        svc = Microservice(env, "svc", streams.stream("svc"), cores=2.0,
+                           thread_pool_size=10)
+        backend = Microservice(env, "backend", streams.stream("be"),
+                               cores=4.0)
+        backend.add_operation(Operation("default", [
+            Compute(Exponential(0.004))]))
+        svc.add_operation(Operation("default", [
+            Compute(Exponential(0.008)), Call("backend")]))
+        app.add_service(svc)
+        app.add_service(backend)
+        app.set_entrypoint("go", "svc", "default")
+        monitoring = MonitoringModule(env, app)
+        target = ThreadPoolTarget(svc)
+        controller = SoraController(
+            env, app, monitoring, [target], sla=0.3,
+            config=FrameworkConfig(detect_drift=True))
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=80.0,
+                                rng=streams.stream("arr"),
+                                duration=240.0)
+        driver.start()
+
+        def drift():
+            yield env.timeout(120.0)
+            svc.demand_scale = 4.0  # dataset grew: 4x processing
+
+        env.process(drift())
+        env.run(until=240.0)
+        assert controller.drift_detections, "drift not detected"
+        first_at = controller.drift_detections[0][0]
+        assert 120.0 < first_at <= 200.0

@@ -1,0 +1,104 @@
+"""Chaos testing: every perturbation at once, invariants must hold.
+
+One Sock Shop run under load while vertical scaling, horizontal
+scaling, pool resizing, demand drift, and request interruption all
+happen concurrently. The system must conserve requests, keep pool
+accounting consistent, and remain deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.app.topologies import build_sock_shop
+from repro.sim import Environment, Interrupt, RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+
+def chaotic_run(seed, *, duration=40.0, interrupt_some=False):
+    env = Environment()
+    streams = RandomStreams(seed)
+    app = build_sock_shop(env, streams, cart_threads=6)
+    cart = app.service("cart")
+    rng = streams.stream("chaos")
+    trace = WorkloadTrace("flat", duration, 150, 150, lambda u: 1.0)
+    driver = ClosedLoopDriver(env, app, "cart", trace,
+                              streams.stream("drv"), ramp_up=3.0)
+
+    def chaos(env):
+        while env.now < duration - 5.0:
+            yield env.timeout(float(rng.uniform(2.0, 5.0)))
+            action = int(rng.integers(5))
+            if action == 0:
+                cart.set_cores(float(rng.choice([1.0, 2.0, 4.0])))
+            elif action == 1:
+                cart.scale_replicas(int(rng.integers(1, 4)))
+            elif action == 2:
+                cart.set_thread_pool_size(int(rng.integers(2, 20)))
+            elif action == 3:
+                cart.demand_scale = float(rng.uniform(0.5, 2.5))
+            else:
+                app.service("cart-db").demand_scale = \
+                    float(rng.uniform(0.5, 2.0))
+
+    interrupted = []
+
+    def sniper(env):
+        while env.now < duration - 5.0:
+            yield env.timeout(float(rng.uniform(1.0, 3.0)))
+            request, process = app.submit("cart")
+            yield env.timeout(0.002)
+            if process.is_alive:
+                process.interrupt(cause="chaos")
+                interrupted.append(request)
+
+    env.process(chaos(env), name="chaos")
+    if interrupt_some:
+        env.process(sniper(env), name="sniper")
+    driver.start()
+    env.run()  # to exhaustion: the population drains after the trace
+    return env, app, cart, interrupted
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000))
+def test_conservation_under_chaos(seed):
+    env, app, cart, _ = chaotic_run(seed)
+    # Everything submitted either completed or is no longer in flight.
+    assert app.in_flight == 0
+    assert app.latency["cart"].total == app.total_submitted
+    # Pool accounting clean on every replica that still exists.
+    for replica in cart.replicas:
+        assert replica.server_pool.in_use == 0
+        assert replica.active_requests == 0
+
+
+def test_interrupts_do_not_corrupt_accounting():
+    env, app, cart, interrupted = chaotic_run(99, interrupt_some=True)
+    assert interrupted, "sniper never fired"
+    completed = app.latency["cart"].total
+    # Interrupted requests never complete; everything else does.
+    assert completed == app.total_submitted - len(interrupted)
+    assert app.in_flight == 0
+    for replica in cart.replicas:
+        assert replica.server_pool.in_use == 0
+
+
+def test_chaos_is_deterministic():
+    def fingerprint(seed):
+        _env, app, _cart, _ = chaotic_run(seed)
+        times, latencies = app.latency["cart"].window()
+        return (times.size, float(np.sum(times)),
+                float(np.sum(latencies)))
+
+    assert fingerprint(7) == fingerprint(7)
+
+
+def test_unhandled_interrupt_does_not_kill_simulation():
+    # The sniper interrupts requests nobody waits on; the run must
+    # proceed to completion regardless.
+    env, app, _cart, interrupted = chaotic_run(3, interrupt_some=True)
+    assert env.now > 40.0
+    assert app.latency["cart"].total > 1000

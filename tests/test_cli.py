@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "cart"
+        assert args.controller == "sora"
+        assert args.sla == 0.4
+
+    def test_invalid_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace", "nope"])
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+
+class TestCommands:
+    def test_traces_command(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "big_spike" in out
+        assert "steep_tri_phase" in out
+
+    def test_run_command_small(self, capsys):
+        code = main(["run", "--scenario", "cart", "--trace", "big_spike",
+                     "--controller", "none", "--autoscaler", "none",
+                     "--duration", "15", "--peak-users", "60",
+                     "--min-users", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "p99" in out
+
+    def test_compare_command_small(self, capsys):
+        code = main(["compare", "--scenario", "cart", "--trace",
+                     "big_spike", "--controller", "sora",
+                     "--autoscaler", "none", "--duration", "15",
+                     "--peak-users", "60", "--min-users", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hardware-only" in out
+        assert "sora" in out

@@ -1,0 +1,127 @@
+"""Tests for the SCG and SCT scatter-curve models."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCGModel, SCTModel, ScatterModelConfig
+
+
+def synth_pairs(rng, *, knee=10.0, capacity=300.0, decline=0.02,
+                samples=600, q_max=25.0, noise=10.0):
+    """Synthesize <Q, GP> pairs from a rise-flatten-decline curve."""
+    q = rng.uniform(0.5, q_max, samples)
+    gp = np.where(q < knee, capacity * q / knee,
+                  capacity * (1.0 - decline * (q - knee)))
+    gp = np.clip(gp + rng.normal(0.0, noise, samples), 0.0, None)
+    return q, gp
+
+
+class TestSCGModel:
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+
+    def test_recovers_synthetic_knee(self):
+        q, gp = synth_pairs(self.rng, knee=10.0)
+        estimate = SCGModel().estimate(q, gp, threshold=0.25)
+        assert estimate is not None
+        assert estimate.method == "knee"
+        assert estimate.optimal_concurrency == pytest.approx(10, abs=3)
+        assert estimate.threshold == 0.25
+
+    def test_knee_scales_with_curve(self):
+        for knee in (5.0, 15.0):
+            q, gp = synth_pairs(self.rng, knee=knee, q_max=3 * knee)
+            estimate = SCGModel().estimate(q, gp)
+            assert estimate is not None
+            assert estimate.optimal_concurrency == pytest.approx(
+                knee, abs=0.35 * knee)
+
+    def test_too_few_samples_returns_none(self):
+        q, gp = synth_pairs(self.rng, samples=10)
+        assert SCGModel().estimate(q, gp) is None
+
+    def test_too_few_distinct_levels_returns_none(self):
+        q = np.full(100, 3.0)
+        gp = np.full(100, 100.0)
+        assert SCGModel().estimate(q, gp) is None
+
+    def test_idle_samples_ignored(self):
+        q, gp = synth_pairs(self.rng)
+        q = np.concatenate([q, np.zeros(200)])
+        gp = np.concatenate([gp, np.zeros(200)])
+        estimate = SCGModel().estimate(q, gp)
+        assert estimate is not None
+        assert estimate.optimal_concurrency == pytest.approx(10, abs=3)
+
+    def test_rising_curve_recommendation_is_at_the_edge(self):
+        # Pure linear rise: no interior knee exists. Whether the model
+        # reports an edge knee (fitting wiggle) or the argmax fallback,
+        # the recommendation must sit at the top of the observed range —
+        # the signal the adapter's exploration rule keys on.
+        q = self.rng.uniform(0.5, 20.0, 400)
+        gp = 10.0 * q + self.rng.normal(0, 2.0, 400)
+        estimate = SCGModel().estimate(q, gp)
+        assert estimate is not None
+        assert estimate.optimal_concurrency >= \
+            0.8 * estimate.max_concurrency
+
+    def test_argmax_fallback_disabled(self):
+        config = ScatterModelConfig(allow_argmax_fallback=False,
+                                    knee_quality=0.97)
+        q = self.rng.uniform(0.5, 20.0, 400)
+        gp = 10.0 * q + self.rng.normal(0, 2.0, 400)
+        assert SCGModel(config).estimate(q, gp) is None
+
+    def test_max_concurrency_reported(self):
+        q, gp = synth_pairs(self.rng, q_max=18.0)
+        estimate = SCGModel().estimate(q, gp)
+        assert estimate is not None
+        assert estimate.max_concurrency == pytest.approx(18.0, abs=1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SCGModel().estimate(np.ones(5), np.ones(6))
+
+    def test_threshold_changes_knee(self):
+        """The SCG premise (Fig. 7): a tighter threshold reshapes the
+        goodput curve, moving the knee."""
+        q = self.rng.uniform(0.5, 30.0, 800)
+        # Loose threshold: goodput ~ throughput, knee at 15.
+        loose = np.where(q < 15, 300 * q / 15, 300.0)
+        # Tight threshold: responses past Q=6 start missing it.
+        tight = np.where(q < 6, 300 * q / 15,
+                         np.clip(120 - 10 * (q - 6), 0, None))
+        noise = self.rng.normal(0, 5.0, 800)
+        est_loose = SCGModel().estimate(q, loose + noise)
+        est_tight = SCGModel().estimate(q, tight + noise)
+        assert est_loose is not None and est_tight is not None
+        assert est_tight.optimal_concurrency < \
+            est_loose.optimal_concurrency
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScatterModelConfig(min_degree=5, max_degree=3)
+        with pytest.raises(ValueError):
+            ScatterModelConfig(min_distinct=2)
+        with pytest.raises(ValueError):
+            ScatterModelConfig(quantum=0.0)
+        with pytest.raises(ValueError):
+            ScatterModelConfig(knee_quality=1.5)
+
+
+class TestSCTModel:
+    def test_rejects_threshold(self):
+        with pytest.raises(ValueError):
+            SCTModel().estimate(np.ones(50), np.ones(50), threshold=0.1)
+
+    def test_estimates_throughput_knee(self):
+        rng = np.random.default_rng(3)
+        q, tp = synth_pairs(rng, knee=12.0, decline=0.005)
+        estimate = SCTModel().estimate(q, tp)
+        assert estimate is not None
+        assert estimate.optimal_concurrency == pytest.approx(12, abs=4)
+        assert estimate.threshold is None
+
+    def test_model_names(self):
+        assert SCGModel().name == "scg"
+        assert SCTModel().name == "sct"

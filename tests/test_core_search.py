@@ -1,0 +1,123 @@
+"""Tests for the sequential hill-climbing tuner baseline."""
+
+import pytest
+
+from repro.app import Application, Call, Compute, Microservice, Operation
+from repro.core import HillClimbConfig, HillClimbController, \
+    ThreadPoolTarget
+from repro.sim import Constant, Environment, Exponential, RandomStreams
+from repro.workloads import OpenLoopDriver
+
+
+def build_app(env, streams, *, threads=3, demand=0.012):
+    app = Application(env)
+    svc = Microservice(env, "svc", streams.stream("svc"), cores=2.0,
+                       thread_pool_size=threads, cpu_overhead=0.02)
+    backend = Microservice(env, "backend", streams.stream("be"),
+                           cores=4.0)
+    backend.add_operation(Operation("default", [Compute(Constant(0.004))]))
+    svc.add_operation(Operation("default", [
+        Compute(Exponential(demand)), Call("backend")]))
+    app.add_service(svc)
+    app.add_service(backend)
+    app.set_entrypoint("go", "svc", "default")
+    return app
+
+
+class TestHillClimbConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"evaluation_period": 0.0},
+        {"step_factor": 1.0},
+        {"min_allocation": 0},
+        {"min_allocation": 9, "max_allocation": 3},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HillClimbConfig(**kwargs)
+
+
+class TestHillClimbController:
+    def make(self, env, streams, app, *, sla=0.3, **kwargs):
+        target = ThreadPoolTarget(app.service("svc"))
+        controller = HillClimbController(
+            env, app, target, sla=sla, rng=streams.stream("hc"),
+            **kwargs)
+        return controller, target
+
+    def test_requires_positive_sla(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        app = build_app(env, streams)
+        target = ThreadPoolTarget(app.service("svc"))
+        with pytest.raises(ValueError):
+            HillClimbController(env, app, target, sla=0.0,
+                                rng=streams.stream("hc"))
+
+    def test_climbs_out_of_under_allocation(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        app = build_app(env, streams, threads=2)
+        # Generous SLA: the gradient the tuner follows is throughput
+        # (2 threads cap ~125/s < the offered 140/s; 3+ do not).
+        controller, target = self.make(env, streams, app, sla=1.0)
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=140.0,
+                                rng=streams.stream("arr"),
+                                duration=240.0)
+        driver.start()
+        env.run(until=240.0)
+        # The tuner must escape the under-allocation and spend the bulk
+        # of its trials in the healthy region (it random-walks across
+        # the flat plateau above, so the *endpoint* is not meaningful).
+        allocations = [allocation for _t, allocation, _g
+                       in controller.trials]
+        assert max(allocations) > 2
+        assert sum(a > 2 for a in allocations) >= 0.6 * len(allocations)
+        assert controller.actions
+        assert len(controller.trials) >= 10
+
+    def test_reverts_bad_moves(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        app = build_app(env, streams, threads=8)
+        controller, _target = self.make(env, streams, app)
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=120.0,
+                                rng=streams.stream("arr"),
+                                duration=300.0)
+        driver.start()
+        env.run(until=300.0)
+        # At least one action must be a revert (after == earlier before).
+        transitions = [(a.before, a.after) for a in controller.actions]
+        assert transitions, "tuner never moved"
+        reverts = [1 for (b1, a1), (b2, a2) in
+                   zip(transitions, transitions[1:]) if a2 == b1]
+        # Not guaranteed every run, but over 20 trials on a noisy system
+        # hill climbing always backtracks at least once.
+        assert reverts, f"no backtracking in {transitions}"
+
+    def test_respects_bounds(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        app = build_app(env, streams, threads=3)
+        controller, target = self.make(
+            env, streams, app,
+            config=HillClimbConfig(min_allocation=2, max_allocation=6))
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=150.0,
+                                rng=streams.stream("arr"),
+                                duration=200.0)
+        driver.start()
+        env.run(until=200.0)
+        assert all(2 <= a.after <= 6 for a in controller.actions)
+
+    def test_start_idempotent(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        app = build_app(env, streams)
+        controller, _t = self.make(env, streams, app)
+        controller.start()
+        controller.start()
+        env.run(until=20.0)
+        # One loop only: exactly one trial per evaluation period.
+        assert len(controller.trials) == 1

@@ -1,0 +1,109 @@
+"""Tests for the unified hardware+soft controller extension."""
+
+import pytest
+
+from repro.app import Application, Call, Compute, Microservice, Operation
+from repro.core import (
+    MonitoringModule,
+    ThreadPoolTarget,
+    UnifiedConfig,
+    UnifiedSoraController,
+)
+from repro.sim import Constant, Environment, Exponential, RandomStreams
+from repro.workloads import OpenLoopDriver
+
+
+def build_app(env, streams, *, threads=4, demand=0.012, cores=2.0):
+    app = Application(env)
+    svc = Microservice(env, "svc", streams.stream("svc"), cores=cores,
+                       thread_pool_size=threads, cpu_overhead=0.02)
+    backend = Microservice(env, "backend", streams.stream("be"),
+                           cores=4.0)
+    backend.add_operation(Operation("default", [Compute(Constant(0.003))]))
+    svc.add_operation(Operation("default", [
+        Compute(Exponential(demand)), Call("backend")]))
+    app.add_service(svc)
+    app.add_service(backend)
+    app.set_entrypoint("go", "svc", "default")
+    return app
+
+
+class TestUnifiedConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_cores": 0.0},
+        {"min_cores": 8.0, "max_cores": 2.0},
+        {"step": 0.0},
+        {"utilization_low": 0.9, "utilization_high": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            UnifiedConfig(**kwargs)
+
+
+class TestUnifiedController:
+    def make(self, env, streams, app, **kwargs):
+        monitoring = MonitoringModule(env, app)
+        target = ThreadPoolTarget(app.service("svc"))
+        return UnifiedSoraController(env, app, monitoring, [target],
+                                     sla=0.3, **kwargs), target
+
+    def test_scales_hardware_under_sustained_overload(self):
+        env = Environment()
+        streams = RandomStreams(7)
+        # 2 cores, 12ms demand -> ~165/s capacity; rate 190 saturates.
+        app = build_app(env, streams, threads=8)
+        controller, _target = self.make(
+            env, streams, app,
+            unified_config=UnifiedConfig(max_cores=4.0))
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=190.0,
+                                rng=streams.stream("arr"),
+                                duration=120.0)
+        driver.start()
+        env.run(until=120.0)
+        assert controller.hardware_log, "expected a vertical scale-up"
+        assert app.service("svc").cores_per_replica > 2.0
+        # The joint actuation also bootstrapped the pool upward.
+        bootstraps = [a for a in controller.actions
+                      if a.trigger == "bootstrap"]
+        assert bootstraps
+
+    def test_no_hardware_scaling_when_idle(self):
+        env = Environment()
+        streams = RandomStreams(7)
+        app = build_app(env, streams)
+        controller, _target = self.make(env, streams, app)
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=10.0,
+                                rng=streams.stream("arr"),
+                                duration=60.0)
+        driver.start()
+        env.run(until=60.0)
+        scale_ups = [e for e in controller.hardware_log
+                     if e.after > e.before]
+        assert not scale_ups
+
+    def test_scales_down_after_calm(self):
+        env = Environment()
+        streams = RandomStreams(7)
+        app = build_app(env, streams, cores=4.0)
+        controller, _target = self.make(
+            env, streams, app,
+            unified_config=UnifiedConfig(min_cores=1.0,
+                                         scale_down_stabilization=30.0))
+        controller.start()
+        driver = OpenLoopDriver(env, app, "go", rate=10.0,
+                                rng=streams.stream("arr"),
+                                duration=150.0)
+        driver.start()
+        env.run(until=150.0)
+        assert app.service("svc").cores_per_replica < 4.0
+
+    def test_rejects_external_autoscaler(self):
+        env = Environment()
+        streams = RandomStreams(7)
+        app = build_app(env, streams)
+        # autoscaler kwarg is silently dropped (the controller owns
+        # hardware itself) rather than wired.
+        controller, _t = self.make(env, streams, app)
+        assert controller.autoscaler is None

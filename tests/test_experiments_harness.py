@@ -1,0 +1,112 @@
+"""Unit tests for the scenario harness and pre-wired scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_scenario,
+    social_network_drift_scenario,
+    sock_shop_cart_scenario,
+    sock_shop_catalogue_scenario,
+)
+from repro.workloads import WorkloadTrace
+
+
+def tiny_trace(users=60, duration=10.0):
+    return WorkloadTrace("tiny", duration, users, users, lambda u: 1.0)
+
+
+class TestScenarioBuilders:
+    def test_cart_scenario_wiring(self):
+        scenario = sock_shop_cart_scenario(
+            trace=tiny_trace(), controller="sora", autoscaler="firm")
+        assert scenario.request_type == "cart"
+        assert scenario.controller is not None
+        assert scenario.autoscaler is not None
+        assert scenario.target.name == "cart.threads"
+
+    def test_catalogue_scenario_wiring(self):
+        scenario = sock_shop_catalogue_scenario(
+            trace=tiny_trace(), controller="none", autoscaler="hpa")
+        assert scenario.request_type == "catalogue"
+        assert scenario.controller is None
+        assert "catalogue.db" in scenario.target.name
+        assert "catalogue.busy_cores" in scenario.extra_probes
+
+    def test_drift_scenario_wiring(self):
+        scenario = social_network_drift_scenario(
+            trace=tiny_trace(), controller="conscale", autoscaler="hpa",
+            drift_at=5.0)
+        assert scenario.request_type == "read_home_timeline"
+        assert scenario.controller.model_name == "sct"
+
+    def test_unknown_controller_kind(self):
+        with pytest.raises(ValueError):
+            sock_shop_cart_scenario(trace=tiny_trace(),
+                                    controller="bogus")
+
+    def test_unknown_autoscaler_kind(self):
+        with pytest.raises(ValueError):
+            sock_shop_cart_scenario(trace=tiny_trace(),
+                                    autoscaler="bogus")
+
+
+class TestRunScenario:
+    def test_collects_all_target_series(self):
+        scenario = sock_shop_cart_scenario(
+            trace=tiny_trace(), controller="none", autoscaler="none")
+        result = run_scenario(scenario, duration=10.0)
+        for key in ("cart.threads.allocation", "cart.threads.in_use",
+                    "cart.cores", "cart.replicas", "cart.busy_cores"):
+            times, values = result.series(key)
+            assert times.size > 5
+            assert values.size == times.size
+
+    def test_result_statistics_consistent(self):
+        scenario = sock_shop_cart_scenario(
+            trace=tiny_trace(), controller="none", autoscaler="none")
+        result = run_scenario(scenario, duration=10.0)
+        assert result.total_submitted >= result.response_times.size
+        assert result.goodput() <= result.throughput()
+        assert result.percentile(50) <= result.percentile(99)
+        summary = result.latency_summary()
+        assert summary.count == result.response_times.size
+
+    def test_goodput_series_integrates_to_total(self):
+        scenario = sock_shop_cart_scenario(
+            trace=tiny_trace(), controller="none", autoscaler="none")
+        result = run_scenario(scenario, duration=10.0, drain=0.0)
+        _times, rates = result.goodput_series(interval=1.0)
+        total_from_series = float(np.nansum(rates))  # 1 s buckets
+        assert total_from_series == pytest.approx(
+            result.goodput() * result.duration, rel=0.05)
+
+    def test_custom_extra_probe(self):
+        scenario = sock_shop_cart_scenario(
+            trace=tiny_trace(), controller="none", autoscaler="none")
+        scenario.extra_probes["constant"] = lambda: 7.0
+        result = run_scenario(scenario, duration=5.0)
+        _t, values = result.series("constant")
+        assert set(values) == {7.0}
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.experiments import load_result, save_result
+        scenario = sock_shop_cart_scenario(
+            trace=tiny_trace(), controller="sora", autoscaler="firm")
+        result = run_scenario(scenario, duration=10.0)
+        path = tmp_path / "result.json"
+        save_result(str(path), result)
+        loaded = load_result(str(path))
+        assert loaded.name == result.name
+        assert loaded.summary_row() == result.summary_row()
+        assert np.allclose(loaded.response_times, result.response_times)
+        assert set(loaded.samples) == set(result.samples)
+        assert len(loaded.adaptation_actions) == \
+            len(result.adaptation_actions)
+
+    def test_version_check(self):
+        from repro.experiments import result_from_dict
+        with pytest.raises(ValueError):
+            result_from_dict({"version": 999})

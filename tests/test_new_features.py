@@ -1,0 +1,161 @@
+"""Tests for heavy-tail distributions, workload mixes, and trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.app import Application, Compute, Microservice, Operation
+from repro.sim import (
+    Constant,
+    Environment,
+    Pareto,
+    RandomStreams,
+    Weibull,
+)
+from repro.tracing import export_traces, trace_to_jaeger, write_traces
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+
+class TestHeavyTailDistributions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_pareto_mean(self):
+        dist = Pareto(mean=0.05, alpha=2.8)
+        samples = [dist.sample(self.rng) for _ in range(100000)]
+        assert np.mean(samples) == pytest.approx(0.05, rel=0.05)
+
+    def test_pareto_heavier_tail_than_weibull(self):
+        pareto = Pareto(mean=1.0, alpha=2.2)
+        weibull = Weibull(mean=1.0, k=2.0)
+        p = np.array([pareto.sample(self.rng) for _ in range(50000)])
+        w = np.array([weibull.sample(self.rng) for _ in range(50000)])
+        assert np.percentile(p, 99.9) > 2 * np.percentile(w, 99.9)
+
+    def test_pareto_validation(self):
+        with pytest.raises(ValueError):
+            Pareto(mean=0.0)
+        with pytest.raises(ValueError):
+            Pareto(mean=1.0, alpha=1.0)  # infinite mean
+
+    def test_weibull_mean(self):
+        for k in (0.7, 1.0, 2.0):
+            dist = Weibull(mean=0.02, k=k)
+            samples = [dist.sample(self.rng) for _ in range(50000)]
+            assert np.mean(samples) == pytest.approx(0.02, rel=0.05)
+
+    def test_weibull_validation(self):
+        with pytest.raises(ValueError):
+            Weibull(mean=0.0)
+        with pytest.raises(ValueError):
+            Weibull(mean=1.0, k=0.0)
+
+    def test_samples_non_negative(self):
+        for dist in (Pareto(1.0, 2.5), Weibull(1.0, 0.8)):
+            assert all(dist.sample(self.rng) >= 0 for _ in range(1000))
+
+
+def two_type_app(env, streams):
+    app = Application(env)
+    svc = Microservice(env, "svc", streams.stream("svc"), cores=4.0)
+    svc.add_operation(Operation("fast", [Compute(Constant(0.001))]))
+    svc.add_operation(Operation("slow", [Compute(Constant(0.002))]))
+    app.add_service(svc)
+    app.set_entrypoint("fast", "svc", "fast")
+    app.set_entrypoint("slow", "svc", "slow")
+    return app
+
+
+class TestRequestMix:
+    def test_mix_roughly_matches_weights(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = two_type_app(env, streams)
+        trace = WorkloadTrace("flat", 30.0, 40, 40, lambda u: 1.0)
+        driver = ClosedLoopDriver(env, app, {"fast": 3.0, "slow": 1.0},
+                                  trace, streams.stream("drv"))
+        driver.start()
+        env.run()
+        fast = app.latency["fast"].total
+        slow = app.latency["slow"].total
+        assert fast + slow == driver.submitted
+        assert fast / (fast + slow) == pytest.approx(0.75, abs=0.05)
+
+    def test_empty_mix_rejected(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = two_type_app(env, streams)
+        trace = WorkloadTrace("flat", 5.0, 5, 5, lambda u: 1.0)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(env, app, {}, trace, streams.stream("d"))
+
+    def test_negative_weight_rejected(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = two_type_app(env, streams)
+        trace = WorkloadTrace("flat", 5.0, 5, 5, lambda u: 1.0)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(env, app, {"fast": -1.0}, trace,
+                             streams.stream("d"))
+
+
+class TestTraceExport:
+    def finished_trace(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        from repro.app import Call
+        app = Application(env)
+        a = Microservice(env, "a", streams.stream("a"), cores=2.0,
+                         thread_pool_size=4)
+        b = Microservice(env, "b", streams.stream("b"), cores=2.0)
+        b.add_operation(Operation("default", [Compute(Constant(0.002))]))
+        a.add_operation(Operation("default", [
+            Compute(Constant(0.001)), Call("b")]))
+        app.add_service(a)
+        app.add_service(b)
+        app.set_entrypoint("go", "a", "default")
+        request, proc = app.submit("go")
+        env.run(until=proc)
+        return request.root_span
+
+    def test_jaeger_structure(self):
+        root = self.finished_trace()
+        document = trace_to_jaeger(root)
+        assert len(document["spans"]) == 2
+        assert set(document["processes"]) == {"a", "b"}
+        child = [s for s in document["spans"]
+                 if s["references"]][0]
+        assert child["references"][0]["refType"] == "CHILD_OF"
+        assert all(s["duration"] >= 0 for s in document["spans"])
+
+    def test_export_is_valid_json(self):
+        root = self.finished_trace()
+        text = export_traces([root])
+        parsed = json.loads(text)
+        assert len(parsed["data"]) == 1
+
+    def test_export_deterministic(self):
+        root = self.finished_trace()
+        assert export_traces([root]) == export_traces([root])
+
+    def test_unfinished_rejected(self):
+        from repro.tracing import Span
+        with pytest.raises(ValueError):
+            trace_to_jaeger(Span(1, "a", "default", 0.0))
+
+    def test_write_traces(self, tmp_path):
+        root = self.finished_trace()
+        path = tmp_path / "traces.json"
+        count = write_traces(str(path), [root])
+        assert count == 1
+        parsed = json.loads(path.read_text())
+        assert parsed["data"][0]["spans"]
+
+    def test_tags_carry_self_time_and_queue_wait(self):
+        root = self.finished_trace()
+        document = trace_to_jaeger(root)
+        for span in document["spans"]:
+            keys = {tag["key"] for tag in span["tags"]}
+            assert {"queue_wait_us", "self_time_us",
+                    "operation"} <= keys

@@ -1,0 +1,196 @@
+"""Tests for the MVA solver — including validation of the simulator
+against exact queueing theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import (
+    MvaResult,
+    Station,
+    asymptotic_bounds,
+    bottleneck,
+    solve_mva,
+    solve_mva_sweep,
+)
+from repro.app import Application, Call, Compute, Microservice, Operation
+from repro.sim import Constant, Environment, Exponential, LogNormal, \
+    RandomStreams
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+
+class TestStationValidation:
+    def test_negative_demand(self):
+        with pytest.raises(ValueError):
+            Station("s", demand=-1.0)
+
+    def test_negative_visits(self):
+        with pytest.raises(ValueError):
+            Station("s", demand=1.0, visits=-1.0)
+
+    def test_multi_needs_servers(self):
+        with pytest.raises(ValueError):
+            Station("s", demand=1.0, kind="multi", servers=0)
+
+
+class TestSolveMva:
+    def test_single_station_single_user(self):
+        # One user, no think time: R = s, X = 1/s.
+        result = solve_mva([Station("cpu", demand=0.1)], population=1)
+        assert result.throughput == pytest.approx(10.0)
+        assert result.response_times["cpu"] == pytest.approx(0.1)
+
+    def test_think_time_reduces_throughput(self):
+        stations = [Station("cpu", demand=0.1)]
+        no_think = solve_mva(stations, population=1, think_time=0.0)
+        think = solve_mva(stations, population=1, think_time=0.9)
+        assert think.throughput == pytest.approx(1.0)
+        assert think.throughput < no_think.throughput
+
+    def test_zero_population(self):
+        result = solve_mva([Station("cpu", demand=0.1)], population=0)
+        assert result.throughput == 0.0
+
+    def test_saturation_approaches_bound(self):
+        stations = [Station("cpu", demand=0.02),
+                    Station("db", demand=0.05)]
+        result = solve_mva(stations, population=200, think_time=1.0)
+        x_max, _n_star = asymptotic_bounds(stations, think_time=1.0)
+        assert result.throughput == pytest.approx(x_max, rel=0.01)
+        assert x_max == pytest.approx(20.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            solve_mva([Station("a", 0.1), Station("a", 0.2)], 1)
+
+    def test_invalid_population_or_think(self):
+        with pytest.raises(ValueError):
+            solve_mva([Station("a", 0.1)], -1)
+        with pytest.raises(ValueError):
+            solve_mva([Station("a", 0.1)], 1, think_time=-1.0)
+
+    def test_delay_station_no_queueing(self):
+        # A delay station's residence is independent of population.
+        stations = [Station("think", demand=1.0, kind="delay"),
+                    Station("cpu", demand=0.01)]
+        small = solve_mva(stations, population=1)
+        large = solve_mva(stations, population=50)
+        assert small.response_times["think"] == \
+            large.response_times["think"] == pytest.approx(1.0)
+
+    def test_little_law_consistency(self):
+        stations = [Station("cpu", demand=0.03),
+                    Station("db", demand=0.02)]
+        result = solve_mva(stations, population=10, think_time=0.5)
+        for station in stations:
+            expected = result.throughput * \
+                result.response_times[station.name]
+            assert result.queue_lengths[station.name] == \
+                pytest.approx(expected)
+        # Population conservation: queues + thinking users = N.
+        thinking = result.throughput * 0.5
+        total = sum(result.queue_lengths.values()) + thinking
+        assert total == pytest.approx(10.0)
+
+    def test_sweep_monotone_throughput(self):
+        stations = [Station("cpu", demand=0.05)]
+        results = solve_mva_sweep(stations, [1, 2, 5, 10, 20],
+                                  think_time=0.5)
+        throughputs = [r.throughput for r in results]
+        assert throughputs == sorted(throughputs)
+        assert all(x <= 20.0 + 1e-9 for x in throughputs)
+
+    def test_multi_server_beats_single(self):
+        single = solve_mva([Station("cpu", demand=0.05)], 10)
+        multi = solve_mva([Station("cpu", demand=0.05, kind="multi",
+                                   servers=4)], 10)
+        assert multi.throughput > single.throughput
+
+    def test_utilization(self):
+        stations = [Station("cpu", demand=0.05)]
+        result = solve_mva(stations, population=50, think_time=1.0)
+        assert result.utilization(stations[0]) == pytest.approx(
+            1.0, abs=0.02)
+
+
+class TestBottleneck:
+    def test_largest_demand_wins(self):
+        stations = [Station("cpu", demand=0.02),
+                    Station("db", demand=0.05),
+                    Station("think", demand=9.0, kind="delay")]
+        assert bottleneck(stations).name == "db"
+
+    def test_multi_server_divides_demand(self):
+        stations = [Station("a", demand=0.04),
+                    Station("b", demand=0.06, kind="multi", servers=4)]
+        assert bottleneck(stations).name == "a"
+
+    def test_no_queueing_stations(self):
+        with pytest.raises(ValueError):
+            bottleneck([Station("z", demand=1.0, kind="delay")])
+
+
+class TestSimulatorAgainstTheory:
+    """The headline validation: the DES must match exact MVA."""
+
+    def simulate_chain(self, demands, population, think, duration=300.0,
+                       dist="lognormal", seed=5):
+        env = Environment()
+        streams = RandomStreams(seed)
+        app = Application(env)
+        names = [f"s{i}" for i in range(len(demands))]
+        for index, (name, demand) in enumerate(zip(names, demands)):
+            service = Microservice(env, name, streams.stream(name),
+                                   cores=1.0, cpu_overhead=0.0)
+            if dist == "lognormal":
+                compute = Compute(LogNormal(demand, cv=1.2))
+            elif dist == "exponential":
+                compute = Compute(Exponential(demand))
+            else:
+                compute = Compute(Constant(demand))
+            steps = [compute]
+            if index + 1 < len(names):
+                steps.append(Call(names[index + 1]))
+            service.add_operation(Operation("default", steps))
+            app.add_service(service)
+        app.set_entrypoint("go", names[0], "default")
+        trace = WorkloadTrace("flat", duration, population, population,
+                              lambda u: 1.0)
+        driver = ClosedLoopDriver(env, app, "go", trace,
+                                  streams.stream("drv"),
+                                  think_time=Exponential(think))
+        driver.start()
+        env.run(until=duration + 1.0)
+        # Measure over the steady-state second half.
+        times, latencies = app.latency["go"].window(duration / 2,
+                                                    duration)
+        throughput = times.size / (duration / 2)
+        return throughput, float(np.mean(latencies))
+
+    @pytest.mark.parametrize("dist", ["exponential", "lognormal"])
+    def test_tandem_network_matches_mva(self, dist):
+        """PS is insensitive to the service distribution, so both
+        exponential and lognormal demands must match the same MVA
+        solution."""
+        demands = [0.020, 0.035]
+        population, think = 12, 0.4
+        stations = [Station(f"s{i}", d) for i, d in enumerate(demands)]
+        theory = solve_mva(stations, population, think_time=think)
+        sim_x, sim_r = self.simulate_chain(demands, population, think,
+                                           dist=dist)
+        assert sim_x == pytest.approx(theory.throughput, rel=0.05)
+        assert sim_r == pytest.approx(theory.cycle_time, rel=0.10)
+
+    def test_light_load_matches_mva(self):
+        demands = [0.010, 0.010, 0.010]
+        stations = [Station(f"s{i}", d) for i, d in enumerate(demands)]
+        theory = solve_mva(stations, 2, think_time=1.0)
+        sim_x, sim_r = self.simulate_chain(demands, 2, 1.0)
+        assert sim_x == pytest.approx(theory.throughput, rel=0.05)
+        assert sim_r == pytest.approx(theory.cycle_time, rel=0.15)
+
+    def test_saturated_matches_bottleneck_bound(self):
+        demands = [0.030, 0.010]
+        stations = [Station(f"s{i}", d) for i, d in enumerate(demands)]
+        x_max, _ = asymptotic_bounds(stations, think_time=0.2)
+        sim_x, _sim_r = self.simulate_chain(demands, 40, 0.2)
+        assert sim_x == pytest.approx(x_max, rel=0.05)

@@ -1,0 +1,79 @@
+"""Tests for the text reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_table, ratio, series_table, sparkline
+
+
+class TestAsciiTable:
+    def test_basic_alignment(self):
+        table = ascii_table(["name", "value"],
+                            [["a", 1], ["long-name", 22.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        table = ascii_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = ascii_table(["v"], [[1234.5678], [0.123456], [float("nan")]])
+        assert "1235" in table
+        assert "0.123" in table
+        assert "-" in table.splitlines()[-1]
+
+    def test_empty_rows(self):
+        table = ascii_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestSeriesTable:
+    def test_resamples_onto_grid(self):
+        times = np.arange(0.0, 10.0, 0.5)
+        table = series_table(
+            {"v": (times, times * 2)}, step=5.0, until=10.0)
+        lines = table.splitlines()
+        assert lines[0].startswith("t[s]")
+        assert len(lines) == 2 + 3  # header, sep, t=0,5,10
+
+    def test_empty_series_shows_nan(self):
+        table = series_table(
+            {"v": (np.array([]), np.array([]))}, step=5.0, until=5.0)
+        assert "-" in table
+
+    def test_nearest_sample_used_for_gaps(self):
+        times = np.array([0.0])
+        values = np.array([42.0])
+        table = series_table({"v": (times, values)}, step=10.0,
+                             until=10.0)
+        assert table.count("42") == 2  # t=0 and nearest at t=10
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+
+    def test_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_downsamples_long_series(self):
+        assert len(sparkline(list(range(1000)), width=30)) == 30
+
+    def test_ignores_nan(self):
+        assert len(sparkline([1.0, float("nan"), 2.0])) == 2
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(4.0, 2.0) == 2.0
+
+    def test_zero_denominator(self):
+        assert ratio(1.0, 0.0) == 0.0

@@ -1,0 +1,228 @@
+"""Tests for the processor-sharing CPU model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import ProcessorSharingCpu
+from repro.sim import Environment
+
+
+def run_jobs(cores, overhead, submissions):
+    """Run ``submissions`` = [(submit_time, work)] and return completion
+    times in submission order."""
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=cores, overhead=overhead)
+    completions = {}
+
+    def submitter(env, index, at, work):
+        if at > 0:
+            yield env.timeout(at)
+        yield cpu.submit(work)
+        completions[index] = env.now
+
+    for index, (at, work) in enumerate(submissions):
+        env.process(submitter(env, index, at, work))
+    env.run()
+    return [completions[i] for i in range(len(submissions))]
+
+
+def test_single_job_runs_at_full_speed():
+    [done] = run_jobs(cores=1, overhead=0.0, submissions=[(0.0, 2.0)])
+    assert done == pytest.approx(2.0)
+
+
+def test_single_job_on_many_cores_still_one_core():
+    # One job cannot use more than one core.
+    [done] = run_jobs(cores=4, overhead=0.0, submissions=[(0.0, 2.0)])
+    assert done == pytest.approx(2.0)
+
+
+def test_two_jobs_share_one_core():
+    done = run_jobs(cores=1, overhead=0.0,
+                    submissions=[(0.0, 1.0), (0.0, 1.0)])
+    assert done == pytest.approx([2.0, 2.0])
+
+
+def test_two_jobs_on_two_cores_no_slowdown():
+    done = run_jobs(cores=2, overhead=0.0,
+                    submissions=[(0.0, 1.0), (0.0, 1.0)])
+    assert done == pytest.approx([1.0, 1.0])
+
+
+def test_unequal_jobs_processor_sharing():
+    # Jobs of work 1 and 2 on one core: first finishes at 2 (half rate
+    # while sharing), second gets the CPU alone afterwards -> 3.
+    done = run_jobs(cores=1, overhead=0.0,
+                    submissions=[(0.0, 1.0), (0.0, 2.0)])
+    assert done == pytest.approx([2.0, 3.0])
+
+
+def test_late_arrival_shares_remaining_work():
+    # Job A (work 2) alone until t=1 (1 unit left), then shares with B
+    # (work 1): both progress at 0.5/s, A finishes at t=3, B at t=3.
+    done = run_jobs(cores=1, overhead=0.0,
+                    submissions=[(0.0, 2.0), (1.0, 1.0)])
+    assert done == pytest.approx([3.0, 3.0])
+
+
+def test_overhead_stretches_completion():
+    # 4 jobs on 2 cores with overhead 0.25: aggregate = 2/(1+0.25*2)=4/3.
+    # Each of 4 equal jobs (work 1): total work 4 / (4/3) = 3 seconds.
+    done = run_jobs(cores=2, overhead=0.25,
+                    submissions=[(0.0, 1.0)] * 4)
+    assert done == pytest.approx([3.0] * 4)
+
+
+def test_zero_work_completes_immediately():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    event = cpu.submit(0.0)
+    assert event.triggered
+
+
+def test_negative_work_rejected():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    with pytest.raises(ValueError):
+        cpu.submit(-1.0)
+
+
+def test_invalid_cores_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ProcessorSharingCpu(env, cores=0)
+    with pytest.raises(ValueError):
+        ProcessorSharingCpu(env, cores=1, overhead=-0.1)
+
+
+def test_vertical_scale_up_speeds_jobs():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    done_times = []
+
+    def job(env):
+        yield cpu.submit(2.0)
+        done_times.append(env.now)
+
+    def scaler(env):
+        yield env.timeout(1.0)
+        cpu.set_cores(2)
+
+    env.process(job(env))
+    env.process(job(env))
+    env.process(scaler(env))
+    env.run()
+    # Two jobs of work 2 share 1 core until t=1 (each 1.5 left), then get
+    # a core each: finish at 1 + 1.5 = 2.5.
+    assert done_times == pytest.approx([2.5, 2.5])
+
+
+def test_vertical_scale_down_slows_jobs():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=2)
+    done_times = []
+
+    def job(env):
+        yield cpu.submit(2.0)
+        done_times.append(env.now)
+
+    def scaler(env):
+        yield env.timeout(1.0)
+        cpu.set_cores(1)
+
+    env.process(job(env))
+    env.process(job(env))
+    env.process(scaler(env))
+    env.run()
+    # Full speed until t=1 (1 unit left each), then share 1 core: +2s.
+    assert done_times == pytest.approx([3.0, 3.0])
+
+
+def test_busy_core_seconds_accounting():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=4)
+
+    def job(env):
+        yield cpu.submit(3.0)
+
+    env.process(job(env))
+    env.run(until=10.0)
+    # One job on 4 cores: busy 1 core for 3 seconds.
+    assert cpu.busy_core_seconds() == pytest.approx(3.0)
+
+
+def test_work_done_excludes_overhead():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1, overhead=1.0)
+
+    def job(env):
+        yield cpu.submit(1.0)
+
+    env.process(job(env))
+    env.process(job(env))
+    env.run()
+    # Two jobs, one core, overhead doubles wall time: busy 4s, work 2.
+    assert cpu.work_done() == pytest.approx(2.0)
+    assert cpu.busy_core_seconds() == pytest.approx(4.0)
+
+
+def test_active_jobs_tracks_occupancy():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    observed = []
+
+    def job(env):
+        yield cpu.submit(1.0)
+
+    def observer(env):
+        observed.append(cpu.active_jobs)
+        env.process(job(env))
+        env.process(job(env))
+        yield env.timeout(0.5)
+        observed.append(cpu.active_jobs)
+        yield env.timeout(3.0)
+        observed.append(cpu.active_jobs)
+
+    env.process(observer(env))
+    env.run()
+    assert observed == [0, 2, 0]
+
+
+def test_aggregate_rate_formula():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=4, overhead=0.1)
+    assert cpu.aggregate_rate(0) == 0.0
+    assert cpu.aggregate_rate(2) == pytest.approx(2.0)
+    assert cpu.aggregate_rate(4) == pytest.approx(4.0)
+    assert cpu.aggregate_rate(8) == pytest.approx(4.0 / 1.4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cores=st.integers(1, 8),
+    works=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=10),
+)
+def test_total_completion_conserves_work(cores, works):
+    """Property: with no overhead, the last completion time is at least
+    total_work / cores and at most total_work (single-core lower bound)."""
+    done = run_jobs(cores=cores, overhead=0.0,
+                    submissions=[(0.0, w) for w in works])
+    total = sum(works)
+    longest = max(works)
+    makespan = max(done)
+    assert makespan >= total / cores - 1e-6
+    assert makespan >= longest - 1e-6
+    assert makespan <= total + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(works=st.lists(st.floats(0.01, 5.0), min_size=2, max_size=8))
+def test_ps_completion_order_matches_work_order(works):
+    """Property: under PS with simultaneous arrival, less work never
+    finishes after more work."""
+    done = run_jobs(cores=1, overhead=0.0,
+                    submissions=[(0.0, w) for w in works])
+    pairs = sorted(zip(works, done))
+    finish_times = [d for _w, d in pairs]
+    assert finish_times == sorted(finish_times)

@@ -1,0 +1,250 @@
+"""Tests for the resizable soft-resource pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import SoftResourcePool
+from repro.sim import Environment
+
+
+def test_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SoftResourcePool(env, capacity=0)
+
+
+def test_acquire_under_capacity_is_immediate():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=2)
+    request = pool.acquire()
+    assert request.triggered
+    assert pool.in_use == 1
+    assert pool.available == 1
+
+
+def test_acquire_over_capacity_queues():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    first = pool.acquire()
+    second = pool.acquire()
+    assert first.triggered
+    assert not second.triggered
+    assert pool.queue_length == 1
+
+
+def test_release_grants_head_waiter_fifo():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    granted = []
+
+    def holder(env):
+        yield pool.acquire()
+        yield env.timeout(5.0)
+        pool.release()
+
+    def waiter(env, tag):
+        request = pool.acquire()
+        yield request
+        granted.append((tag, env.now, request.wait_time))
+        yield env.timeout(1.0)
+        pool.release()
+
+    env.process(holder(env))
+
+    def spawn(env):
+        yield env.timeout(1.0)
+        env.process(waiter(env, "a"))
+        yield env.timeout(1.0)
+        env.process(waiter(env, "b"))
+
+    env.process(spawn(env))
+    env.run()
+    assert [g[0] for g in granted] == ["a", "b"]
+    assert granted[0][1] == pytest.approx(5.0)
+    assert granted[0][2] == pytest.approx(4.0)  # queued from t=1 to t=5
+    assert granted[1][1] == pytest.approx(6.0)
+    assert granted[1][2] == pytest.approx(4.0)  # queued from t=2 to t=6
+
+
+def test_release_without_acquire_raises():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    with pytest.raises(RuntimeError):
+        pool.release()
+
+
+def test_resize_grow_grants_waiters():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    pool.acquire()
+    waiting = [pool.acquire(), pool.acquire()]
+    assert pool.queue_length == 2
+    pool.resize(3)
+    assert all(w.triggered for w in waiting)
+    assert pool.in_use == 3
+    assert pool.queue_length == 0
+
+
+def test_resize_shrink_is_lazy():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=3)
+    for _ in range(3):
+        pool.acquire()
+    pool.resize(1)
+    assert pool.in_use == 3          # existing holders keep their tokens
+    assert pool.capacity == 1
+    pool.release()
+    pool.release()
+    # Still at capacity: a new acquire must queue.
+    request = pool.acquire()
+    assert not request.triggered
+
+
+def test_resize_noop_does_not_log():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=2)
+    pool.resize(2)
+    assert len(pool.resize_log) == 1
+
+
+def test_resize_log_records_changes():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=2)
+
+    def proc(env):
+        yield env.timeout(10.0)
+        pool.resize(5)
+        yield env.timeout(10.0)
+        pool.resize(3)
+
+    env.process(proc(env))
+    env.run()
+    assert pool.resize_log == [(0.0, 2), (10.0, 5), (20.0, 3)]
+
+
+def test_cancel_queued_request_is_skipped():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    pool.acquire()
+    doomed = pool.acquire()
+    survivor = pool.acquire()
+    pool.cancel(doomed)
+    pool.release()
+    assert not doomed.triggered
+    assert survivor.triggered
+
+
+def test_cancel_granted_request_raises():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    granted = pool.acquire()
+    with pytest.raises(RuntimeError):
+        pool.cancel(granted)
+
+
+def test_queue_length_ignores_cancelled_head():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+    pool.acquire()
+    a = pool.acquire()
+    pool.acquire()
+    pool.cancel(a)
+    pool.release()  # grants the non-cancelled waiter, trims the head
+    assert pool.queue_length == 0
+
+
+def test_counters_accumulate():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=1)
+
+    def worker(env):
+        request = pool.acquire()
+        yield request
+        yield env.timeout(2.0)
+        pool.release()
+
+    for _ in range(3):
+        env.process(worker(env))
+    env.run()
+    assert pool.total_requests == 3
+    assert pool.total_granted == 3
+    # Second waits 2s, third waits 4s.
+    assert pool.total_wait_time == pytest.approx(6.0)
+
+
+def test_mean_in_use_time_average():
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=2)
+
+    def worker(env):
+        yield pool.acquire()
+        yield env.timeout(5.0)
+        pool.release()
+
+    env.process(worker(env))
+    env.process(worker(env))
+    env.run(until=10.0)
+    # 2 tokens held for 5s out of 10s -> mean 1.0.
+    assert pool.mean_in_use() == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(1, 10),
+    holds=st.lists(st.floats(0.1, 3.0), min_size=1, max_size=20),
+)
+def test_pool_never_exceeds_capacity_without_shrink(capacity, holds):
+    """Property: without resizes, in_use <= capacity at every grant."""
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=capacity)
+    violations = []
+
+    def worker(env, hold):
+        yield pool.acquire()
+        if pool.in_use > pool.capacity:
+            violations.append(pool.in_use)
+        yield env.timeout(hold)
+        pool.release()
+
+    for hold in holds:
+        env.process(worker(env, hold))
+    env.run()
+    assert not violations
+    assert pool.in_use == 0
+    assert pool.total_granted == len(holds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(0.0, 5.0), st.floats(0.1, 2.0)),
+        min_size=1, max_size=15),
+    new_capacity=st.integers(1, 8),
+    resize_at=st.floats(0.1, 5.0),
+)
+def test_all_requests_eventually_granted_across_resize(
+        data, new_capacity, resize_at):
+    """Property: every request is granted even across a resize."""
+    env = Environment()
+    pool = SoftResourcePool(env, capacity=2)
+    done = []
+
+    def worker(env, start, hold):
+        if start > 0:
+            yield env.timeout(start)
+        yield pool.acquire()
+        yield env.timeout(hold)
+        pool.release()
+        done.append(1)
+
+    def resizer(env):
+        yield env.timeout(resize_at)
+        pool.resize(new_capacity)
+
+    for start, hold in data:
+        env.process(worker(env, start, hold))
+    env.process(resizer(env))
+    env.run()
+    assert len(done) == len(data)
+    assert pool.in_use == 0

@@ -1,0 +1,124 @@
+"""Tests for named random streams and distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Constant,
+    Erlang,
+    Exponential,
+    LogNormal,
+    RandomStreams,
+    Scaled,
+    Uniform,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_name_same_draws(self):
+        a = RandomStreams(seed=7).stream("x")
+        b = RandomStreams(seed=7).stream("x")
+        assert list(a.random(5)) == list(b.random(5))
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("x").random(5)
+        b = RandomStreams(seed=2).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        first = RandomStreams(seed=3)
+        first.stream("a")
+        a_then_b = first.stream("b").random(3)
+
+        second = RandomStreams(seed=3)
+        b_only = second.stream("b").random(3)
+        assert list(a_then_b) == list(b_only)
+
+    def test_spawn_prefixes_names(self):
+        root = RandomStreams(seed=9)
+        child = root.spawn("svc")
+        direct = RandomStreams(seed=9).stream("svc.demand").random(4)
+        assert list(child.stream("demand").random(4)) == list(direct)
+
+
+class TestDistributions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_constant(self):
+        dist = Constant(2.5)
+        assert dist.mean == 2.5
+        assert all(dist.sample(self.rng) == 2.5 for _ in range(10))
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Constant(-1.0)
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (Exponential, {"mean": 0.0}),
+        (Exponential, {"mean": -1.0}),
+        (LogNormal, {"mean": 0.0}),
+        (LogNormal, {"mean": 1.0, "cv": 0.0}),
+        (Erlang, {"k": 0, "mean": 1.0}),
+        (Erlang, {"k": 2, "mean": -1.0}),
+    ])
+    def test_invalid_parameters_rejected(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(**kwargs)
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 1.0)
+
+    @pytest.mark.parametrize("dist", [
+        Exponential(mean=0.02),
+        LogNormal(mean=0.02, cv=0.8),
+        Erlang(k=4, mean=0.02),
+        Uniform(0.01, 0.03),
+    ])
+    def test_empirical_mean_matches(self, dist):
+        samples = [dist.sample(self.rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(dist.mean, rel=0.05)
+
+    @pytest.mark.parametrize("dist", [
+        Exponential(mean=1.0),
+        LogNormal(mean=1.0, cv=2.0),
+        Erlang(k=3, mean=1.0),
+    ])
+    def test_samples_non_negative(self, dist):
+        assert all(dist.sample(self.rng) >= 0 for _ in range(1000))
+
+    def test_lognormal_cv(self):
+        dist = LogNormal(mean=1.0, cv=0.5)
+        samples = np.array([dist.sample(self.rng) for _ in range(50000)])
+        assert np.std(samples) / np.mean(samples) == pytest.approx(0.5, rel=0.1)
+
+    def test_scaled_scales_mean_and_samples(self):
+        base = Constant(2.0)
+        scaled = base.scaled(3.0)
+        assert isinstance(scaled, Scaled)
+        assert scaled.mean == 6.0
+        assert scaled.sample(self.rng) == 6.0
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            Constant(1.0).scaled(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(mean=st.floats(0.001, 100.0), cv=st.floats(0.05, 3.0))
+    def test_lognormal_parameterization_roundtrip(self, mean, cv):
+        dist = LogNormal(mean=mean, cv=cv)
+        assert dist.mean == pytest.approx(mean)
+        assert dist.cv == pytest.approx(cv)

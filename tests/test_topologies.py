@@ -1,0 +1,159 @@
+"""Tests for the Sock Shop and Social Network topology builders."""
+
+import pytest
+
+from repro.app.topologies import (
+    HEAVY_POSTS,
+    LIGHT_POSTS,
+    build_social_network,
+    build_sock_shop,
+    set_request_weight,
+)
+from repro.sim import Environment, RandomStreams
+from repro.tracing import extract_critical_path
+
+
+def run_request(env, app, request_type):
+    request, process = app.submit(request_type)
+    env.run(until=process)
+    return request
+
+
+class TestSockShop:
+    def setup_method(self):
+        self.env = Environment()
+        self.app = build_sock_shop(self.env, RandomStreams(5))
+
+    def test_all_paper_services_present(self):
+        expected = {"front-end", "cart", "cart-db", "catalogue",
+                    "catalogue-db", "user", "user-db", "orders",
+                    "orders-db", "payment", "shipping", "queue-master",
+                    "recommender"}
+        assert expected <= set(self.app.services)
+
+    def test_cart_is_springboot_with_thread_pool(self):
+        cart = self.app.service("cart")
+        assert cart.thread_pool_size is not None
+
+    def test_catalogue_is_async_with_db_pool(self):
+        catalogue = self.app.service("catalogue")
+        assert catalogue.thread_pool_size is None
+        assert "db" in catalogue.client_pools
+
+    def test_cart_request_traverses_cart_db(self):
+        request = run_request(self.env, self.app, "cart")
+        services = {s.service for s in request.root_span.walk()}
+        assert services == {"front-end", "cart", "cart-db"}
+
+    def test_browse_fans_out_in_parallel(self):
+        request = run_request(self.env, self.app, "browse")
+        root = request.root_span
+        children = {c.service for c in root.children}
+        assert children == {"cart", "catalogue"}
+        cart, catalogue = sorted(root.children, key=lambda s: s.service)
+        # Parallel calls overlap in time.
+        assert cart.arrival < catalogue.departure
+        assert catalogue.arrival < cart.departure
+
+    def test_browse_critical_path_is_one_branch(self):
+        """Fig. 5: either Cart or Catalogue is the critical path."""
+        request = run_request(self.env, self.app, "browse")
+        path = extract_critical_path(request.root_span)
+        assert path.services in (
+            ("front-end", "cart", "cart-db"),
+            ("front-end", "catalogue", "catalogue-db"),
+        )
+
+    def test_order_touches_payment_and_shipping(self):
+        request = run_request(self.env, self.app, "order")
+        services = {s.service for s in request.root_span.walk()}
+        assert {"orders", "payment", "shipping", "queue-master",
+                "user", "cart"} <= services
+
+    def test_call_graph_is_connected_dag(self):
+        import networkx as nx
+        graph = self.app.call_graph()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.out_degree("front-end") >= 3
+
+    def test_custom_knobs_applied(self):
+        env = Environment()
+        app = build_sock_shop(env, RandomStreams(1), cart_threads=17,
+                              cart_cores=3.0, catalogue_db_connections=9)
+        assert app.service("cart").thread_pool_size == 17
+        assert app.service("cart").cores_per_replica == 3.0
+        assert app.service("catalogue").client_pool("db").capacity == 9
+
+
+class TestSocialNetwork:
+    def setup_method(self):
+        self.env = Environment()
+        self.app = build_social_network(self.env, RandomStreams(5))
+
+    def test_paper_services_present(self):
+        expected = {"front-end", "home-timeline", "user-timeline",
+                    "post-storage", "compose-post", "social-graph",
+                    "user-tag", "url-shorten", "text", "media",
+                    "unique-id", "user", "search", "write-home-timeline"}
+        assert expected <= set(self.app.services)
+
+    def test_index_shards_exist(self):
+        assert {"index0", "index1", "index2", "index3"} <= \
+            set(self.app.services)
+
+    def test_storage_pairs_exist(self):
+        for prefix in ("post-storage", "user-timeline", "social-graph"):
+            assert f"{prefix}-memcached" in self.app.services
+            assert f"{prefix}-mongodb" in self.app.services
+
+    def test_client_pool_on_home_timeline(self):
+        home = self.app.service("home-timeline")
+        assert "poststorage" in home.client_pools
+
+    def test_read_home_timeline_path(self):
+        request = run_request(self.env, self.app, "read_home_timeline")
+        services = {s.service for s in request.root_span.walk()}
+        assert {"front-end", "home-timeline", "social-graph",
+                "post-storage"} <= services
+
+    def test_compose_post_fans_out(self):
+        request = run_request(self.env, self.app, "compose_post")
+        services = {s.service for s in request.root_span.walk()}
+        assert {"compose-post", "unique-id", "text", "media", "user",
+                "post-storage", "user-timeline",
+                "write-home-timeline"} <= services
+
+    def test_search_hits_all_shards(self):
+        request = run_request(self.env, self.app, "search")
+        services = {s.service for s in request.root_span.walk()}
+        assert {"index0", "index1", "index2", "index3"} <= services
+
+    def test_set_request_weight_scales_downstream(self):
+        set_request_weight(self.app, HEAVY_POSTS)
+        mongo = self.app.service("post-storage-mongodb")
+        post = self.app.service("post-storage")
+        assert mongo.demand_scale == pytest.approx(
+            HEAVY_POSTS / LIGHT_POSTS)
+        assert 1.0 < post.demand_scale < mongo.demand_scale
+
+    def test_set_request_weight_light_is_identity(self):
+        set_request_weight(self.app, LIGHT_POSTS)
+        assert self.app.service("post-storage-mongodb").demand_scale == 1.0
+
+    def test_set_request_weight_validation(self):
+        with pytest.raises(ValueError):
+            set_request_weight(self.app, 0)
+
+    def test_heavy_requests_slower(self):
+        light = run_request(self.env, self.app, "read_home_timeline")
+        set_request_weight(self.app, HEAVY_POSTS)
+        heavy_samples = []
+        for _ in range(5):
+            heavy_samples.append(run_request(
+                self.env, self.app, "read_home_timeline").response_time)
+        assert min(heavy_samples) > light.response_time * 0.8
+
+    def test_service_count_near_paper(self):
+        # The paper's Social Network has 36 microservices; ours models
+        # the named ones in Fig. 2 plus storage pairs and index shards.
+        assert len(self.app.services) >= 24

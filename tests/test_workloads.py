@@ -1,0 +1,226 @@
+"""Tests for workload traces and drivers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app import Application, Compute, Microservice, Operation
+from repro.sim import Constant, Environment, RandomStreams
+from repro.workloads import (
+    TRACE_NAMES,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    WorkloadTrace,
+    all_traces,
+    big_spike,
+    build_trace,
+    dual_phase,
+    steep_tri_phase,
+)
+
+
+def tiny_app(env, streams, demand=0.001):
+    app = Application(env)
+    svc = Microservice(env, "svc", streams.stream("svc"), cores=4.0)
+    svc.add_operation(Operation("default", [Compute(Constant(demand))]))
+    app.add_service(svc)
+    app.set_entrypoint("go", "svc", "default")
+    return app
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", TRACE_NAMES)
+    def test_all_traces_within_bounds(self, name):
+        trace = build_trace(name, duration=100.0, peak_users=200,
+                            min_users=20)
+        for t, users in trace.series(interval=1.0):
+            assert 20 <= users <= 200, f"{name} at t={t}: {users}"
+
+    @pytest.mark.parametrize("name", TRACE_NAMES)
+    def test_traces_actually_vary(self, name):
+        trace = build_trace(name, duration=100.0, peak_users=200,
+                            min_users=20)
+        users = [u for _t, u in trace.series(interval=1.0)]
+        assert max(users) - min(users) > 50
+
+    def test_big_spike_peaks_mid_trace(self):
+        trace = big_spike(duration=100.0, peak_users=200, min_users=20)
+        users = {t: u for t, u in trace.series(interval=1.0)}
+        assert users[50.0] == max(users.values())
+        assert users[50.0] > 2 * users[5.0]
+
+    def test_dual_phase_two_levels(self):
+        trace = dual_phase(duration=100.0, peak_users=200, min_users=20)
+        early = trace.users(10.0)
+        late = trace.users(90.0)
+        assert late > 1.5 * early
+
+    def test_steep_tri_phase_overload_middle(self):
+        trace = steep_tri_phase(duration=100.0, peak_users=200,
+                                min_users=20)
+        assert trace.users(52.0) > trace.users(10.0)
+        assert trace.users(52.0) > trace.users(95.0)
+
+    def test_load_clamps_outside_extent(self):
+        trace = big_spike(duration=100.0)
+        assert trace.load(-5.0) == trace.load(0.0)
+        assert trace.load(500.0) == trace.load(100.0)
+
+    def test_unknown_trace_name(self):
+        with pytest.raises(KeyError):
+            build_trace("nope")
+
+    def test_all_traces_returns_six(self):
+        traces = all_traces(duration=50.0)
+        assert [t.name for t in traces] == list(TRACE_NAMES)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            big_spike(duration=0.0)
+        with pytest.raises(ValueError):
+            big_spike(peak_users=0)
+        with pytest.raises(ValueError):
+            big_spike(peak_users=10, min_users=20)
+
+    def test_series_interval_validation(self):
+        with pytest.raises(ValueError):
+            big_spike(duration=10.0).series(interval=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        name=st.sampled_from(TRACE_NAMES),
+        t=st.floats(0.0, 100.0),
+    )
+    def test_users_deterministic(self, name, t):
+        a = build_trace(name, duration=100.0).users(t)
+        b = build_trace(name, duration=100.0).users(t)
+        assert a == b
+
+
+class TestClosedLoopDriver:
+    def test_population_follows_trace(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        trace = WorkloadTrace("step", 20.0, 50, 10,
+                              lambda u: 0.0 if u < 0.5 else 1.0)
+        driver = ClosedLoopDriver(env, app, "go", trace,
+                                  streams.stream("drv"))
+        populations = []
+
+        def watcher(env):
+            while env.now < 19.0:
+                populations.append((env.now, driver.active_users))
+                yield env.timeout(1.0)
+
+        driver.start()
+        env.process(watcher(env))
+        env.run(until=25.0)
+        early = [p for t, p in populations if 2 < t < 8]
+        late = [p for t, p in populations if 12 < t < 18]
+        assert max(early) <= 10
+        assert min(late) >= 45
+
+    def test_submits_requests(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        trace = WorkloadTrace("flat", 10.0, 20, 20, lambda u: 1.0)
+        driver = ClosedLoopDriver(env, app, "go", trace,
+                                  streams.stream("drv"))
+        driver.start()
+        env.run(until=15.0)
+        # ~20 users with 1s think and ~0ms service -> ~200 requests.
+        assert driver.submitted > 100
+        assert app.latency["go"].total == pytest.approx(
+            driver.submitted, abs=20)
+
+    def test_population_drains_after_trace_ends(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        trace = WorkloadTrace("flat", 5.0, 10, 10, lambda u: 1.0)
+        driver = ClosedLoopDriver(env, app, "go", trace,
+                                  streams.stream("drv"))
+        driver.start()
+        env.run()
+        assert driver.active_users == 0
+        assert app.in_flight == 0
+
+    def test_start_idempotent(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        trace = WorkloadTrace("flat", 5.0, 5, 5, lambda u: 1.0)
+        driver = ClosedLoopDriver(env, app, "go", trace,
+                                  streams.stream("drv"))
+        driver.start()
+        driver.start()
+        env.run(until=2.0)
+        assert driver.active_users == 5
+
+    def test_invalid_control_interval(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        trace = WorkloadTrace("flat", 5.0, 5, 5, lambda u: 1.0)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(env, app, "go", trace,
+                             streams.stream("drv"), control_interval=0.0)
+
+
+class TestOpenLoopDriver:
+    def test_constant_rate(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        driver = OpenLoopDriver(env, app, "go", rate=100.0,
+                                rng=streams.stream("arrivals"),
+                                duration=20.0)
+        driver.start()
+        env.run()
+        assert driver.submitted == pytest.approx(2000, rel=0.1)
+
+    def test_time_varying_rate(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        driver = OpenLoopDriver(
+            env, app, "go",
+            rate=lambda t: 200.0 if t < 10.0 else 20.0,
+            rng=streams.stream("arrivals"), duration=20.0)
+        driver.start()
+
+        counts = {"early": 0, "late": 0}
+
+        def watcher(env):
+            yield env.timeout(10.0)
+            counts["early"] = driver.submitted
+            yield env.timeout(10.0)
+            counts["late"] = driver.submitted - counts["early"]
+
+        env.process(watcher(env))
+        env.run()
+        assert counts["early"] > 5 * counts["late"]
+
+    def test_zero_rate_stalls_politely(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        driver = OpenLoopDriver(env, app, "go", rate=0.0,
+                                rng=streams.stream("arrivals"),
+                                duration=5.0)
+        driver.start()
+        env.run()
+        assert driver.submitted == 0
+
+    def test_stops_at_duration(self):
+        env = Environment()
+        streams = RandomStreams(0)
+        app = tiny_app(env, streams)
+        driver = OpenLoopDriver(env, app, "go", rate=50.0,
+                                rng=streams.stream("arrivals"),
+                                duration=4.0)
+        driver.start()
+        env.run(until=100.0)
+        assert env.peek() == float("inf")  # no events left: driver quit
