@@ -17,7 +17,12 @@ from __future__ import annotations
 import os
 import pathlib
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+#: Where rendered tables/figures land; override with
+#: ``REPRO_BENCH_RESULTS_DIR`` so smoke runs at reduced scale do not
+#: clobber the committed full-scale artifacts.
+RESULTS_DIR = pathlib.Path(
+    os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    or pathlib.Path(__file__).resolve().parent / "results")
 
 #: Global duration multiplier (REPRO_BENCH_SCALE env var).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

@@ -113,6 +113,10 @@ def test_table1_sampling_interval(benchmark):
         # extremes (the paper's U-shape, minimum at 100 ms).
         mid_values = [e for i, e in valid.items() if 0.05 <= i <= 0.2]
         assert mid_values, f"{name}: no mid-range estimates"
+        if not mid_values:
+            # Assertion-free smoke runs at tiny scale may produce no
+            # estimates at all; there is no shape left to check.
+            continue
         mid = min(mid_values)
         extremes = [e for i, e in valid.items()
                     if i <= 0.02 or i >= 0.5]

@@ -6,6 +6,8 @@ Examples::
     python -m repro.cli run --scenario cart --trace steep_tri_phase \\
         --controller sora --autoscaler firm --duration 240
     python -m repro.cli compare --scenario drift --trace large_variation
+    python -m repro.cli validate conformance --verbose
+    python -m repro.cli validate replay --scenario tandem_balanced
 """
 
 from __future__ import annotations
@@ -96,6 +98,62 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_validate_conformance(args) -> int:
+    from repro.validation import (
+        generate_scenarios,
+        run_conformance,
+        scenario_by_name,
+    )
+
+    if args.replications < 1:
+        print("error: --replications must be >= 1", file=sys.stderr)
+        return 2
+    if args.duration_scale <= 0:
+        print("error: --duration-scale must be positive",
+              file=sys.stderr)
+        return 2
+    if args.scenario:
+        try:
+            scenarios = [scenario_by_name(name)
+                         for name in args.scenario]
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        scenarios = generate_scenarios()
+    report = run_conformance(scenarios, seed=args.seed,
+                             duration_scale=args.duration_scale,
+                             replications=args.replications)
+    print(report.render(verbose=args.verbose))
+    print(f"\n{sum(r.passed for r in report.results)}"
+          f"/{len(report.results)} scenarios within tolerance")
+    return 0 if report.passed else 1
+
+
+def cmd_validate_replay(args) -> int:
+    from repro.validation import check_replay
+
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    try:
+        result = check_replay(args.scenario, seed=args.seed,
+                              duration=args.duration,
+                              across_processes=not args.no_subprocess,
+                              perturb_at=args.perturb_at)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.perturb_at is not None:
+        # Perturbed mode *demonstrates* detection: divergence expected.
+        if result.identical:
+            print("expected divergence was NOT detected")
+            return 1
+        return 0
+    return 0 if result.identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -128,6 +186,38 @@ def build_parser() -> argparse.ArgumentParser:
         "compare",
         help="run hardware-only vs the chosen controller side by side")
     add_run_args(compare_parser)
+
+    validate = sub.add_parser(
+        "validate",
+        help="validation subsystem: theory conformance and replay")
+    validate_sub = validate.add_subparsers(dest="validate_command",
+                                           required=True)
+    conf = validate_sub.add_parser(
+        "conformance",
+        help="check the simulator against exact MVA on a scenario "
+             "family")
+    conf.add_argument("--scenario", action="append", default=None,
+                      help="run only this scenario (repeatable; "
+                           "default: the whole family)")
+    conf.add_argument("--seed", type=int, default=17)
+    conf.add_argument("--replications", type=int, default=2)
+    conf.add_argument("--duration-scale", type=float, default=1.0,
+                      help="scale scenario durations (sub-unity for "
+                           "smoke runs; tolerances assume 1.0)")
+    conf.add_argument("--verbose", action="store_true",
+                      help="per-station residence and queue detail")
+    replay = validate_sub.add_parser(
+        "replay",
+        help="verify deterministic replay (same seed => identical "
+             "event stream, in-process and across processes)")
+    replay.add_argument("--scenario", default="tandem_balanced")
+    replay.add_argument("--seed", type=int, default=17)
+    replay.add_argument("--duration", type=float, default=40.0)
+    replay.add_argument("--no-subprocess", action="store_true",
+                        help="skip the spawned-subprocess run")
+    replay.add_argument("--perturb-at", type=float, default=None,
+                        help="inject a divergence at this simulated "
+                             "time to demonstrate detection")
     return parser
 
 
@@ -139,6 +229,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "validate":
+        if args.validate_command == "conformance":
+            return cmd_validate_conformance(args)
+        if args.validate_command == "replay":
+            return cmd_validate_replay(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

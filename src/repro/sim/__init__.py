@@ -16,7 +16,7 @@ from repro.sim.distributions import (
     Uniform,
     Weibull,
 )
-from repro.sim.engine import NORMAL, URGENT, Environment
+from repro.sim.engine import NORMAL, URGENT, Environment, StepMonitor
 from repro.sim.errors import (
     EventAlreadyTriggered,
     Interrupt,
@@ -46,6 +46,7 @@ __all__ = [
     "RandomStreams",
     "Scaled",
     "SimulationError",
+    "StepMonitor",
     "StopSimulation",
     "Timeout",
     "URGENT",

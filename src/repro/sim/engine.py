@@ -26,6 +26,11 @@ URGENT = 0
 NORMAL = 1
 
 
+#: A step monitor receives ``(when, sequence, event)`` just before the
+#: event's callbacks run. Monitors must not mutate simulation state.
+StepMonitor = _t.Callable[[float, int, "Event"], None]
+
+
 class Environment:
     """Execution environment for a single simulation run."""
 
@@ -34,6 +39,7 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Process | None = None
+        self._monitors: list[StepMonitor] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -104,10 +110,29 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def add_monitor(self, monitor: StepMonitor) -> None:
+        """Observe every event the loop processes (validation hooks).
+
+        Monitors are invoked *before* the event's callbacks with
+        ``(when, sequence, event)`` where ``sequence`` is the event's
+        scheduling serial — a deterministic, replayable step identity.
+        They are read-only observers: raising from one aborts the run
+        (this is how invariant checkers fail fast).
+        """
+        self._monitors.append(monitor)
+
+    def remove_monitor(self, monitor: StepMonitor) -> None:
+        """Detach a previously added monitor (no-op if absent)."""
+        if monitor in self._monitors:
+            self._monitors.remove(monitor)
+
     def step(self) -> None:
         """Process the single next event."""
-        when, _prio, _eid, event = heapq.heappop(self._heap)
+        when, _prio, eid, event = heapq.heappop(self._heap)
         self._now = when
+        if self._monitors:
+            for monitor in self._monitors:
+                monitor(when, eid, event)
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

@@ -6,7 +6,12 @@ fine-grained metric extraction; :func:`extract_critical_path` finds the
 maximal-duration root-to-leaf chain of a request call tree.
 """
 
-from repro.tracing.export import export_traces, trace_to_jaeger, write_traces
+from repro.tracing.export import (
+    export_traces,
+    trace_to_jaeger,
+    traces_from_jaeger,
+    write_traces,
+)
 from repro.tracing.critical_path import (
     CriticalPath,
     critical_path_frequencies,
@@ -23,5 +28,6 @@ __all__ = [
     "export_traces",
     "extract_critical_path",
     "trace_to_jaeger",
+    "traces_from_jaeger",
     "write_traces",
 ]

@@ -20,8 +20,11 @@ EPOCH_US = 1_600_000_000_000_000
 
 
 def _span_dict(span: Span, trace_id: str) -> dict:
-    start_us = EPOCH_US + int(span.arrival * 1e6)
-    duration_us = int(span.duration * 1e6)
+    # round(), not int(): truncation would turn float error just below
+    # a microsecond boundary (5999.999...) into an off-by-one, breaking
+    # byte-stability of export -> import -> export.
+    start_us = EPOCH_US + round(span.arrival * 1e6)
+    duration_us = round(span.duration * 1e6)
     references = []
     if span.parent is not None:
         references.append({
@@ -32,9 +35,9 @@ def _span_dict(span: Span, trace_id: str) -> dict:
     tags = [
         {"key": "operation", "type": "string", "value": span.operation},
         {"key": "queue_wait_us", "type": "int64",
-         "value": int(span.queue_wait * 1e6)},
+         "value": round(span.queue_wait * 1e6)},
         {"key": "self_time_us", "type": "int64",
-         "value": int(span.self_time() * 1e6)},
+         "value": round(span.self_time() * 1e6)},
     ]
     if span.replica is not None:
         tags.append({"key": "replica", "type": "string",
@@ -77,3 +80,59 @@ def write_traces(path: str, roots: _t.Iterable[Span]) -> int:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"data": data}, handle, sort_keys=True)
     return len(data)
+
+
+def _tag_value(span_dict: dict, key: str) -> _t.Any | None:
+    for tag in span_dict.get("tags", ()):
+        if tag.get("key") == key:
+            return tag.get("value")
+    return None
+
+
+def _trace_from_jaeger(element: dict) -> Span:
+    trace_id = int(element["traceID"], 16)
+    by_id: dict[str, Span] = {}
+    children: dict[str, list[str]] = {}
+    root_id: str | None = None
+    for span_dict in element["spans"]:
+        arrival = (span_dict["startTime"] - EPOCH_US) / 1e6
+        span = Span(trace_id=trace_id,
+                    service=span_dict["processID"],
+                    operation=_tag_value(span_dict, "operation") or "",
+                    arrival=arrival,
+                    replica=_tag_value(span_dict, "replica"))
+        # Preserve the exported identity instead of the fresh counter
+        # value so export -> import -> export is a fixed point.
+        span.span_id = int(span_dict["spanID"], 16)
+        queue_wait_us = _tag_value(span_dict, "queue_wait_us") or 0
+        span.started = arrival + queue_wait_us / 1e6
+        span.departure = arrival + span_dict["duration"] / 1e6
+        by_id[span_dict["spanID"]] = span
+        parents = [ref["spanID"] for ref in span_dict["references"]
+                   if ref.get("refType") == "CHILD_OF"]
+        if parents:
+            children.setdefault(parents[0], []).append(
+                span_dict["spanID"])
+        else:
+            root_id = span_dict["spanID"]
+    if root_id is None:
+        raise ValueError(f"trace {element['traceID']} has no root span")
+    for parent_id, child_ids in children.items():
+        parent = by_id[parent_id]
+        for child_id in child_ids:
+            child = by_id[child_id]
+            child.parent = parent
+            parent.children.append(child)
+    return by_id[root_id]
+
+
+def traces_from_jaeger(document: str | dict) -> list[Span]:
+    """Parse a Jaeger-API-shaped document back into span trees.
+
+    Inverse of :func:`export_traces` up to the microsecond timestamp
+    truncation the Jaeger shape imposes: a second export of the parsed
+    spans reproduces the document byte-for-byte.
+    """
+    if isinstance(document, str):
+        document = json.loads(document)
+    return [_trace_from_jaeger(element) for element in document["data"]]

@@ -1,0 +1,77 @@
+"""Validation subsystem: does the substrate behave like the theory says?
+
+Everything above the simulator — the SCG estimator, the controllers,
+the paper-figure benches — is only as trustworthy as the simulator
+itself. This package makes that trust checkable, and keeps it checked:
+
+- :mod:`repro.validation.scenarios` — generated families of closed
+  queueing-network scenarios that both the simulator and the exact MVA
+  solver can consume.
+- :mod:`repro.validation.conformance` — the theory-conformance
+  harness: run each scenario through both, compare throughput /
+  response time / queue length within declared tolerances
+  (``repro validate conformance``).
+- :mod:`repro.validation.fingerprint` — canonical run fingerprints
+  (hashed event stream + summary metrics).
+- :mod:`repro.validation.replay` — deterministic-replay checking with
+  first-divergence reports (``repro validate replay``), the regression
+  net for future parallelism/caching work.
+- :mod:`repro.validation.invariants` — always-on invariant checkers
+  (clock monotonicity, request conservation, pool occupancy) that can
+  be armed on any :class:`~repro.sim.engine.Environment`.
+- :mod:`repro.validation.strategies` — hypothesis strategies for
+  scatter samples, call-graph topologies, and workloads, shared by the
+  property/metamorphic test layer.
+"""
+
+from repro.validation.conformance import (
+    ConformanceReport,
+    ScenarioResult,
+    StationError,
+    Tolerance,
+    run_conformance,
+    run_scenario_conformance,
+)
+from repro.validation.fingerprint import (
+    Fingerprint,
+    RunRecorder,
+    fingerprint_traces,
+)
+from repro.validation.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+)
+from repro.validation.replay import (
+    DivergenceReport,
+    ReplayResult,
+    check_replay,
+    diff_fingerprints,
+    run_fingerprint,
+)
+from repro.validation.scenarios import (
+    ConformanceScenario,
+    generate_scenarios,
+    scenario_by_name,
+)
+
+__all__ = [
+    "ConformanceReport",
+    "ConformanceScenario",
+    "DivergenceReport",
+    "Fingerprint",
+    "InvariantChecker",
+    "InvariantViolation",
+    "ReplayResult",
+    "RunRecorder",
+    "ScenarioResult",
+    "StationError",
+    "Tolerance",
+    "check_replay",
+    "diff_fingerprints",
+    "fingerprint_traces",
+    "generate_scenarios",
+    "run_conformance",
+    "run_scenario_conformance",
+    "run_fingerprint",
+    "scenario_by_name",
+]

@@ -1,0 +1,172 @@
+"""Canonical run fingerprints.
+
+A fingerprint condenses a simulation run into a digest of its processed
+event stream plus a handful of summary metrics. Two runs of the same
+scenario with the same seed must produce bit-identical fingerprints —
+on this machine, in another process, under a different PYTHONHASHSEED —
+or something nondeterministic crept into the kernel. The recorder keeps
+the full (bounded) event log alongside the digest so a mismatch can be
+narrowed to the *first* differing event (see
+:mod:`repro.validation.replay`).
+
+Event identity is structural, never object identity: simulated time (as
+exact float hex), the event's type name, and a type-specific detail
+(process name, timeout delay). The scheduling serial is deliberately
+*not* part of the record — stream position already encodes order, and
+serials would smear one inserted event across every later record
+instead of pinpointing it. Raw span/trace ids are excluded too — they
+come from module-level counters that keep counting across runs in one
+process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing as _t
+from dataclasses import dataclass
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+from repro.tracing.span import Span
+
+#: One canonical event record: (time_hex, kind, detail).
+EventRecord = tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """The canonical identity of one simulation run.
+
+    Attributes:
+        digest: blake2b hex digest over the event stream and summary.
+        n_events: number of events processed.
+        final_time: simulated clock when recording stopped.
+        summary: deterministic run metrics folded into the digest
+            (completions per request type, spans recorded, ...).
+        events: the full event log when recording kept it (``None``
+            for digest-only fingerprints); needed for divergence
+            pinpointing.
+    """
+
+    digest: str
+    n_events: int
+    final_time: float
+    summary: tuple[tuple[str, str], ...]
+    events: tuple[EventRecord, ...] | None = None
+
+    def same_digest(self, other: "Fingerprint") -> bool:
+        return self.digest == other.digest
+
+
+def _event_detail(event: Event) -> str:
+    if isinstance(event, Process):
+        return event.name or ""
+    if isinstance(event, Timeout):
+        return float(event.delay).hex()
+    return ""
+
+
+class RunRecorder:
+    """An environment monitor that hashes every processed event.
+
+    Arm it before the run starts, then call :meth:`finish` after
+    ``env.run()`` returns::
+
+        recorder = RunRecorder(env)
+        ...
+        env.run(until=duration)
+        fingerprint = recorder.finish(app)
+
+    Args:
+        env: the environment to observe.
+        keep_events: retain the full event log (needed for divergence
+            reports; costs memory on long runs).
+        max_events: hard cap on retained events; the digest always
+            covers the whole run, but the log is truncated beyond the
+            cap (reported fingerprints note the truncation).
+    """
+
+    def __init__(self, env: Environment, keep_events: bool = True,
+                 max_events: int = 2_000_000) -> None:
+        self.env = env
+        self._hash = hashlib.blake2b(digest_size=16)
+        self._keep = keep_events
+        self._max_events = max_events
+        self.events: list[EventRecord] = []
+        self.n_events = 0
+        self.truncated = False
+        env.add_monitor(self._observe)
+
+    def _observe(self, when: float, _sequence: int, event: Event) -> None:
+        record = (float(when).hex(), type(event).__name__,
+                  _event_detail(event))
+        self.n_events += 1
+        self._hash.update(
+            f"{record[0]}|{record[1]}|{record[2]}\n".encode("utf-8"))
+        if self._keep:
+            if len(self.events) < self._max_events:
+                self.events.append(record)
+            else:
+                self.truncated = True
+
+    def detach(self) -> None:
+        """Stop observing (idempotent)."""
+        self.env.remove_monitor(self._observe)
+
+    def finish(self, app: _t.Any = None,
+               extra: _t.Mapping[str, object] | None = None
+               ) -> Fingerprint:
+        """Seal the recording into a :class:`Fingerprint`.
+
+        Args:
+            app: optional :class:`~repro.app.application.Application`;
+                folds end-to-end completion counts and trace counts
+                into the summary.
+            extra: additional deterministic key/value metrics to fold
+                in (values are stringified).
+        """
+        self.detach()
+        summary: list[tuple[str, str]] = [
+            ("final_time", float(self.env.now).hex()),
+            ("n_events", str(self.n_events)),
+        ]
+        if app is not None:
+            for request_type in sorted(app.latency):
+                summary.append((f"completions.{request_type}",
+                                str(app.latency[request_type].total)))
+            summary.append(("submitted", str(app.total_submitted)))
+            summary.append(("traces", str(app.warehouse.total_recorded)))
+        for key in sorted(extra or {}):
+            summary.append((key, str((extra or {})[key])))
+        for key, value in summary:
+            self._hash.update(f"{key}={value}\n".encode("utf-8"))
+        return Fingerprint(
+            digest=self._hash.hexdigest(),
+            n_events=self.n_events,
+            final_time=self.env.now,
+            summary=tuple(summary),
+            events=tuple(self.events) if self._keep else None)
+
+
+def fingerprint_traces(roots: _t.Iterable[Span]) -> str:
+    """Digest of a trace stream's canonical serialization.
+
+    Spans are serialized in pre-order walk order with structural fields
+    only (service, operation, replica, timestamps as exact hex), so the
+    digest is stable across processes and independent of the global
+    span-id counter.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for root in roots:
+        for span in root.walk():
+            start = "" if span.started is None \
+                else float(span.started).hex()
+            end = "" if span.departure is None \
+                else float(span.departure).hex()
+            digest.update(
+                f"{span.service}|{span.operation}|{span.replica or ''}|"
+                f"{float(span.arrival).hex()}|{start}|{end}\n"
+                .encode("utf-8"))
+        digest.update(b"--\n")
+    return digest.hexdigest()

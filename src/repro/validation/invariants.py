@@ -1,0 +1,159 @@
+"""Armable simulation invariant checkers.
+
+An :class:`InvariantChecker` attaches to any
+:class:`~repro.sim.engine.Environment` as a step monitor and asserts,
+on every processed event, the conservation laws the kernel and resource
+layer must never violate:
+
+- **Clock monotonicity** — simulated time never runs backwards.
+- **Request conservation** — submitted = completed + in-flight, and
+  in-flight is never negative.
+- **Pool occupancy** — tokens in use never exceed capacity, except
+  transiently after a lazy shrink, during which the overage must only
+  drain (never grow).
+- **Queue sanity** — admission queues and per-replica active counts
+  are never negative.
+
+Violations raise :class:`InvariantViolation` immediately, aborting the
+run at the exact event that broke the law — property tests arm a
+checker and simply let hypothesis shrink the failing schedule.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.app.application import Application
+    from repro.resources.pool import SoftResourcePool
+
+
+class InvariantViolation(AssertionError):
+    """A simulation invariant was broken (time and cause included)."""
+
+
+class InvariantChecker:
+    """Continuously verify kernel/application invariants during a run.
+
+    Args:
+        env: the environment to observe.
+        app: optional application; enables request-conservation and
+            pool/replica checks on top of the kernel clock check.
+
+    Usage::
+
+        checker = InvariantChecker(env, app).arm()
+        env.run(until=...)
+        checker.verify_quiescent()   # post-run conservation
+    """
+
+    def __init__(self, env: Environment,
+                 app: "Application | None" = None) -> None:
+        self.env = env
+        self.app = app
+        self._last_time = env.now
+        self._armed = False
+        self.events_checked = 0
+        # pool id -> overage at last check (for lazy-shrink draining).
+        self._overages: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def arm(self) -> "InvariantChecker":
+        """Attach to the environment (idempotent); returns self."""
+        if not self._armed:
+            self.env.add_monitor(self._check)
+            self._armed = True
+        return self
+
+    def disarm(self) -> None:
+        """Detach from the environment (idempotent)."""
+        if self._armed:
+            self.env.remove_monitor(self._check)
+            self._armed = False
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _fail(self, when: float, message: str) -> _t.NoReturn:
+        raise InvariantViolation(
+            f"invariant violated at t={when:.9f} "
+            f"(event #{self.events_checked}): {message}")
+
+    def _check_pool(self, when: float, pool: "SoftResourcePool") -> None:
+        if pool.in_use < 0:
+            self._fail(when, f"pool {pool.name!r}: negative in_use "
+                             f"{pool.in_use}")
+        if pool.queue_length < 0:  # pragma: no cover - deque length
+            self._fail(when, f"pool {pool.name!r}: negative queue")
+        overage = pool.in_use - pool.capacity
+        previous = self._overages.get(id(pool), 0)
+        if overage > 0 and overage > previous:
+            self._fail(
+                when,
+                f"pool {pool.name!r}: occupancy {pool.in_use} grew "
+                f"above capacity {pool.capacity} (lazy shrink may only "
+                f"drain, had overage {previous})")
+        self._overages[id(pool)] = max(0, overage)
+
+    def _check(self, when: float, _sequence: int, _event: Event) -> None:
+        self.events_checked += 1
+        if when < self._last_time:
+            self._fail(when, f"clock ran backwards "
+                             f"(previous t={self._last_time:.9f})")
+        self._last_time = when
+        app = self.app
+        if app is None:
+            return
+        if app.in_flight < 0:
+            self._fail(when, f"negative in-flight count {app.in_flight}")
+        completed = sum(log.total for log in app.latency.values())
+        if completed + app.in_flight != app.total_submitted:
+            self._fail(
+                when,
+                f"request conservation broken: submitted "
+                f"{app.total_submitted} != completed {completed} + "
+                f"in-flight {app.in_flight}")
+        for service in app.services.values():
+            for replica in service.replicas:
+                if replica.active_requests < 0:
+                    self._fail(
+                        when,
+                        f"replica {replica.name}: negative active "
+                        f"count {replica.active_requests}")
+                if replica.server_pool is not None:
+                    self._check_pool(when, replica.server_pool)
+            for pool in service.client_pools.values():
+                self._check_pool(when, pool)
+
+    # ------------------------------------------------------------------
+    # Post-run verification
+    # ------------------------------------------------------------------
+    def verify_quiescent(self) -> None:
+        """Assert the drained end state: nothing in flight, no tokens
+        held, every submitted request accounted for."""
+        app = self.app
+        if app is None:
+            return
+        now = self.env.now
+        if app.in_flight != 0:
+            self._fail(now, f"{app.in_flight} requests still in flight "
+                            "after the run drained")
+        completed = sum(log.total for log in app.latency.values())
+        if completed != app.total_submitted:
+            self._fail(now, f"completed {completed} != submitted "
+                            f"{app.total_submitted}")
+        for service in app.services.values():
+            for replica in service.replicas:
+                pool = replica.server_pool
+                if pool is not None and pool.in_use != 0:
+                    self._fail(now, f"pool {pool.name!r}: {pool.in_use} "
+                                    "tokens still held at quiescence")
+            for pool in service.client_pools.values():
+                if pool.in_use != 0:
+                    self._fail(now, f"pool {pool.name!r}: {pool.in_use} "
+                                    "tokens still held at quiescence")

@@ -1,0 +1,231 @@
+"""Deterministic replay checking and divergence reports.
+
+The simulator promises common-random-number determinism: the same
+scenario under the same master seed must replay the exact same event
+stream, in this process, in a fresh process, and on any machine with
+the same dependency stack. This module enforces the promise:
+
+- :func:`run_fingerprint` runs one named scenario and returns its
+  canonical :class:`~repro.validation.fingerprint.Fingerprint`;
+- :func:`check_replay` runs a scenario twice in-process and once in a
+  *spawned* subprocess (a cold interpreter, so no inherited state can
+  fake determinism) and diffs the fingerprints;
+- :func:`diff_fingerprints` pinpoints the first differing event and
+  renders a structured divergence report.
+
+This is the regression net for every future parallelism or caching
+change: if a worker pool or memoization layer perturbs the event
+stream, ``repro validate replay`` names the first event that moved.
+
+An injected perturbation (``perturb_at``) deliberately breaks replay by
+scheduling a mid-run demand-scale nudge; the self-test uses it to prove
+the checker actually detects divergence rather than vacuously passing.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import typing as _t
+from dataclasses import dataclass, replace
+
+from repro.validation.fingerprint import (
+    EventRecord,
+    Fingerprint,
+    RunRecorder,
+    fingerprint_traces,
+)
+from repro.validation.scenarios import scenario_by_name
+
+#: Default replay horizon — long enough for thousands of events, short
+#: enough that the check stays interactive.
+DEFAULT_DURATION = 40.0
+
+#: Demand multiplier applied by the injected perturbation.
+PERTURB_SCALE = 1.001
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Where two event streams first disagree.
+
+    Attributes:
+        index: position of the first differing event (0-based), or the
+            length of the shorter stream when one is a prefix of the
+            other.
+        left / right: the differing records (``None`` when that stream
+            ended first).
+        context: the last few records the streams still share.
+        left_label / right_label: which runs are being compared.
+    """
+
+    index: int
+    left: EventRecord | None
+    right: EventRecord | None
+    context: tuple[EventRecord, ...]
+    left_label: str
+    right_label: str
+
+    @staticmethod
+    def _describe(record: EventRecord | None) -> str:
+        if record is None:
+            return "<stream ended>"
+        time_hex, kind, detail = record
+        time = float.fromhex(time_hex)
+        if kind == "Timeout" and detail.startswith("0x"):
+            detail = f"delay={float.fromhex(detail):.9f}"
+        suffix = f" ({detail})" if detail else ""
+        return f"t={time:.9f} {kind}{suffix}"
+
+    def render(self) -> str:
+        lines = [
+            f"first divergence at event #{self.index}:",
+            f"  {self.left_label:<12} {self._describe(self.left)}",
+            f"  {self.right_label:<12} {self._describe(self.right)}",
+        ]
+        if self.context:
+            lines.append("  last shared events:")
+            for record in self.context:
+                lines.append(f"    {self._describe(record)}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a replay check across several runs of one scenario."""
+
+    scenario: str
+    seed: int
+    duration: float
+    fingerprints: tuple[tuple[str, Fingerprint], ...]
+    divergence: DivergenceReport | None
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def render(self) -> str:
+        lines = [f"replay check: scenario={self.scenario} "
+                 f"seed={self.seed} duration={self.duration:g}s"]
+        for label, fingerprint in self.fingerprints:
+            lines.append(
+                f"  {label:<12} digest={fingerprint.digest} "
+                f"events={fingerprint.n_events}")
+        if self.identical:
+            lines.append("  all fingerprints identical — "
+                         "deterministic replay holds")
+        else:
+            lines.append(self.divergence.render())
+        return "\n".join(lines)
+
+
+def run_fingerprint(scenario_name: str, seed: int,
+                    duration: float = DEFAULT_DURATION,
+                    keep_events: bool = True,
+                    perturb_at: float | None = None) -> Fingerprint:
+    """Run one named conformance scenario and fingerprint it.
+
+    Args:
+        scenario_name: a :func:`~repro.validation.scenarios
+            .generate_scenarios` entry.
+        seed: master seed for all random streams.
+        duration: simulated horizon (overrides the scenario's own).
+        keep_events: retain the event log for divergence pinpointing.
+        perturb_at: when set, nudge the entry service's demand scale at
+            this simulated time — an injected divergence for testing
+            the checker itself.
+    """
+    scenario = replace(scenario_by_name(scenario_name),
+                       duration=duration)
+    env, app, driver = scenario.build(seed)
+    recorder = RunRecorder(env, keep_events=keep_events)
+    if perturb_at is not None:
+        entry = app.service(scenario.service_names[0])
+
+        def _perturb() -> None:
+            entry.demand_scale *= PERTURB_SCALE
+
+        env.call_at(perturb_at, _perturb)
+    driver.start()
+    env.run(until=duration + 1.0)
+    traces = app.warehouse.traces()
+    return recorder.finish(app, extra={
+        "trace_digest": fingerprint_traces(traces),
+    })
+
+
+def _worker(args: tuple[str, int, float]) -> Fingerprint:
+    scenario_name, seed, duration = args
+    return run_fingerprint(scenario_name, seed, duration)
+
+
+def diff_fingerprints(left: tuple[str, Fingerprint],
+                      right: tuple[str, Fingerprint],
+                      context: int = 3) -> DivergenceReport | None:
+    """First-divergence diff of two fingerprints (``None`` if equal).
+
+    Falls back to a digest-only verdict (index ``-1``) when either
+    fingerprint carries no event log.
+    """
+    left_label, left_fp = left
+    right_label, right_fp = right
+    if left_fp.digest == right_fp.digest:
+        return None
+    if left_fp.events is None or right_fp.events is None:
+        return DivergenceReport(
+            index=-1, left=None, right=None, context=(),
+            left_label=left_label, right_label=right_label)
+    a, b = left_fp.events, right_fp.events
+    limit = min(len(a), len(b))
+    index = limit
+    for i in range(limit):
+        if a[i] != b[i]:
+            index = i
+            break
+    else:
+        if len(a) == len(b):
+            # Same events, different summary (e.g. trace digest): point
+            # past the end with shared tail context.
+            index = limit
+    shared = a[max(0, index - context):index]
+    return DivergenceReport(
+        index=index,
+        left=a[index] if index < len(a) else None,
+        right=b[index] if index < len(b) else None,
+        context=tuple(shared),
+        left_label=left_label, right_label=right_label)
+
+
+def check_replay(scenario_name: str, seed: int = 17,
+                 duration: float = DEFAULT_DURATION,
+                 across_processes: bool = True,
+                 perturb_at: float | None = None) -> ReplayResult:
+    """Replay a scenario and verify fingerprint identity.
+
+    Runs the scenario twice in this process, and — unless disabled —
+    once more in a spawned subprocess (a cold interpreter). When
+    ``perturb_at`` is set, the *second* in-process run is perturbed, so
+    the result demonstrates divergence detection.
+    """
+    baseline = ("run-1", run_fingerprint(scenario_name, seed, duration))
+    second_label = "run-2" if perturb_at is None else "run-perturbed"
+    second = (second_label,
+              run_fingerprint(scenario_name, seed, duration,
+                              perturb_at=perturb_at))
+    fingerprints = [baseline, second]
+    if across_processes and perturb_at is None:
+        context = multiprocessing.get_context("spawn")
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=1, mp_context=context) as pool:
+            remote = pool.submit(
+                _worker, (scenario_name, seed, duration)).result()
+        fingerprints.append(("subprocess", remote))
+
+    divergence = None
+    for other in fingerprints[1:]:
+        divergence = diff_fingerprints(baseline, other)
+        if divergence is not None:
+            break
+    return ReplayResult(
+        scenario=scenario_name, seed=seed, duration=duration,
+        fingerprints=tuple(fingerprints), divergence=divergence)

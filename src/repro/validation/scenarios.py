@@ -1,0 +1,278 @@
+"""Generated closed-network scenarios for theory conformance.
+
+Each :class:`ConformanceScenario` describes one closed queueing network
+twice over: as a :class:`~repro.analysis.queueing.Station` list the MVA
+solver consumes, and as a simulated application (a chain of
+processor-sharing microservices driven by a think-submit-wait user
+population). The generated family spans the dimensions along which the
+simulator could plausibly diverge from product-form theory:
+
+- chain depth and demand balance (uniform vs bottlenecked),
+- service-time distribution (PS insensitivity: lognormal, exponential,
+  and constant demands must all match the same MVA solution),
+- think time (light vs heavy load relative to saturation),
+- multi-core stations (exact load-dependent MVA),
+- repeated calls (visit ratios above 1),
+- non-binding thread pools (admission gates that must not perturb a
+  product-form network when they never fill).
+
+Pool-*limited* behavior is deliberately out of scope here — a binding
+admission limit breaks product form, so those paths are exercised by
+the replay and property layers instead.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.analysis.queueing import Station
+from repro.app.application import Application
+from repro.app.behavior import Call, Compute, Operation, Step
+from repro.app.service import Microservice
+from repro.sim.distributions import (
+    Constant,
+    Distribution,
+    Erlang,
+    Exponential,
+    LogNormal,
+)
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.workloads.drivers import ClosedLoopDriver
+from repro.workloads.traces import WorkloadTrace
+
+DemandShape = _t.Literal["lognormal", "exponential", "constant"]
+ThinkShape = _t.Literal["exponential", "erlang", "constant"]
+
+
+@dataclass(frozen=True)
+class ConformanceScenario:
+    """One closed network, consumable by both solver and simulator.
+
+    Attributes:
+        name: unique scenario identifier.
+        demands: per-service mean CPU demand along the chain (seconds).
+        cores: per-service core count (1 = exact single-server MVA,
+            >1 = exact load-dependent multi-core MVA).
+        fanout: sequential calls from service ``i`` to service ``i+1``
+            (length ``len(demands) - 1``); visit ratios compound.
+        population: closed user population ``N``.
+        think_time: mean think time ``Z`` (seconds).
+        duration: simulated seconds; measurements use the second half.
+        demand_shape: service-demand distribution (PS is insensitive,
+            so all shapes must match the same solution).
+        think_shape: think-time distribution (delay stations are
+            insensitive too; the default Erlang-4 keeps driver noise
+            low, while dedicated scenarios exercise exponential and
+            constant think).
+        thread_pool: optional per-replica thread pool on the entry
+            service, sized to never bind (>= population).
+        description: one-line note shown in reports.
+    """
+
+    name: str
+    demands: tuple[float, ...]
+    population: int
+    think_time: float
+    duration: float = 600.0
+    cores: tuple[int, ...] = ()
+    fanout: tuple[int, ...] = ()
+    demand_shape: DemandShape = "lognormal"
+    think_shape: ThinkShape = "erlang"
+    thread_pool: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.demands:
+            raise ValueError("scenario needs at least one service")
+        if self.population < 1:
+            raise ValueError(f"population must be >= 1, got "
+                             f"{self.population}")
+        cores = self.cores or (1,) * len(self.demands)
+        if len(cores) != len(self.demands):
+            raise ValueError("cores must match demands in length")
+        fanout = self.fanout or (1,) * (len(self.demands) - 1)
+        if len(fanout) != len(self.demands) - 1:
+            raise ValueError("fanout must have len(demands) - 1 entries")
+        if any(f < 1 for f in fanout):
+            raise ValueError(f"fanout entries must be >= 1, got {fanout}")
+        if self.thread_pool is not None and \
+                self.thread_pool < self.population:
+            raise ValueError(
+                "thread_pool must be >= population to stay non-binding "
+                f"(got {self.thread_pool} < {self.population})")
+        object.__setattr__(self, "cores", tuple(cores))
+        object.__setattr__(self, "fanout", tuple(fanout))
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    @property
+    def service_names(self) -> tuple[str, ...]:
+        return tuple(f"s{i}" for i in range(len(self.demands)))
+
+    @property
+    def visits(self) -> tuple[float, ...]:
+        """Visit ratio of each service relative to one user request."""
+        ratios = [1.0]
+        for calls in self.fanout:
+            ratios.append(ratios[-1] * calls)
+        return tuple(ratios)
+
+    def stations(self) -> list[Station]:
+        """The network as MVA stations (think time is passed as ``Z``)."""
+        result = []
+        for name, demand, cores, visits in zip(
+                self.service_names, self.demands, self.cores, self.visits):
+            if cores > 1:
+                result.append(Station(name, demand, visits=visits,
+                                      kind="multi", servers=cores))
+            else:
+                result.append(Station(name, demand, visits=visits))
+        return result
+
+    # ------------------------------------------------------------------
+    # Simulation assembly
+    # ------------------------------------------------------------------
+    def _demand_distribution(self, mean: float) -> Distribution:
+        if self.demand_shape == "lognormal":
+            return LogNormal(mean, cv=1.2)
+        if self.demand_shape == "exponential":
+            return Exponential(mean)
+        return Constant(mean)
+
+    def _think_distribution(self) -> Distribution:
+        if self.think_shape == "exponential":
+            return Exponential(self.think_time)
+        if self.think_shape == "erlang":
+            return Erlang(4, self.think_time)
+        return Constant(self.think_time)
+
+    def build(self, seed: int) -> tuple[Environment, Application,
+                                        ClosedLoopDriver]:
+        """Instantiate the scenario (not yet started nor run)."""
+        env = Environment()
+        streams = RandomStreams(seed)
+        app = Application(env)
+        names = self.service_names
+        for index, name in enumerate(names):
+            pool = self.thread_pool if index == 0 else None
+            service = Microservice(
+                env, name, streams.stream(name),
+                cores=float(self.cores[index]), cpu_overhead=0.0,
+                thread_pool_size=pool)
+            steps: list[Step] = [
+                Compute(self._demand_distribution(self.demands[index]))]
+            if index + 1 < len(names):
+                steps.extend(Call(names[index + 1])
+                             for _ in range(self.fanout[index]))
+            service.add_operation(Operation("default", steps))
+            app.add_service(service)
+        app.set_entrypoint("go", names[0], "default")
+        trace = WorkloadTrace("flat", self.duration, self.population,
+                              self.population, lambda _u: 1.0)
+        driver = ClosedLoopDriver(env, app, "go", trace,
+                                  streams.stream("driver"),
+                                  think_time=self._think_distribution())
+        return env, app, driver
+
+    def run(self, seed: int) -> tuple[Environment, Application]:
+        """Build, start, and run the scenario to its full duration."""
+        env, app, driver = self.build(seed)
+        driver.start()
+        env.run(until=self.duration + 1.0)
+        return env, app
+
+
+# ----------------------------------------------------------------------
+# The generated family
+# ----------------------------------------------------------------------
+def generate_scenarios() -> list[ConformanceScenario]:
+    """The standard conformance family (>= 10 scenarios).
+
+    Kept deliberately explicit — each entry names the failure mode it
+    guards against — rather than randomized, so a regression points at
+    a stable scenario name.
+    """
+    scenarios = [
+        ConformanceScenario(
+            name="single_light",
+            demands=(0.020,), population=6, think_time=1.0,
+            duration=1200.0,
+            description="one station, light load (R ~ s)"),
+        ConformanceScenario(
+            name="single_knee",
+            demands=(0.040,), population=25, think_time=1.0,
+            duration=1500.0,
+            description="one station near the saturation knee (worst "
+                        "mixing; longest horizon)"),
+        ConformanceScenario(
+            name="single_saturated",
+            demands=(0.030,), population=50, think_time=0.4,
+            description="one station far past saturation (X -> 1/s)"),
+        ConformanceScenario(
+            name="tandem_balanced",
+            demands=(0.025, 0.025), population=16, think_time=0.6,
+            description="two equal stations"),
+        ConformanceScenario(
+            name="tandem_bottleneck",
+            demands=(0.012, 0.045), population=20, think_time=0.5,
+            duration=900.0,
+            description="two stations, 4x demand skew"),
+        ConformanceScenario(
+            name="chain_deep",
+            demands=(0.010, 0.018, 0.008, 0.015), population=18,
+            think_time=0.5,
+            description="four-station chain, mixed demands"),
+        ConformanceScenario(
+            name="insensitive_exponential",
+            demands=(0.025, 0.035), population=14, think_time=0.5,
+            demand_shape="exponential", think_shape="exponential",
+            description="PS insensitivity: fully memoryless variant"),
+        ConformanceScenario(
+            name="insensitive_constant",
+            demands=(0.025, 0.035), population=14, think_time=0.5,
+            demand_shape="constant",
+            description="PS insensitivity: deterministic demands"),
+        ConformanceScenario(
+            name="constant_think",
+            demands=(0.030,), population=12, think_time=0.8,
+            think_shape="constant",
+            description="delay-station insensitivity: fixed think"),
+        ConformanceScenario(
+            name="multicore_mid",
+            demands=(0.050,), cores=(2,), population=20, think_time=1.0,
+            description="2-core station at mid load (exact LD MVA)"),
+        ConformanceScenario(
+            name="multicore_quad",
+            demands=(0.060,), cores=(4,), population=40, think_time=0.8,
+            description="4-core station approaching saturation"),
+        ConformanceScenario(
+            name="multicore_tandem",
+            demands=(0.020, 0.048), cores=(1, 2), population=24,
+            think_time=0.6,
+            description="single-core front, 2-core bottleneck"),
+        ConformanceScenario(
+            name="repeat_calls",
+            demands=(0.008, 0.020), fanout=(2,), population=15,
+            think_time=0.6,
+            description="visit ratio 2 on the downstream station"),
+        ConformanceScenario(
+            name="pool_nonbinding",
+            demands=(0.030, 0.015), population=12, think_time=0.6,
+            thread_pool=64,
+            description="non-binding admission pool must not perturb"),
+    ]
+    names = [s.name for s in scenarios]
+    assert len(set(names)) == len(names), "duplicate scenario names"
+    return scenarios
+
+
+def scenario_by_name(name: str) -> ConformanceScenario:
+    """Look up one generated scenario by name."""
+    for scenario in generate_scenarios():
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in generate_scenarios())
+    raise KeyError(f"unknown scenario {name!r} (known: {known})")

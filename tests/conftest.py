@@ -1,6 +1,61 @@
-"""Shared pytest configuration."""
+"""Shared pytest configuration, fixtures, and topology builders."""
+
+import pytest
+
+from repro.app import Application, Call, Compute, Microservice, Operation
+from repro.sim import Constant, Environment, RandomStreams
+
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "integration: full-stack closed-loop experiments (slower)")
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running checks (full conformance family, benchmark "
+        "smoke); deselected by default, run with -m slow")
+    config.addinivalue_line(
+        "markers",
+        "conformance: theory-conformance harness runs")
+
+
+def build_chain(env, streams, depth, demand_ms, threads, cores=2.0):
+    """A linear chain of ``depth`` services with given per-hop demand.
+
+    The entry service gets a thread pool of ``threads`` (``None`` =
+    unlimited async admission); downstream services are async.
+    """
+    app = Application(env)
+    names = [f"svc{i}" for i in range(depth)]
+    for index, name in enumerate(names):
+        pool = threads if index == 0 else None
+        service = Microservice(env, name, streams.stream(name),
+                               cores=cores, thread_pool_size=pool)
+        steps = [Compute(Constant(demand_ms / 1000.0))]
+        if index + 1 < depth:
+            steps.append(Call(names[index + 1]))
+        service.add_operation(Operation("default", steps))
+        app.add_service(service)
+    app.set_entrypoint("go", names[0], "default")
+    return app
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def streams():
+    """Deterministically seeded random streams (seed 0)."""
+    return RandomStreams(0)
+
+
+@pytest.fixture
+def make_chain(env, streams):
+    """Factory for canned linear-chain applications on the shared env."""
+    def _make(depth=2, demand_ms=5.0, threads=4, cores=2.0):
+        return build_chain(env, streams, depth, demand_ms, threads,
+                           cores=cores)
+    return _make

@@ -1,0 +1,66 @@
+"""Smoke-run every benchmark in a reduced configuration.
+
+The benches under ``benchmarks/`` regenerate paper tables and figures
+and are normally run on demand; this module executes each one in a
+subprocess with ``REPRO_BENCH_SCALE`` turned far down, so CI catches
+import errors, API drift, and crashes without paying full runtimes.
+
+The benches' *shape assertions* (who wins, where optima fall) only hold
+at full scale — a 12-second timeline leaves controllers no time to
+adapt — so smoke runs execute with assertions compiled out
+(``python -O`` + ``--assert=plain``): every simulation still runs to
+completion and renders its table, but only crashes fail the smoke.
+Results are redirected away from the committed full-scale artifacts.
+
+Marked ``slow``: deselected from the default test run, executed by the
+dedicated CI job (or locally with ``-m slow``).
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: Benches that stay heavy even when scaled down (parameter sweeps with
+#: many full scenario runs); smoke-tested with an extra-small scale.
+HEAVY = {
+    "test_table1_sampling_interval.py",
+    "test_ablation_window.py",
+    "test_ablation_poly_degree.py",
+    "test_scalability_overhead.py",
+}
+
+
+def bench_files():
+    return sorted(p.name for p in BENCH_DIR.glob("test_*.py"))
+
+
+def test_benchmark_files_discovered():
+    assert len(bench_files()) >= 20
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", bench_files())
+def test_benchmark_smoke(bench, tmp_path):
+    scale = "0.02" if bench in HEAVY else "0.05"
+    env = dict(os.environ)
+    env["REPRO_BENCH_SCALE"] = scale
+    # Keep reduced-scale output away from the committed artifacts.
+    env["REPRO_BENCH_RESULTS_DIR"] = str(tmp_path / "results")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+    result = subprocess.run(
+        [sys.executable, "-O", "-m", "pytest", str(BENCH_DIR / bench),
+         "-q", "--no-header", "-p", "no:cacheprovider",
+         "--benchmark-disable", "--assert=plain"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=600)
+    assert result.returncode == 0, (
+        f"{bench} failed at REPRO_BENCH_SCALE={scale}\n"
+        f"--- stdout ---\n{result.stdout[-4000:]}\n"
+        f"--- stderr ---\n{result.stderr[-4000:]}")

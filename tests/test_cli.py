@@ -24,6 +24,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scenario", "nope"])
 
+    def test_validate_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate"])
+
+    def test_validate_conformance_defaults(self):
+        args = build_parser().parse_args(["validate", "conformance"])
+        assert args.validate_command == "conformance"
+        assert args.seed == 17
+        assert args.replications == 2
+        assert args.duration_scale == 1.0
+        assert args.scenario is None
+
+    def test_validate_replay_defaults(self):
+        args = build_parser().parse_args(["validate", "replay"])
+        assert args.validate_command == "replay"
+        assert args.scenario == "tandem_balanced"
+        assert args.perturb_at is None
+
 
 class TestCommands:
     def test_traces_command(self, capsys):
@@ -51,3 +69,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hardware-only" in out
         assert "sora" in out
+
+
+class TestValidateCommands:
+    def test_conformance_smoke(self, capsys):
+        # Scaled-down plumbing run; tolerances only gate at scale 1.0,
+        # so only check the report rendered and the exit code range.
+        code = main(["validate", "conformance", "--scenario",
+                     "tandem_balanced", "--duration-scale", "0.1",
+                     "--replications", "1"])
+        out = capsys.readouterr().out
+        assert "tandem_balanced" in out
+        assert "scenarios within tolerance" in out
+        assert code in (0, 1)
+
+    def test_conformance_unknown_scenario(self, capsys):
+        code = main(["validate", "conformance", "--scenario", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'nope'" in err
+
+    def test_conformance_bad_replications(self, capsys):
+        code = main(["validate", "conformance", "--replications", "0"])
+        assert code == 2
+        assert "--replications" in capsys.readouterr().err
+
+    def test_replay_bad_duration(self, capsys):
+        code = main(["validate", "replay", "--duration", "0",
+                     "--no-subprocess"])
+        assert code == 2
+        assert "--duration" in capsys.readouterr().err
+
+    def test_replay_identical(self, capsys):
+        code = main(["validate", "replay", "--scenario",
+                     "tandem_balanced", "--duration", "8",
+                     "--no-subprocess"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+
+    def test_replay_perturbed_detects(self, capsys):
+        code = main(["validate", "replay", "--scenario",
+                     "tandem_balanced", "--duration", "8",
+                     "--perturb-at", "3.0", "--no-subprocess"])
+        assert code == 0  # detection demonstrated = success
+        out = capsys.readouterr().out
+        assert "first divergence at event #" in out

@@ -1,0 +1,100 @@
+"""Tests for the replica load-balancing policies."""
+
+import numpy as np
+import pytest
+
+from repro.app.loadbalancer import (
+    LeastConnections,
+    RandomChoice,
+    RoundRobin,
+)
+
+
+class FakeReplica:
+    def __init__(self, name, active=0):
+        self.name = name
+        self.active_requests = active
+
+    def __repr__(self):
+        return f"<FakeReplica {self.name}>"
+
+
+def replicas(*actives):
+    return [FakeReplica(f"r{i}", active)
+            for i, active in enumerate(actives)]
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        policy = RoundRobin()
+        pool = replicas(0, 0, 0)
+        picks = [policy.pick(pool).name for _ in range(7)]
+        assert picks == ["r0", "r1", "r2", "r0", "r1", "r2", "r0"]
+
+    def test_survives_pool_shrink(self):
+        policy = RoundRobin()
+        pool = replicas(0, 0, 0, 0)
+        for _ in range(3):
+            policy.pick(pool)
+        shrunk = pool[:2]
+        # The cursor must wrap instead of indexing out of range.
+        assert policy.pick(shrunk) in shrunk
+
+    def test_ignores_load(self):
+        policy = RoundRobin()
+        pool = replicas(100, 0)
+        assert policy.pick(pool).name == "r0"
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="no replicas"):
+            RoundRobin().pick([])
+
+
+class TestLeastConnections:
+    def test_picks_least_loaded(self):
+        pool = replicas(5, 1, 3)
+        assert LeastConnections().pick(pool).name == "r1"
+
+    def test_tie_breaks_to_first(self):
+        pool = replicas(2, 2, 2)
+        assert LeastConnections().pick(pool).name == "r0"
+
+    def test_tracks_changing_load(self):
+        policy = LeastConnections()
+        pool = replicas(0, 0)
+        pool[0].active_requests = 4
+        assert policy.pick(pool).name == "r1"
+        pool[1].active_requests = 9
+        assert policy.pick(pool).name == "r0"
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="no replicas"):
+            LeastConnections().pick([])
+
+
+class TestRandomChoice:
+    def test_deterministic_under_seed(self):
+        pool = replicas(0, 0, 0, 0)
+        a = [RandomChoice(np.random.default_rng(3)).pick(pool).name
+             for _ in range(1)]
+        b = [RandomChoice(np.random.default_rng(3)).pick(pool).name
+             for _ in range(1)]
+        assert a == b
+
+    def test_covers_all_replicas(self):
+        policy = RandomChoice(np.random.default_rng(0))
+        pool = replicas(0, 0, 0)
+        seen = {policy.pick(pool).name for _ in range(100)}
+        assert seen == {"r0", "r1", "r2"}
+
+    def test_roughly_uniform(self):
+        policy = RandomChoice(np.random.default_rng(1))
+        pool = replicas(0, 0)
+        picks = [policy.pick(pool).name for _ in range(2000)]
+        share = picks.count("r0") / len(picks)
+        assert 0.45 < share < 0.55
+
+    def test_empty_pool_rejected(self):
+        policy = RandomChoice(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="no replicas"):
+            policy.pick([])

@@ -10,28 +10,13 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.app import Application, Call, Compute, Microservice, Operation
-from repro.sim import Constant, Environment, Exponential, RandomStreams
+from repro.app import Compute
+from repro.sim import Environment, Exponential, RandomStreams
 from repro.tracing import extract_critical_path
 
+from tests.conftest import build_chain
+
 SUPPRESS = [HealthCheck.too_slow]
-
-
-def build_chain(env, streams, depth, demand_ms, threads):
-    """A linear chain of `depth` services with given per-hop demand."""
-    app = Application(env)
-    names = [f"svc{i}" for i in range(depth)]
-    for index, name in enumerate(names):
-        pool = threads if index == 0 else None
-        service = Microservice(env, name, streams.stream(name),
-                               cores=2.0, thread_pool_size=pool)
-        steps = [Compute(Constant(demand_ms / 1000.0))]
-        if index + 1 < depth:
-            steps.append(Call(names[index + 1]))
-        service.add_operation(Operation("default", steps))
-        app.add_service(service)
-    app.set_entrypoint("go", names[0], "default")
-    return app
 
 
 @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)

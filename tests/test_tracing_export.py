@@ -1,0 +1,92 @@
+"""Round-trip tests for the Jaeger-shaped trace export/import."""
+
+import json
+
+import pytest
+
+from repro.sim import Environment, RandomStreams
+from repro.tracing import (
+    export_traces,
+    trace_to_jaeger,
+    traces_from_jaeger,
+    write_traces,
+)
+
+from tests.conftest import build_chain
+
+
+def finished_traces(count=3, depth=3):
+    env = Environment()
+    streams = RandomStreams(5)
+    app = build_chain(env, streams, depth=depth, demand_ms=4.0,
+                      threads=4)
+    requests = [app.submit("go")[0] for _ in range(count)]
+    env.run()
+    return [r.root_span for r in requests]
+
+
+class TestRoundTrip:
+    def test_export_import_export_is_a_fixed_point(self):
+        roots = finished_traces()
+        document = export_traces(roots)
+        parsed = traces_from_jaeger(document)
+        assert export_traces(parsed) == document
+
+    def test_structure_survives_the_round_trip(self):
+        root = finished_traces(count=1, depth=4)[0]
+        parsed = traces_from_jaeger(export_traces([root]))[0]
+        original = list(root.walk())
+        restored = list(parsed.walk())
+        assert [s.service for s in restored] == \
+            [s.service for s in original]
+        assert [s.operation for s in restored] == \
+            [s.operation for s in original]
+        assert [s.span_id for s in restored] == \
+            [s.span_id for s in original]
+        for a, b in zip(original, restored):
+            # Timestamps survive to Jaeger's microsecond resolution.
+            assert b.arrival == pytest.approx(a.arrival, abs=1e-6)
+            assert b.departure == pytest.approx(a.departure, abs=1e-6)
+            assert b.queue_wait == pytest.approx(a.queue_wait, abs=2e-6)
+            assert b.replica == a.replica
+
+    def test_self_times_survive_the_round_trip(self):
+        root = finished_traces(count=1, depth=3)[0]
+        parsed = traces_from_jaeger(export_traces([root]))[0]
+        for a, b in zip(root.walk(), parsed.walk()):
+            assert b.self_time() == pytest.approx(a.self_time(),
+                                                  abs=5e-6)
+
+    def test_file_round_trip(self, tmp_path):
+        roots = finished_traces(count=2)
+        path = tmp_path / "traces.json"
+        assert write_traces(str(path), roots) == 2
+        parsed = traces_from_jaeger(path.read_text(encoding="utf-8"))
+        assert len(parsed) == 2
+
+    def test_accepts_parsed_documents_too(self):
+        roots = finished_traces(count=1)
+        document = json.loads(export_traces(roots))
+        assert len(traces_from_jaeger(document)) == 1
+
+
+class TestImportValidation:
+    def test_rootless_trace_rejected(self):
+        roots = finished_traces(count=1)
+        document = json.loads(export_traces(roots))
+        # Give every span a parent reference: no root remains.
+        span_id = document["data"][0]["spans"][0]["spanID"]
+        for span in document["data"][0]["spans"]:
+            span["references"] = [{
+                "refType": "CHILD_OF",
+                "traceID": document["data"][0]["traceID"],
+                "spanID": span_id,
+            }]
+        with pytest.raises(ValueError, match="no root"):
+            traces_from_jaeger(document)
+
+    def test_unfinished_trace_rejected_on_export(self):
+        from repro.tracing import Span
+        root = Span(trace_id=1, service="a", operation="op", arrival=0.0)
+        with pytest.raises(ValueError, match="unfinished"):
+            trace_to_jaeger(root)

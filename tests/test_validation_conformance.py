@@ -1,0 +1,121 @@
+"""Tests for the theory-conformance harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.validation import (
+    ConformanceScenario,
+    Tolerance,
+    generate_scenarios,
+    run_conformance,
+    run_scenario_conformance,
+    scenario_by_name,
+)
+
+#: A cheap scenario for plumbing tests (seconds, not minutes).
+QUICK = ConformanceScenario(
+    name="quick", demands=(0.020, 0.010), population=8, think_time=0.5,
+    duration=120.0, description="plumbing-test scenario")
+
+
+class TestScenarioDefinition:
+    def test_family_has_at_least_ten_scenarios(self):
+        assert len(generate_scenarios()) >= 10
+
+    def test_family_names_are_unique(self):
+        names = [s.name for s in generate_scenarios()]
+        assert len(set(names)) == len(names)
+
+    def test_lookup_by_name(self):
+        scenario = scenario_by_name("single_knee")
+        assert scenario.name == "single_knee"
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_by_name("nope")
+
+    def test_rejects_empty_demands(self):
+        with pytest.raises(ValueError, match="at least one service"):
+            ConformanceScenario(name="x", demands=(), population=1,
+                                think_time=1.0)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError, match="population"):
+            ConformanceScenario(name="x", demands=(0.01,), population=0,
+                                think_time=1.0)
+
+    def test_rejects_mismatched_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            ConformanceScenario(name="x", demands=(0.01,),
+                                population=2, think_time=1.0,
+                                cores=(1, 2))
+
+    def test_rejects_binding_thread_pool(self):
+        with pytest.raises(ValueError, match="non-binding"):
+            ConformanceScenario(name="x", demands=(0.01,),
+                                population=10, think_time=1.0,
+                                thread_pool=4)
+
+    def test_visits_compound_along_fanout(self):
+        scenario = ConformanceScenario(
+            name="x", demands=(0.01, 0.01, 0.01), population=2,
+            think_time=1.0, fanout=(2, 3))
+        assert scenario.visits == (1.0, 2.0, 6.0)
+
+    def test_stations_mark_multicore(self):
+        scenario = ConformanceScenario(
+            name="x", demands=(0.01, 0.02), population=2,
+            think_time=1.0, cores=(1, 4))
+        kinds = [s.kind for s in scenario.stations()]
+        assert kinds == ["queueing", "multi"]
+        assert scenario.stations()[1].servers == 4
+
+
+class TestTolerance:
+    def test_single_core_bounds(self):
+        tol = Tolerance.for_scenario(QUICK)
+        assert tol.throughput == 0.02
+        assert tol.response_time == 0.08
+
+    def test_multi_core_bounds_are_looser(self):
+        multi = dataclasses.replace(QUICK, cores=(2, 1))
+        tol = Tolerance.for_scenario(multi)
+        assert tol.throughput == 0.03
+        assert tol.response_time == 0.10
+
+
+class TestScenarioConformance:
+    def test_quick_scenario_structure(self):
+        result = run_scenario_conformance(QUICK, seed=7, replications=1)
+        assert result.scenario is QUICK
+        assert result.sim_throughput > 0
+        assert result.mva_throughput > 0
+        assert len(result.stations) == 2
+        assert all(s.samples > 0 for s in result.stations)
+        # Plumbing bound, far looser than the calibrated tolerance.
+        assert result.throughput_error < 0.15
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError, match="replications"):
+            run_scenario_conformance(QUICK, replications=0)
+
+    @pytest.mark.conformance
+    def test_one_full_scenario_within_tolerance(self):
+        result = run_scenario_conformance(
+            scenario_by_name("tandem_balanced"))
+        assert result.passed, result.failures
+
+    def test_report_render_lists_scenarios(self):
+        report = run_conformance([QUICK], seed=7, replications=1)
+        text = report.render(verbose=True)
+        assert "quick" in text
+        assert "s0" in text and "s1" in text
+        assert ("PASS" in text) or ("FAIL" in text)
+
+
+@pytest.mark.slow
+@pytest.mark.conformance
+class TestFullFamily:
+    def test_whole_family_within_tolerance(self):
+        report = run_conformance()
+        assert report.passed, "\n".join(report.failures)
+        assert len(report.results) >= 10

@@ -1,0 +1,123 @@
+"""Tests for run fingerprinting and the deterministic-replay checker."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.tracing import Span
+from repro.validation import (
+    Fingerprint,
+    RunRecorder,
+    check_replay,
+    diff_fingerprints,
+    fingerprint_traces,
+    run_fingerprint,
+)
+
+SHORT = 10.0  # simulated seconds — thousands of events, sub-second wall
+
+
+def _finished_trace(offset: float = 0.0) -> Span:
+    root = Span(trace_id=1, service="a", operation="op",
+                arrival=0.0 + offset)
+    root.started = 0.0 + offset
+    child = Span(trace_id=1, service="b", operation="op",
+                 arrival=0.1 + offset, parent=root)
+    child.started = 0.12 + offset
+    child.departure = 0.3 + offset
+    root.departure = 0.5 + offset
+    return root
+
+
+class TestFingerprint:
+    def test_same_seed_same_digest(self):
+        a = run_fingerprint("tandem_balanced", seed=5, duration=SHORT)
+        b = run_fingerprint("tandem_balanced", seed=5, duration=SHORT)
+        assert a.same_digest(b)
+        assert a.n_events == b.n_events > 0
+
+    def test_different_seed_different_digest(self):
+        a = run_fingerprint("tandem_balanced", seed=5, duration=SHORT)
+        b = run_fingerprint("tandem_balanced", seed=6, duration=SHORT)
+        assert not a.same_digest(b)
+
+    def test_recorder_counts_events(self):
+        env = Environment()
+        recorder = RunRecorder(env)
+        env.call_at(1.0, lambda: None)
+        env.call_at(2.0, lambda: None)
+        env.run()
+        fingerprint = recorder.finish()
+        assert fingerprint.n_events == 2
+        assert fingerprint.final_time == 2.0
+
+    def test_trace_digest_ignores_span_ids(self):
+        # Two structurally identical traces built separately get
+        # different span_id counter values but must fingerprint equal.
+        assert fingerprint_traces([_finished_trace()]) == \
+            fingerprint_traces([_finished_trace()])
+        assert fingerprint_traces([_finished_trace()]) != \
+            fingerprint_traces([_finished_trace(offset=1.0)])
+
+
+class TestDiff:
+    def test_equal_fingerprints_diff_to_none(self):
+        a = run_fingerprint("single_light", seed=3, duration=SHORT)
+        assert diff_fingerprints(("x", a), ("y", a)) is None
+
+    def test_digest_only_fallback(self):
+        a = Fingerprint(digest="aa", n_events=1, final_time=1.0,
+                        summary=(), events=None)
+        b = Fingerprint(digest="bb", n_events=1, final_time=1.0,
+                        summary=(), events=None)
+        report = diff_fingerprints(("x", a), ("y", b))
+        assert report.index == -1
+
+    def test_prefix_stream_points_past_shorter(self):
+        events = (("0x1p+0", "Event", ""), ("0x1p+1", "Event", ""))
+        a = Fingerprint(digest="aa", n_events=2, final_time=2.0,
+                        summary=(), events=events)
+        b = Fingerprint(digest="bb", n_events=1, final_time=1.0,
+                        summary=(), events=events[:1])
+        report = diff_fingerprints(("x", a), ("y", b))
+        assert report.index == 1
+        assert report.left == events[1]
+        assert report.right is None
+        assert "<stream ended>" in report.render()
+
+
+class TestReplay:
+    def test_replay_holds_in_process(self):
+        result = check_replay("tandem_balanced", seed=11,
+                              duration=SHORT, across_processes=False)
+        assert result.identical
+        assert len(result.fingerprints) == 2
+        assert "identical" in result.render()
+
+    def test_injected_perturbation_is_detected(self):
+        result = check_replay("tandem_balanced", seed=11,
+                              duration=SHORT, perturb_at=3.0)
+        assert not result.identical
+        report = result.divergence
+        assert report is not None
+        # The report names the first moved event, at or after the
+        # injection time.
+        moved = report.left or report.right
+        assert moved is not None
+        assert float.fromhex(moved[0]) >= 3.0 - 1e-9
+        assert "first divergence at event #" in result.render()
+
+    def test_perturbed_run_keeps_label(self):
+        result = check_replay("single_light", seed=2, duration=SHORT,
+                              perturb_at=2.0)
+        labels = [label for label, _fp in result.fingerprints]
+        assert labels == ["run-1", "run-perturbed"]
+
+
+@pytest.mark.slow
+class TestCrossProcess:
+    def test_replay_holds_across_spawned_process(self):
+        result = check_replay("tandem_balanced", seed=11,
+                              duration=SHORT, across_processes=True)
+        assert result.identical
+        labels = [label for label, _fp in result.fingerprints]
+        assert "subprocess" in labels
