@@ -14,18 +14,27 @@ tighter statistics.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
-#: Where rendered tables/figures land; override with
-#: ``REPRO_BENCH_RESULTS_DIR`` so smoke runs at reduced scale do not
-#: clobber the committed full-scale artifacts.
-RESULTS_DIR = pathlib.Path(
-    os.environ.get("REPRO_BENCH_RESULTS_DIR")
-    or pathlib.Path(__file__).resolve().parent / "results")
-
 #: Global duration multiplier (REPRO_BENCH_SCALE env var).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Committed full-scale artifacts live here.
+_FULL_SCALE_RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Where rendered tables/figures land. ``REPRO_BENCH_RESULTS_DIR``
+#: overrides explicitly; otherwise any reduced-scale run (SCALE < 1.0)
+#: is routed to ``results/smoke/`` so a quick local or CI smoke can
+#: never clobber the committed full-scale artifacts.
+_env_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+if _env_dir:
+    RESULTS_DIR = pathlib.Path(_env_dir)
+elif SCALE < 1.0:
+    RESULTS_DIR = _FULL_SCALE_RESULTS / "smoke"
+else:
+    RESULTS_DIR = _FULL_SCALE_RESULTS
 
 #: Default SLA for end-to-end goodput reporting; the paper uses 400 ms
 #: for its timeline figures and Table 2.
@@ -45,12 +54,30 @@ def scaled(seconds: float) -> float:
     return seconds * SCALE
 
 
-def publish(name: str, text: str) -> None:
-    """Print a rendered table/figure and persist it under results/."""
+def publish(name: str, text: str) -> pathlib.Path:
+    """Print a rendered table/figure and persist it under results/.
+
+    Every text artifact a bench writes goes through here — the single
+    place that decides *where* results land (see ``RESULTS_DIR``).
+    """
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
     print(banner + text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    path = RESULTS_DIR / f"{name}.txt"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    return path
+
+
+def publish_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable artifact under results/.
+
+    The JSON twin of :func:`publish`, honoring the same smoke-run
+    redirection.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def once(benchmark, fn):

@@ -8,8 +8,10 @@ full Sock Shop request round trip.
 
 import numpy as np
 
+from benchmarks._common import SCALE, once, publish_json
 from repro.app.topologies import build_sock_shop
 from repro.core import SCGModel
+from repro.experiments.bench import run_bench_suite
 from repro.resources import ProcessorSharingCpu, SoftResourcePool
 from repro.sim import Environment, RandomStreams
 
@@ -92,6 +94,29 @@ def test_perf_sock_shop_request_roundtrip(benchmark):
 
     completed = benchmark(run)
     assert completed == 500
+
+
+def test_perf_kernel_report(benchmark):
+    """Machine-readable throughput report (``BENCH_kernel.json``).
+
+    Aggregates the same hot paths as the micro-benchmarks above into
+    one JSON artifact: events/sec for the kernel and PS CPU,
+    requests/sec for the Sock Shop round trip, and the parallel
+    fan-out speedup. The perf-regression smoke test
+    (``tests/test_perf_regression.py``) diffs this against the
+    committed baseline. Honors ``REPRO_BENCH_SCALE``; reduced-scale
+    runs land in ``results/smoke/`` and never touch the committed
+    full-scale artifact.
+    """
+    report = once(benchmark,
+                  lambda: run_bench_suite(scale=SCALE, repeats=3))
+    path = publish_json("BENCH_kernel", report)
+    assert path.exists()
+    stats = report["benchmarks"]
+    assert stats["timeout_chain"]["events_per_sec"] > 0
+    assert stats["sock_shop"]["requests_per_sec"] > 0
+    assert stats["parallel_fanout"]["identical_results"], (
+        "parallel fan-out must reproduce the serial results exactly")
 
 
 def test_perf_scg_estimate(benchmark):

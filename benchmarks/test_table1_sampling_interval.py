@@ -10,9 +10,12 @@ parallel samplers (one per interval) and re-estimate every 15 s; MAPE
 is computed over the estimate series per interval.
 """
 
+import functools
+
 from benchmarks._common import once, publish, scaled
 from benchmarks._subjects import ALL_SUBJECTS, THRESHOLD
 from repro.core import SCGModel
+from repro.experiments import parallel_map, sweep
 from repro.experiments.reporting import ascii_table
 from repro.metrics import mape
 from repro.metrics.sampler import ConcurrencyGoodputSampler
@@ -22,6 +25,8 @@ SWEEP_DURATION = 60.0
 ESTIMATION_DURATION = 180.0
 ESTIMATE_EVERY = 15.0
 WINDOW = 60.0
+
+_SUBJECTS = {subject.name: subject for subject in ALL_SUBJECTS}
 
 
 def instrumented_run(subject, allocation, duration, seed):
@@ -57,25 +62,45 @@ def instrumented_run(subject, allocation, duration, seed):
     return estimates
 
 
+def _ground_truth_goodput(subject_name, allocation):
+    """Goodput of one (subject, allocation) grid point — module-level
+    (via functools.partial) so sweep's worker pool can run it."""
+    subject = _SUBJECTS[subject_name]
+    duration = scaled(SWEEP_DURATION)
+    env, app, _t = subject.start_run(allocation, duration, seed=31)
+    env.run(until=duration + 2.0)
+    return subject.goodput(app, duration)
+
+
+def _instrumented(subject_name):
+    """One instrumented estimation run, by subject name (picklable)."""
+    subject = _SUBJECTS[subject_name]
+    liberal = max(subject.sweep_candidates) * 3
+    return instrumented_run(
+        subject, liberal, scaled(ESTIMATION_DURATION), seed=32)
+
+
 def run_all():
-    outcome = {}
+    # Ground truths: one goodput sweep per subject, each fanned out
+    # over the allocation grid (independent simulations).
+    truths = {}
+    sweeps = {}
     for subject in ALL_SUBJECTS:
-        # Ground truth: goodput-maximizing allocation from the sweep.
-        sweep = {}
-        for allocation in subject.sweep_candidates:
-            duration = scaled(SWEEP_DURATION)
-            env, app, _t = subject.start_run(allocation, duration,
-                                             seed=31)
-            env.run(until=duration + 2.0)
-            sweep[allocation] = subject.goodput(app, duration)
-        truth = max(sweep, key=sweep.get)
-        # Instrumented run with a liberal allocation so the scatter
-        # covers the knee.
-        liberal = max(subject.sweep_candidates) * 3
-        estimates = instrumented_run(
-            subject, liberal, scaled(ESTIMATION_DURATION), seed=32)
-        outcome[subject.name] = (truth, sweep, estimates)
-    return outcome
+        result = sweep(
+            list(subject.sweep_candidates),
+            functools.partial(_ground_truth_goodput, subject.name),
+            parallel=True)
+        truths[subject.name] = result.best
+        sweeps[subject.name] = result.metric_by_value
+    # Instrumented runs (one per subject, with a liberal allocation so
+    # the scatter covers the knee) are likewise independent.
+    estimate_runs = parallel_map(
+        _instrumented, [subject.name for subject in ALL_SUBJECTS])
+    return {
+        subject.name: (truths[subject.name], sweeps[subject.name],
+                       estimates)
+        for subject, estimates in zip(ALL_SUBJECTS, estimate_runs)
+    }
 
 
 def render(outcome) -> tuple[str, dict]:

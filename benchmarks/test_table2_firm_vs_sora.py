@@ -14,25 +14,36 @@ from benchmarks._common import (
     once,
     publish,
 )
-from repro.experiments import ratio, run_scenario, sock_shop_cart_scenario
+from repro.experiments import (
+    parallel_map,
+    ratio,
+    run_scenario,
+    sock_shop_cart_scenario,
+)
 from repro.experiments.reporting import ascii_table
 from repro.workloads import TRACE_NAMES, build_trace
 
 
+def _run_cell(spec):
+    """One (trace, controller) cell — module-level so worker processes
+    can run it; the cell builds its own trace and seeds, so results are
+    identical to the serial loop."""
+    trace_name, controller = spec
+    trace = build_trace(trace_name, duration=TRACE_DURATION,
+                        peak_users=PEAK_USERS, min_users=MIN_USERS)
+    scenario = sock_shop_cart_scenario(
+        trace=trace, controller=controller, autoscaler="firm", sla=SLA)
+    return run_scenario(scenario, duration=TRACE_DURATION)
+
+
 def run_all():
+    cells = [(trace_name, controller)
+             for trace_name in TRACE_NAMES
+             for controller in ("none", "sora")]
+    results = parallel_map(_run_cell, cells)
     outcome = {}
-    for trace_name in TRACE_NAMES:
-        per_system = {}
-        for controller in ("none", "sora"):
-            trace = build_trace(trace_name, duration=TRACE_DURATION,
-                                peak_users=PEAK_USERS,
-                                min_users=MIN_USERS)
-            scenario = sock_shop_cart_scenario(
-                trace=trace, controller=controller, autoscaler="firm",
-                sla=SLA)
-            per_system[controller] = run_scenario(
-                scenario, duration=TRACE_DURATION)
-        outcome[trace_name] = per_system
+    for (trace_name, controller), result in zip(cells, results):
+        outcome.setdefault(trace_name, {})[controller] = result
     return outcome
 
 

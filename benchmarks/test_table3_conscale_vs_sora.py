@@ -15,7 +15,11 @@ from benchmarks._common import (
     once,
     publish,
 )
-from repro.experiments import run_scenario, sock_shop_cart_scenario
+from repro.experiments import (
+    parallel_map,
+    run_scenario,
+    sock_shop_cart_scenario,
+)
 from repro.experiments.reporting import ascii_table
 from repro.workloads import TRACE_NAMES, build_trace
 
@@ -23,25 +27,33 @@ from repro.workloads import TRACE_NAMES, build_trace
 SLAS = (0.250, 0.500)
 
 
+def _run_cell(spec):
+    """One (controller, trace, sla) cell — module-level for the worker
+    pool; ``sla=None`` marks the shared latency-agnostic ConScale run."""
+    controller, trace_name, sla = spec
+    trace = build_trace(trace_name, duration=TRACE_DURATION,
+                        peak_users=PEAK_USERS, min_users=MIN_USERS)
+    kwargs = dict(trace=trace, controller=controller, autoscaler="vpa")
+    if sla is not None:
+        kwargs["sla"] = sla
+    return run_scenario(sock_shop_cart_scenario(**kwargs),
+                        duration=TRACE_DURATION)
+
+
 def run_all():
-    outcome = {}
+    cells = []
     for trace_name in TRACE_NAMES:
-        trace = build_trace(trace_name, duration=TRACE_DURATION,
-                            peak_users=PEAK_USERS, min_users=MIN_USERS)
-        conscale = run_scenario(
-            sock_shop_cart_scenario(trace=trace, controller="conscale",
-                                    autoscaler="vpa"),
-            duration=TRACE_DURATION)
-        sora = {}
+        cells.append(("conscale", trace_name, None))
         for sla in SLAS:
-            trace = build_trace(trace_name, duration=TRACE_DURATION,
-                                peak_users=PEAK_USERS,
-                                min_users=MIN_USERS)
-            sora[sla] = run_scenario(
-                sock_shop_cart_scenario(trace=trace, controller="sora",
-                                        autoscaler="vpa", sla=sla),
-                duration=TRACE_DURATION)
-        outcome[trace_name] = (conscale, sora)
+            cells.append(("sora", trace_name, sla))
+    results = parallel_map(_run_cell, cells)
+    outcome = {}
+    for (controller, trace_name, sla), result in zip(cells, results):
+        conscale, sora = outcome.setdefault(trace_name, (None, {}))
+        if controller == "conscale":
+            outcome[trace_name] = (result, sora)
+        else:
+            sora[sla] = result
     return outcome
 
 

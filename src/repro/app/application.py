@@ -64,6 +64,7 @@ class Application:
         self.warehouse = warehouse or TraceWarehouse()
         self.services: dict[str, Microservice] = {}
         self.entrypoints: dict[str, tuple[str, str]] = {}
+        self._process_names: dict[str, str] = {}
         self.latency: dict[str, EndToEndLog] = {}
         self.in_flight = 0
         self.total_submitted = 0
@@ -96,6 +97,7 @@ class Application:
             raise KeyError(f"service {service!r} has no operation "
                            f"{operation!r}")
         self.entrypoints[request_type] = (service, operation)
+        self._process_names[request_type] = f"request:{request_type}"
         self.latency.setdefault(request_type, EndToEndLog())
 
     def call_graph(self) -> nx.DiGraph:
@@ -137,11 +139,12 @@ class Application:
         if request_type not in self.entrypoints:
             raise KeyError(f"unknown request type {request_type!r} "
                            f"(has: {sorted(self.entrypoints)})")
-        request = Request(request_type=request_type, issued_at=self.env.now)
+        env = self.env
+        request = Request(request_type=request_type, issued_at=env._now)
         self.in_flight += 1
         self.total_submitted += 1
-        process = self.env.process(self._drive(request),
-                                   name=f"request:{request_type}")
+        process = Process(env, self._drive(request),
+                          name=self._process_names[request_type])
         return request, process
 
     def route(self, service_name: str, operation: str, request: Request,
@@ -156,12 +159,14 @@ class Application:
     def _drive(self, request: Request):
         service_name, operation = self.entrypoints[request.request_type]
         try:
-            root_span = yield from self.route(
-                service_name, operation, request, None)
+            # route() inlined (entrypoints are validated at
+            # registration): one less generator frame per request.
+            root_span = yield from self.services[service_name].handle(
+                request, operation, None)
         finally:
             self.in_flight -= 1
         request.root_span = root_span
-        request.completed_at = self.env.now
+        request.completed_at = self.env._now
         self.latency[request.request_type].record(
             request.completed_at, request.response_time)
         self.warehouse.record(root_span)

@@ -164,11 +164,11 @@ class Replica:
         return self.active_integral()
 
     def _integrate_active(self) -> None:
-        now = self.env.now
+        now = self.env._now
         dt = now - self._active_since
-        if dt > 0:
+        if dt > 0.0:
             self._active_integral += self.active_requests * dt
-        self._active_since = now
+            self._active_since = now
 
     def __repr__(self) -> str:
         return (f"<Replica {self.name} cores={self.cpu.cores} "
@@ -213,6 +213,10 @@ class Microservice:
         #: Multiplier applied to every sampled CPU demand — the hook used
         #: to model system-state drift (light -> heavy requests, §2.3).
         self.demand_scale = 1.0
+        # Per-distribution batch buffers (id(dist) -> [values, cursor]):
+        # demand draws are refilled 256 at a time, which consumes this
+        # service's dedicated stream exactly as single draws would.
+        self._demand_buffers: dict[int, list] = {}
 
         self._replica_counter = 0
         self.replicas: list[Replica] = []
@@ -351,9 +355,10 @@ class Microservice:
             raise KeyError(
                 f"service {self.name!r} has no operation "
                 f"{operation_name!r} (has: {sorted(self.operations)})")
+        env = self.env
         replica = self.load_balancer.pick(self.replicas)
         span = Span(request.request_id, self.name, operation_name,
-                    arrival=self.env.now, parent=parent_span,
+                    arrival=env._now, parent=parent_span,
                     replica=replica.name)
         replica.request_started()
         pool_request = None
@@ -370,24 +375,63 @@ class Microservice:
                         replica.server_pool.cancel(pool_request)
                         pool_request = None
                     raise
-            span.started = self.env.now
+            span.started = env._now
             for step in operation.steps:
-                yield from self._execute(replica, step, request, span)
+                # Compute and pool-less Call cover nearly every step in
+                # the built-in topologies; dispatching them here avoids
+                # one to two sub-generator frames per step, which the
+                # whole yield-from chain pays on every resume.
+                if isinstance(step, Compute):
+                    yield replica.cpu.submit(
+                        self._sample_demand(step.demand)
+                        * self.demand_scale)
+                elif isinstance(step, Call) and step.via_pool is None:
+                    app = self.app
+                    if app is None:
+                        raise RuntimeError(
+                            f"service {self.name!r} is not attached "
+                            f"to an application")
+                    target = app.services.get(step.service)
+                    if target is None:
+                        raise KeyError(
+                            f"unknown service {step.service!r}")
+                    yield from target.handle(request, step.operation,
+                                             span)
+                else:
+                    yield from self._execute(replica, step, request, span)
         finally:
             if pool_request is not None and \
                     pool_request.granted_at is not None:
                 assert replica.server_pool is not None
                 replica.server_pool.release()
             replica.request_finished()
-            span.departure = self.env.now
-            self.metrics.record(span.departure, span.duration,
-                                span.duration - span.queue_wait)
+            departure = env._now
+            span.departure = departure
+            self.metrics.record(departure, departure - span.arrival,
+                                departure - (span.started
+                                             if span.started is not None
+                                             else span.arrival))
         return span
+
+    def _sample_demand(self, dist) -> float:
+        """One demand draw through the per-distribution batch buffer."""
+        entry = self._demand_buffers.get(id(dist))
+        if entry is None:
+            # Keeping ``dist`` in the entry pins the object, so its id
+            # cannot be recycled while the buffer exists.
+            entry = [dist.sample_batch(self._rng, 256), 0, dist]
+            self._demand_buffers[id(dist)] = entry
+        cursor = entry[1]
+        if cursor == 256:
+            entry[0] = dist.sample_batch(self._rng, 256)
+            cursor = 0
+        entry[1] = cursor + 1
+        return entry[0][cursor]
 
     def _execute(self, replica: Replica, step: Step, request: Request,
                  span: Span):
         if isinstance(step, Compute):
-            demand = step.demand.sample(self._rng) * self.demand_scale
+            demand = self._sample_demand(step.demand) * self.demand_scale
             yield replica.cpu.submit(demand)
         elif isinstance(step, Call):
             yield from self._invoke(step, request, span)
@@ -416,9 +460,12 @@ class Microservice:
                     pool.cancel(pool_request)
                     pool_request = None
                 raise
+        # Application.route() inlined: one less generator frame per hop.
+        target = self.app.services.get(call.service)
+        if target is None:
+            raise KeyError(f"unknown service {call.service!r}")
         try:
-            result = yield from self.app.route(
-                call.service, call.operation, request, span)
+            result = yield from target.handle(request, call.operation, span)
         finally:
             if pool_request is not None and \
                     pool_request.granted_at is not None:

@@ -98,6 +98,30 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.experiments.bench import (
+        render_report,
+        run_bench_suite,
+        write_report,
+    )
+
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    report = run_bench_suite(scale=args.scale,
+                             max_workers=args.workers,
+                             include_parallel=not args.no_parallel,
+                             repeats=args.repeats)
+    print(render_report(report))
+    if args.output:
+        path = write_report(report, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_validate_conformance(args) -> int:
     from repro.validation import (
         generate_scenarios,
@@ -187,6 +211,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run hardware-only vs the chosen controller side by side")
     add_run_args(compare_parser)
 
+    bench = sub.add_parser(
+        "bench",
+        help="kernel performance suite (events/sec, requests/sec, "
+             "parallel fan-out speedup)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="workload multiplier (smoke: < 1.0)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of count per benchmark")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the fan-out bench "
+                            "(default: CPU count)")
+    bench.add_argument("--no-parallel", action="store_true",
+                       help="skip the parallel fan-out benchmark")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="also write the JSON report here "
+                            "(e.g. benchmarks/results/"
+                            "BENCH_kernel.json)")
+
     validate = sub.add_parser(
         "validate",
         help="validation subsystem: theory conformance and replay")
@@ -229,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "validate":
         if args.validate_command == "conformance":
             return cmd_validate_conformance(args)

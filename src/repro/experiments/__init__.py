@@ -13,6 +13,12 @@ from repro.experiments.persistence import (
     result_to_dict,
     save_result,
 )
+from repro.experiments.parallel import (
+    default_workers,
+    parallel_map,
+    parallel_starmap,
+)
+from repro.experiments.bench import run_bench_suite
 from repro.experiments.sweep import SweepResult, sweep
 from repro.experiments.scenarios import (
     social_network_drift_scenario,
@@ -25,8 +31,12 @@ __all__ = [
     "ScenarioResult",
     "SweepResult",
     "ascii_table",
+    "default_workers",
     "load_result",
+    "parallel_map",
+    "parallel_starmap",
     "ratio",
+    "run_bench_suite",
     "result_from_dict",
     "result_to_dict",
     "run_scenario",

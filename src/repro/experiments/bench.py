@@ -1,0 +1,322 @@
+"""Kernel performance suite with a machine-readable report.
+
+Times the simulator's hot paths — DES event loop, PS-CPU scheduler,
+pool handoff, a full Sock Shop round trip — plus the parallel
+experiment fan-out, and renders everything into one JSON document
+(``BENCH_kernel.json``). The perf-regression smoke test compares these
+numbers against a committed baseline; ``repro bench`` regenerates them.
+
+Workloads mirror ``benchmarks/test_perf_kernel.py`` so the two views
+(pytest-benchmark statistics there, throughput JSON here) describe the
+same code paths. Every benchmark reports best-of-``repeats`` wall
+clock: on shared machines the *minimum* is the least noisy estimator
+of the true cost.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+import typing as _t
+
+from repro.app.topologies import build_sock_shop
+from repro.experiments.parallel import default_workers, parallel_map
+from repro.resources import ProcessorSharingCpu, SoftResourcePool
+from repro.sim import Environment, RandomStreams
+
+#: Report schema tag (bump when the JSON layout changes).
+SCHEMA = "repro-bench-kernel/1"
+
+#: Default best-of count per benchmark.
+REPEATS = 3
+
+
+def _best_of(fn: _t.Callable[[], _t.Any],
+             repeats: int) -> tuple[float, _t.Any]:
+    """Run ``fn`` ``repeats`` times; return (best seconds, last value)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _events_scheduled(env: Environment) -> int:
+    """Total events the environment scheduled (its id counter)."""
+    return next(env._eid)
+
+
+def bench_timeout_chain(n: int = 100_000,
+                        repeats: int = REPEATS) -> dict:
+    """Schedule+fire cost of a long timeout chain."""
+
+    def run() -> int:
+        env = Environment()
+
+        def chain(env: Environment):
+            for _ in range(n):
+                yield env.timeout(0.001)
+
+        env.process(chain(env))
+        env.run()
+        return _events_scheduled(env)
+
+    seconds, events = _best_of(run, repeats)
+    return {
+        "n_timeouts": n,
+        "events": events,
+        "seconds": seconds,
+        "events_per_sec": events / seconds,
+    }
+
+
+def bench_cpu_scheduler(jobs: int = 50_000,
+                        repeats: int = REPEATS) -> dict:
+    """Jobs through a contended PS CPU (virtual-time scheduler)."""
+
+    def run() -> int:
+        env = Environment()
+        cpu = ProcessorSharingCpu(env, cores=4, overhead=0.01)
+
+        def feeder(env: Environment):
+            for _ in range(jobs):
+                cpu.submit(0.002)
+                yield env.timeout(0.0005)
+
+        env.process(feeder(env))
+        env.run()
+        return _events_scheduled(env)
+
+    seconds, events = _best_of(run, repeats)
+    return {
+        "jobs": jobs,
+        "events": events,
+        "seconds": seconds,
+        "jobs_per_sec": jobs / seconds,
+        "events_per_sec": events / seconds,
+    }
+
+
+def bench_pool_handoff(workers: int = 100, iterations: int = 200,
+                       repeats: int = REPEATS) -> dict:
+    """Acquire/release churn through a small pool with queueing."""
+
+    def run() -> int:
+        env = Environment()
+        pool = SoftResourcePool(env, capacity=4)
+
+        def worker(env: Environment):
+            for _ in range(iterations):
+                yield pool.acquire()
+                yield env.timeout(0.001)
+                pool.release()
+
+        for _ in range(workers):
+            env.process(worker(env))
+        env.run()
+        return pool.total_granted
+
+    seconds, grants = _best_of(run, repeats)
+    return {
+        "grants": grants,
+        "seconds": seconds,
+        "grants_per_sec": grants / seconds,
+    }
+
+
+def bench_sock_shop(requests: int = 2000,
+                    repeats: int = REPEATS) -> dict:
+    """End-to-end cost of a Sock Shop cart round trip."""
+
+    def run() -> tuple[int, int]:
+        env = Environment()
+        app = build_sock_shop(env, RandomStreams(1))
+
+        def feeder(env: Environment):
+            for _ in range(requests):
+                app.submit("cart")
+                yield env.timeout(0.004)
+
+        env.process(feeder(env))
+        env.run()
+        return app.latency["cart"].total, _events_scheduled(env)
+
+    seconds, (completed, events) = _best_of(run, repeats)
+    return {
+        "requests": completed,
+        "events": events,
+        "seconds": seconds,
+        "requests_per_sec": completed / seconds,
+        "events_per_sec": events / seconds,
+    }
+
+
+def fanout_goodput(spec: tuple[int, int]) -> float:
+    """One fan-out task: a seeded Sock Shop run's goodput at 400 ms.
+
+    Module-level so worker processes can import it; the (seed,
+    requests) spec fully determines the result, which is what makes
+    the parallel path bit-identical to the serial one.
+    """
+    seed, requests = spec
+    env = Environment()
+    app = build_sock_shop(env, RandomStreams(seed))
+
+    def feeder(env: Environment):
+        for _ in range(requests):
+            app.submit("cart")
+            yield env.timeout(0.004)
+
+    env.process(feeder(env))
+    env.run()
+    _times, latencies = app.latency["cart"].window()
+    if latencies.size == 0:
+        return 0.0
+    good = int((latencies <= 0.4).sum())
+    return good / (requests * 0.004)
+
+
+def trace_run_digest(spec: tuple[str, float, int]) -> str:
+    """Event-stream digest of one (trace, duration, seed) scenario run.
+
+    Module-level fan-out task used by the determinism tests: a full
+    Sock Shop cart scenario under the named workload trace with the
+    Sora controller, fingerprinted with the validation subsystem's
+    :class:`~repro.validation.fingerprint.RunRecorder`. Identical
+    digests from serial and parallel execution prove the fan-out is
+    byte-exact.
+    """
+    from repro.experiments.harness import run_scenario
+    from repro.experiments.scenarios import sock_shop_cart_scenario
+    from repro.validation.fingerprint import (
+        RunRecorder,
+        fingerprint_traces,
+    )
+    from repro.workloads import build_trace
+
+    trace_name, duration, seed = spec
+    trace = build_trace(trace_name, duration=duration, peak_users=60,
+                        min_users=20)
+    scenario = sock_shop_cart_scenario(
+        trace=trace, controller="sora", autoscaler="firm", seed=seed)
+    recorder = RunRecorder(scenario.env, keep_events=False)
+    run_scenario(scenario, duration=duration)
+    fingerprint = recorder.finish(scenario.app, extra={
+        "trace_digest": fingerprint_traces(
+            scenario.app.warehouse.traces()),
+    })
+    return fingerprint.digest
+
+
+def bench_parallel_fanout(grid_points: int = 6,
+                          requests: int = 500,
+                          max_workers: int | None = None) -> dict:
+    """Serial vs parallel wall clock over independent simulations.
+
+    Runs the same ``grid_points`` seeded Sock Shop simulations once
+    serially and once through :func:`parallel_map`, checks the results
+    are identical, and reports the wall-clock speedup. On a single-CPU
+    host the pool degrades to the serial loop (speedup ~1.0 by
+    construction); the determinism check still exercises the worker
+    machinery when ``max_workers`` forces a pool.
+    """
+    specs = [(seed, requests) for seed in range(1, grid_points + 1)]
+    workers = (default_workers() if max_workers is None
+               else max_workers)
+
+    started = time.perf_counter()
+    serial = [fanout_goodput(spec) for spec in specs]
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = parallel_map(fanout_goodput, specs,
+                            max_workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    return {
+        "grid_points": grid_points,
+        "requests_per_point": requests,
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "identical_results": parallel == serial,
+    }
+
+
+def run_bench_suite(scale: float = 1.0,
+                    max_workers: int | None = None,
+                    include_parallel: bool = True,
+                    repeats: int = REPEATS) -> dict:
+    """Run every kernel benchmark; return the JSON-ready report.
+
+    Args:
+        scale: workload multiplier (smoke runs use < 1.0).
+        max_workers: worker count for the fan-out benchmark.
+        include_parallel: skip the fan-out benchmark when False.
+        repeats: best-of count per benchmark.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+
+    def scaled(n: int, floor: int = 1) -> int:
+        return max(floor, int(n * scale))
+
+    benchmarks = {
+        "timeout_chain": bench_timeout_chain(
+            n=scaled(100_000, 1000), repeats=repeats),
+        "cpu_scheduler": bench_cpu_scheduler(
+            jobs=scaled(50_000, 500), repeats=repeats),
+        "pool_handoff": bench_pool_handoff(
+            workers=scaled(100, 10), iterations=200, repeats=repeats),
+        "sock_shop": bench_sock_shop(
+            requests=scaled(2000, 50), repeats=repeats),
+    }
+    if include_parallel:
+        benchmarks["parallel_fanout"] = bench_parallel_fanout(
+            grid_points=6, requests=scaled(500, 20),
+            max_workers=max_workers)
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime()),
+        "benchmarks": benchmarks,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable one-line-per-benchmark summary."""
+    lines = [f"kernel bench (scale={report['scale']:g}, "
+             f"python {report['python']})"]
+    for name, stats in report["benchmarks"].items():
+        parts = [f"{name:<16}"]
+        if "events_per_sec" in stats:
+            parts.append(f"{stats['events_per_sec']:>12,.0f} events/s")
+        if "requests_per_sec" in stats:
+            parts.append(f"{stats['requests_per_sec']:>9,.0f} req/s")
+        if "grants_per_sec" in stats:
+            parts.append(f"{stats['grants_per_sec']:>9,.0f} grants/s")
+        if "speedup" in stats:
+            parts.append(
+                f"speedup {stats['speedup']:.2f}x over "
+                f"{stats['grid_points']} points "
+                f"({stats['workers']} workers, identical="
+                f"{stats['identical_results']})")
+        if "seconds" in stats:
+            parts.append(f"best {stats['seconds'] * 1000:8.1f} ms")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Persist a bench report as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

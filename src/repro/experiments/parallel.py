@@ -1,0 +1,97 @@
+"""Parallel experiment fan-out.
+
+The evaluation is embarrassingly parallel at the granularity of one
+simulation: sweep grid points, the six workload traces, controller
+cells, and MAPE replications are all independent runs that only share
+*code*, never simulator state. This module distributes such run lists
+over a pool of **spawned** worker processes (matching
+``repro.validation.replay``: a cold interpreter per worker, so no
+inherited globals can leak between runs).
+
+Determinism is preserved by construction: every task builds its own
+:class:`~repro.sim.engine.Environment` and seeds its own named
+:class:`~repro.sim.rng.RandomStreams` from the task spec, so a worker
+process produces bit-for-bit the result the serial loop would —
+``parallel_map(fn, items)`` is an order-preserving drop-in for
+``[fn(item) for item in items]``. The determinism tests in
+``tests/test_experiments_parallel.py`` enforce exactly that, reusing
+the replay fingerprints.
+
+Because workers are separate processes, ``fn`` must be a **module-level
+function** and each item (and each result) must be picklable. Closures
+and lambdas fall back to the serial path only when parallelism is
+disabled; with workers they raise a pickling error, which is the
+desired loud failure.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import typing as _t
+
+Item = _t.TypeVar("Item")
+Result = _t.TypeVar("Result")
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker-pool size: ``REPRO_PARALLEL_WORKERS`` or the CPU count."""
+    override = os.environ.get(WORKERS_ENV)
+    if override:
+        workers = int(override)
+        if workers < 1:
+            raise ValueError(
+                f"{WORKERS_ENV} must be >= 1, got {workers}")
+        return workers
+    return os.cpu_count() or 1
+
+
+def parallel_map(fn: _t.Callable[[Item], Result],
+                 items: _t.Iterable[Item], *,
+                 max_workers: int | None = None) -> list[Result]:
+    """``[fn(item) for item in items]`` over a spawned process pool.
+
+    Results come back in input order regardless of completion order.
+    Falls back to the plain serial loop when the resolved worker count
+    is 1 or there are fewer than two items — the output is identical
+    either way, so callers never need to branch.
+
+    Args:
+        fn: a picklable (module-level) function of one item.
+        items: the independent task specs (picklable).
+        max_workers: pool size; default :func:`default_workers`.
+    """
+    items = list(items)
+    workers = default_workers() if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {workers}")
+    workers = min(workers, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    context = multiprocessing.get_context("spawn")
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(fn, items))
+
+
+def parallel_starmap(fn: _t.Callable[..., Result],
+                     items: _t.Iterable[tuple], *,
+                     max_workers: int | None = None) -> list[Result]:
+    """:func:`parallel_map` with argument-tuple unpacking."""
+    return parallel_map(_Star(fn), list(items), max_workers=max_workers)
+
+
+class _Star:
+    """Picklable ``fn(*args)`` adapter (a lambda would not pickle)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: _t.Callable[..., Result]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> Result:
+        return self.fn(*args)

@@ -4,7 +4,10 @@ The evaluation repeatedly answers "what is the goodput-optimal value of
 knob X under workload W?" (Fig. 3's panels, Fig. 9's validations,
 Table 1's ground truths). :func:`sweep` factors that pattern out: run a
 scenario factory across a grid, collect a metric, and report the
-argmax with its margin over the runner-up.
+argmax with its margin over the runner-up. Grid points are independent
+simulations, so the sweep can optionally fan out over worker processes
+(see :mod:`repro.experiments.parallel`); the result is identical to the
+serial loop either way.
 """
 
 from __future__ import annotations
@@ -22,7 +25,8 @@ class SweepResult(_t.Generic[Value]):
     Attributes:
         metric_by_value: metric measured at each grid point.
         best: the argmax grid point.
-        margin: best metric divided by the runner-up's (1.0 = tie).
+        margin: best metric divided by the runner-up's (1.0 = tie;
+            ``inf`` when only the best point scored above zero).
     """
 
     metric_by_value: dict[Value, float]
@@ -34,29 +38,68 @@ class SweepResult(_t.Generic[Value]):
         """Whether the sweep failed to separate the grid (margin < 3%)."""
         return self.margin < 1.03
 
+    @property
+    def degenerate(self) -> bool:
+        """Whether even the best grid point measured 0.0.
+
+        A degenerate sweep carries no ranking information (every run
+        produced nothing — wrong SLA, broken scenario, zero duration);
+        callers should treat the argmax as meaningless.
+        """
+        return self.metric_by_value[self.best] == 0.0
+
     def normalized(self) -> dict[Value, float]:
-        """Metric scaled so the best point is 1.0."""
-        peak = self.metric_by_value[self.best] or 1.0
+        """Metric scaled so the best point is 1.0.
+
+        A :attr:`degenerate` sweep returns all zeros rather than
+        inventing a ranking: dividing by a fake peak of 1.0 would
+        silently present "everything was zero" as "the best point hit
+        its optimum".
+        """
+        peak = self.metric_by_value[self.best]
+        if peak == 0.0:
+            return {value: 0.0 for value in self.metric_by_value}
         return {value: metric / peak
                 for value, metric in self.metric_by_value.items()}
 
 
 def sweep(grid: _t.Sequence[Value],
-          measure: _t.Callable[[Value], float]) -> SweepResult[Value]:
+          measure: _t.Callable[[Value], float], *,
+          parallel: bool = False,
+          max_workers: int | None = None) -> SweepResult[Value]:
     """Measure ``measure(value)`` at each grid point; find the best.
 
     ``measure`` should be a pure function of the grid value (build the
-    scenario, run it, return goodput).
+    scenario, run it, return goodput). With ``parallel=True`` the grid
+    points run in spawned worker processes — ``measure`` must then be a
+    picklable module-level function — and the result is bit-identical
+    to the serial sweep because each point seeds its own streams.
+
+    Args:
+        grid: the (non-empty) list of knob values to try.
+        measure: metric function of one grid value.
+        parallel: fan grid points out over worker processes.
+        max_workers: pool size when parallel (default: CPU count, or
+            ``REPRO_PARALLEL_WORKERS``).
     """
     if not grid:
         raise ValueError("empty grid")
-    metric_by_value = {value: float(measure(value)) for value in grid}
+    if parallel:
+        from repro.experiments.parallel import parallel_map
+        metrics = parallel_map(measure, grid, max_workers=max_workers)
+        metric_by_value = {value: float(metric)
+                           for value, metric in zip(grid, metrics)}
+    else:
+        metric_by_value = {value: float(measure(value))
+                           for value in grid}
     ranked = sorted(metric_by_value, key=metric_by_value.get,
                     reverse=True)
     best = ranked[0]
     if len(ranked) > 1 and metric_by_value[ranked[1]] > 0:
         margin = metric_by_value[best] / metric_by_value[ranked[1]]
     else:
+        # Runner-up at exactly 0: a positive best is infinitely ahead;
+        # an all-zero grid separates nothing and reports a tie.
         margin = float("inf") if metric_by_value[best] > 0 else 1.0
     return SweepResult(metric_by_value=metric_by_value, best=best,
                        margin=margin)

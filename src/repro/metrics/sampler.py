@@ -8,7 +8,6 @@ time-indexed record that window queries slice efficiently.
 
 from __future__ import annotations
 
-import bisect
 import typing as _t
 
 import numpy as np
@@ -17,42 +16,74 @@ from repro.sim.engine import Environment
 
 
 class TimeSeries:
-    """An append-only time series with window slicing."""
+    """An append-only time series with window slicing.
 
-    def __init__(self) -> None:
-        self._times: list[float] = []
-        self._values: list[float] = []
+    Samples live in preallocated numpy buffers (doubled on overflow), so
+    :meth:`window` is a pair of ``searchsorted`` calls plus two O(1)
+    array views — no per-query list-to-array conversion. Pruning
+    advances a start offset without moving data, which keeps previously
+    returned views valid; dead space is reclaimed at the next growth.
+    """
+
+    __slots__ = ("_times", "_values", "_start", "_end")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._start = 0  # first live sample
+        self._end = 0    # one past the last live sample
 
     def append(self, time: float, value: float) -> None:
         """Record one observation (times must be non-decreasing)."""
-        if self._times and time < self._times[-1]:
+        end = self._end
+        if end > self._start and time < self._times[end - 1]:
             raise ValueError(
-                f"time {time} precedes last sample {self._times[-1]}")
-        self._times.append(time)
-        self._values.append(value)
+                f"time {time} precedes last sample {self._times[end - 1]}")
+        if end == self._times.shape[0]:
+            self._grow()
+            end = self._end
+        self._times[end] = time
+        self._values[end] = value
+        self._end = end + 1
+
+    def _grow(self) -> None:
+        """Move live samples into fresh buffers at least twice their
+        size (fresh, never shifted in place, so outstanding views from
+        :meth:`window` keep their data)."""
+        live = self._end - self._start
+        capacity = max(256, 2 * live)
+        times = np.empty(capacity, dtype=np.float64)
+        values = np.empty(capacity, dtype=np.float64)
+        times[:live] = self._times[self._start:self._end]
+        values[:live] = self._values[self._start:self._end]
+        self._times, self._values = times, values
+        self._start, self._end = 0, live
 
     def window(self, since: float = 0.0, until: float = float("inf")
                ) -> tuple[np.ndarray, np.ndarray]:
-        """``(times, values)`` with ``since <= t < until``."""
-        lo = bisect.bisect_left(self._times, since)
-        hi = bisect.bisect_left(self._times, until)
-        return np.asarray(self._times[lo:hi]), np.asarray(self._values[lo:hi])
+        """``(times, values)`` with ``since <= t < until`` (read-only
+        views onto the live buffer)."""
+        times = self._times
+        lo = int(np.searchsorted(times[self._start:self._end], since,
+                                 side="left")) + self._start
+        hi = int(np.searchsorted(times[self._start:self._end], until,
+                                 side="left")) + self._start
+        return times[lo:hi], self._values[lo:hi]
 
     def latest(self) -> tuple[float, float]:
         """The most recent ``(time, value)``."""
-        if not self._times:
+        if self._end == self._start:
             raise ValueError("empty time series")
-        return self._times[-1], self._values[-1]
+        return (float(self._times[self._end - 1]),
+                float(self._values[self._end - 1]))
 
     def prune(self, before: float) -> None:
         """Drop samples older than ``before``."""
-        cut = bisect.bisect_left(self._times, before)
-        if cut:
-            del self._times[:cut]
-            del self._values[:cut]
+        self._start += int(np.searchsorted(
+            self._times[self._start:self._end], before, side="left"))
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._end - self._start
 
 
 class IntervalSampler:
@@ -168,12 +199,11 @@ class ConcurrencyGoodputSampler:
         while self._running:
             yield self.env.timeout(self.interval)
             now = self.env.now
-            latencies = self.completion_source(last, now)
+            latencies = np.asarray(self.completion_source(last, now))
             threshold = self.threshold_provider()
             elapsed = now - last
-            good = float(np.count_nonzero(
-                np.asarray(latencies) <= threshold))
-            total = float(np.asarray(latencies).size)
+            good = float(np.count_nonzero(latencies <= threshold))
+            total = float(latencies.size)
             integral = float(self.concurrency_integral())
             self.concurrency.append(
                 now, (integral - last_integral) / elapsed)

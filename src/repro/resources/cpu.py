@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import math
 import typing as _t
+from heapq import heappush
 from itertools import count
 
 from repro.sim.engine import URGENT, Environment
@@ -63,7 +64,12 @@ class ProcessorSharingCpu:
         self._heap: list[tuple[float, int, Event]] = []
         self._jobs = 0
         self._job_id = count()
-        self._wake_generation = 0
+        #: Time of the earliest outstanding wake timer (inf = none).
+        #: Occupancy changes only ever push the next completion *later*
+        #: (more jobs -> slower virtual time), so an already-scheduled
+        #: earlier timer simply fires, finds nothing due, and
+        #: reschedules — no per-submit timer churn.
+        self._next_wake = float("inf")
 
         self._busy_core_seconds = 0.0    # integral of min(n, c)
         self._work_done = 0.0            # integral of effective rate
@@ -123,18 +129,50 @@ class ProcessorSharingCpu:
     # ------------------------------------------------------------------
     def submit(self, work: float) -> Event:
         """Submit a job needing ``work`` core-seconds; returns an event
-        that succeeds when the job completes."""
+        that succeeds when the job completes.
+
+        This is the hottest entry point of the scheduler, so
+        :meth:`_advance` and :meth:`_reschedule` are fused into the
+        method body (identical arithmetic, no call overhead).
+        """
         if work < 0:
             raise ValueError(f"negative work {work}")
-        done = Event(self.env)
+        env = self.env
+        done = Event(env)
         if work == 0.0:
             done.succeed()
             return done
-        self._advance()
-        finish_v = self._virtual + work
-        heapq.heappush(self._heap, (finish_v, next(self._job_id), done))
-        self._jobs += 1
-        self._reschedule()
+        now = env._now
+        jobs = self._jobs
+        cores = self._cores
+        overhead = self._overhead
+        dt = now - self._last_update
+        if dt > 0.0:
+            if jobs > 0:
+                over = jobs - cores
+                penalty = 1.0 + overhead * over if over > 0.0 else 1.0
+                rate = (jobs if jobs < cores else cores) / penalty
+                self._virtual += (rate / jobs) * dt
+                self._busy_core_seconds += \
+                    (jobs if jobs < cores else cores) * dt
+                self._work_done += rate * dt
+            self._capacity_core_seconds += cores * dt
+            self._last_update = now
+        heapq.heappush(self._heap, (self._virtual + work,
+                                    next(self._job_id), done))
+        self._jobs = jobs = jobs + 1
+        over = jobs - cores
+        penalty = 1.0 + overhead * over if over > 0.0 else 1.0
+        rate = (jobs if jobs < cores else cores) / (penalty * jobs)
+        delay = (self._heap[0][0] - self._virtual) / rate
+        when = now + delay if delay > 0.0 else now
+        if when < self._next_wake:
+            self._next_wake = when
+            event = Event(env)
+            event.callbacks.append(self._wake)
+            event._ok = True
+            event._value = None
+            heappush(env._heap, (when, URGENT, next(env._eid), event))
         return done
 
     def set_cores(self, cores: float) -> None:
@@ -164,48 +202,122 @@ class ProcessorSharingCpu:
 
     def _advance(self) -> None:
         """Integrate virtual time and accounting up to ``env.now``."""
-        now = self.env.now
+        now = self.env._now
         dt = now - self._last_update
-        if dt <= 0:
-            self._last_update = now
+        if dt <= 0.0:
             return
-        if self._jobs > 0:
-            rate = self.aggregate_rate()
-            self._virtual += (rate / self._jobs) * dt
-            self._busy_core_seconds += min(self._jobs, self._cores) * dt
+        jobs = self._jobs
+        cores = self._cores
+        if jobs > 0:
+            # aggregate_rate() inlined: this runs on every submit/wake.
+            over = jobs - cores
+            penalty = 1.0 + self._overhead * over if over > 0.0 else 1.0
+            rate = (jobs if jobs < cores else cores) / penalty
+            self._virtual += (rate / jobs) * dt
+            self._busy_core_seconds += (jobs if jobs < cores else cores) * dt
             self._work_done += rate * dt
-        self._capacity_core_seconds += self._cores * dt
+        self._capacity_core_seconds += cores * dt
         self._last_update = now
 
     def _reschedule(self) -> None:
-        """Schedule (or reschedule) the next completion wake-up."""
-        self._wake_generation += 1
-        generation = self._wake_generation
+        """Ensure a wake timer is pending at (or before) the next
+        completion.
+
+        A timer that fires before anything is due is a cheap recheck
+        (:meth:`_wake` recomputes and re-arms); a timer is only *added*
+        when the next completion moved earlier than every outstanding
+        timer. This keeps the common burst-of-submits pattern at one
+        outstanding timer instead of one per submit.
+        """
         if not self._heap:
             return
-        rate = self._per_job_rate()
-        if rate <= 0:  # pragma: no cover - jobs>0 implies rate>0
+        jobs = self._jobs
+        if jobs <= 0:  # pragma: no cover - heap non-empty implies jobs>0
             return
+        # _per_job_rate()/aggregate_rate() inlined for the hot path.
+        cores = self._cores
+        over = jobs - cores
+        penalty = 1.0 + self._overhead * over if over > 0.0 else 1.0
+        rate = (jobs if jobs < cores else cores) / (penalty * jobs)
         next_finish_v = self._heap[0][0]
-        delay = max(0.0, (next_finish_v - self._virtual) / rate)
-        when = self.env.now + delay
+        env = self.env
+        delay = (next_finish_v - self._virtual) / rate
+        when = env._now + delay if delay > 0.0 else env._now
+        if when >= self._next_wake:
+            return  # pending timer fires first and will recheck
         if math.isinf(when):  # pragma: no cover - defensive
             return
-        self.env.call_at(when, lambda: self._wake(generation),
-                         priority=URGENT)
+        self._next_wake = when
+        # Equivalent of env.call_at(when, ..., priority=URGENT) without
+        # the closure wrapper: the wake event carries the bound method
+        # directly as its callback.
+        event = Event(env)
+        event.callbacks.append(self._wake)
+        event._ok = True
+        event._value = None
+        heappush(env._heap, (when, URGENT, next(env._eid), event))
 
-    def _wake(self, generation: int) -> None:
-        if generation != self._wake_generation:
-            return  # superseded by a later reschedule (lazy invalidation)
-        self._advance()
-        completed: list[Event] = []
-        while self._heap and self._heap[0][0] <= self._virtual + _EPSILON:
-            _finish_v, _jid, done = heapq.heappop(self._heap)
-            self._jobs -= 1
-            completed.append(done)
-        self._reschedule()
-        for done in completed:
-            done.succeed()
+    def _wake(self, _event: Event | None = None) -> None:
+        """Timer callback: complete everything due, then re-arm.
+
+        Like :meth:`submit` this fuses :meth:`_advance` and
+        :meth:`_reschedule` inline, and re-arms by pushing the *fired*
+        wake event back onto the engine heap (the engine has already
+        detached its callback list, so the object is free for reuse and
+        is never in the heap twice).
+        """
+        env = self.env
+        now = env._now
+        jobs = self._jobs
+        cores = self._cores
+        overhead = self._overhead
+        dt = now - self._last_update
+        if dt > 0.0:
+            if jobs > 0:
+                over = jobs - cores
+                penalty = 1.0 + overhead * over if over > 0.0 else 1.0
+                rate = (jobs if jobs < cores else cores) / penalty
+                self._virtual += (rate / jobs) * dt
+                self._busy_core_seconds += \
+                    (jobs if jobs < cores else cores) * dt
+                self._work_done += rate * dt
+            self._capacity_core_seconds += cores * dt
+            self._last_update = now
+        self._next_wake = float("inf")
+        heap = self._heap
+        threshold = self._virtual + _EPSILON
+        completed: list[Event] | None = None
+        if heap and heap[0][0] <= threshold:
+            completed = []
+            pop = heapq.heappop
+            while heap and heap[0][0] <= threshold:
+                completed.append(pop(heap)[2])
+            self._jobs = jobs = jobs - len(completed)
+        if heap and jobs > 0:
+            over = jobs - cores
+            penalty = 1.0 + overhead * over if over > 0.0 else 1.0
+            rate = (jobs if jobs < cores else cores) / (penalty * jobs)
+            delay = (heap[0][0] - self._virtual) / rate
+            when = now + delay if delay > 0.0 else now
+            self._next_wake = when
+            if _event is not None:
+                _event.callbacks = [self._wake]
+                event = _event
+            else:  # pragma: no cover - _wake always fires from a timer
+                event = Event(env)
+                event.callbacks.append(self._wake)
+                event._ok = True
+                event._value = None
+            heappush(env._heap, (when, URGENT, next(env._eid), event))
+        if completed is not None:
+            # done.succeed() inlined: the done events are created in
+            # submit() and triggered nowhere else, so the already-
+            # triggered check cannot fire (_ok is True from __init__).
+            eid = env._eid
+            main_heap = env._heap
+            for done in completed:
+                done._value = None
+                heappush(main_heap, (now, 1, next(eid), done))
 
     def __repr__(self) -> str:
         return (f"<ProcessorSharingCpu {self.name!r} cores={self._cores} "

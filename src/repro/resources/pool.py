@@ -23,6 +23,7 @@ import typing as _t
 from collections import deque
 
 from repro.sim.engine import Environment
+from repro.sim.events import PENDING as _PENDING
 from repro.sim.events import Event
 
 
@@ -32,8 +33,14 @@ class PoolRequest(Event):
     __slots__ = ("enqueued_at", "granted_at", "cancelled")
 
     def __init__(self, env: Environment) -> None:
-        super().__init__(env)
-        self.enqueued_at = env.now
+        # Inlined Event.__init__ — pools churn through one request per
+        # admission, so the base-class call is worth eliding.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self.defused = False
+        self.enqueued_at = env._now
         self.granted_at: float | None = None
         self.cancelled = False
 
@@ -171,9 +178,10 @@ class SoftResourcePool:
     # ------------------------------------------------------------------
     def _grant(self, request: PoolRequest) -> None:
         self._in_use += 1
-        request.granted_at = self.env.now
+        granted_at = self.env._now
+        request.granted_at = granted_at
         self.total_granted += 1
-        self.total_wait_time += request.wait_time
+        self.total_wait_time += granted_at - request.enqueued_at
         request.succeed()
 
     def _grant_waiters(self) -> None:
@@ -187,12 +195,12 @@ class SoftResourcePool:
             self._waiters.popleft()
 
     def _integrate(self) -> None:
-        now = self.env.now
+        now = self.env._now
         dt = now - self._last_update
-        if dt > 0:
+        if dt > 0.0:
             self._in_use_integral += self._in_use * dt
             self._queue_integral += len(self._waiters) * dt
-        self._last_update = now
+            self._last_update = now
 
     def __repr__(self) -> str:
         return (f"<SoftResourcePool {self.name!r} {self._in_use}/"

@@ -20,6 +20,18 @@ class Distribution(abc.ABC):
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one value."""
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        """Draw ``n`` values as a list.
+
+        For the numpy-backed distributions a batch draw consumes the
+        generator's bit stream exactly as ``n`` single draws would, so
+        batching is a pure performance optimization: hot paths amortize
+        the per-call numpy overhead without changing the sampled
+        sequence.
+        """
+        return [self.sample(rng) for _ in range(n)]
+
     @property
     @abc.abstractmethod
     def mean(self) -> float:
@@ -41,6 +53,10 @@ class Constant(Distribution):
     def sample(self, rng: np.random.Generator) -> float:
         return self._value
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return [self._value] * n
+
     @property
     def mean(self) -> float:
         return self._value
@@ -59,6 +75,10 @@ class Exponential(Distribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self._mean))
+
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return rng.exponential(self._mean, n).tolist()
 
     @property
     def mean(self) -> float:
@@ -87,6 +107,10 @@ class LogNormal(Distribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self._mu, self._sigma))
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return rng.lognormal(self._mu, self._sigma, n).tolist()
+
     @property
     def mean(self) -> float:
         return self._mean
@@ -112,6 +136,10 @@ class Uniform(Distribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self._low, self._high))
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return rng.uniform(self._low, self._high, n).tolist()
+
     @property
     def mean(self) -> float:
         return (self._low + self._high) / 2.0
@@ -134,6 +162,10 @@ class Erlang(Distribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.gamma(self._k, self._mean / self._k))
+
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return rng.gamma(self._k, self._mean / self._k, n).tolist()
 
     @property
     def mean(self) -> float:
@@ -165,6 +197,10 @@ class Pareto(Distribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(self._scale * (1.0 + rng.pareto(self._alpha)))
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return (self._scale * (1.0 + rng.pareto(self._alpha, n))).tolist()
+
     @property
     def mean(self) -> float:
         return self._mean
@@ -194,6 +230,10 @@ class Weibull(Distribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(self._scale * rng.weibull(self._k))
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        return (self._scale * rng.weibull(self._k, n)).tolist()
+
     @property
     def mean(self) -> float:
         return self._mean
@@ -222,6 +262,11 @@ class Scaled(Distribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self._base.sample(rng) * self._factor
+
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> list[float]:
+        factor = self._factor
+        return [v * factor for v in self._base.sample_batch(rng, n)]
 
     @property
     def mean(self) -> float:

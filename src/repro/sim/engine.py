@@ -144,6 +144,37 @@ class Environment:
                 f"unhandled failure in simulation at t={when:.6f}: {cause!r}")
             raise error from cause
 
+    def _run_loop(self, horizon: float) -> None:
+        """The hot loop: :meth:`step` inlined with everything bound to
+        locals.
+
+        Identical semantics and event ordering to calling ``step()`` in
+        a loop — the inlining only removes per-event attribute lookups
+        and method-call overhead, which dominate the cost of a
+        timeout-schedule-fire cycle. ``self._monitors`` is bound once
+        (add/remove mutate the list in place, so mid-run changes are
+        still honored) and ``self._heap`` is never rebound elsewhere.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        monitors = self._monitors
+        while heap and heap[0][0] <= horizon:
+            when, _prio, eid, event = pop(heap)
+            self._now = when
+            if monitors:
+                for monitor in monitors:
+                    monitor(when, eid, event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                cause = _t.cast(BaseException, event._value)
+                error = UnhandledProcessError(
+                    f"unhandled failure in simulation at t={when:.6f}: "
+                    f"{cause!r}")
+                raise error from cause
+
     def run(self, until: float | Event | None = None) -> object:
         """Run the event loop.
 
@@ -169,8 +200,7 @@ class Environment:
                     f"until={horizon} is in the past (now={self._now})")
 
         try:
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
+            self._run_loop(horizon)
         except StopSimulation:
             pass
 

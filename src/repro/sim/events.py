@@ -10,6 +10,7 @@ processed. Processes (see :mod:`repro.sim.process`) are generators that
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 from repro.sim.errors import EventAlreadyTriggered
 
@@ -71,7 +72,11 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Equivalent to ``self.env.schedule(self)`` (delay 0, NORMAL
+        # priority) with the method call and delay check elided — this
+        # is the hottest scheduling site in the kernel.
+        env = self.env
+        heappush(env._heap, (env._now, 1, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -85,7 +90,8 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._heap, (env._now, 1, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -121,11 +127,16 @@ class Timeout(Event):
                  value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ + env.schedule: the timeout-schedule-
+        # fire cycle dominates most simulations, so the base-class
+        # chain and the redundant second delay check are elided.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self.defused = False
+        self.delay = delay
+        heappush(env._heap, (env._now + delay, 1, next(env._eid), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"

@@ -17,6 +17,7 @@ processes can wait on each other, e.g.::
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import Event, PENDING
@@ -41,9 +42,15 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on.
         self._target: Event | None = None
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        # Bootstrap event, built and scheduled inline (the equivalent of
+        # Event(env) + add_callback + succeed without the method calls).
+        bootstrap = Event.__new__(Event)
+        bootstrap.env = env
+        bootstrap.callbacks = [self._resume]
+        bootstrap._value = None
+        bootstrap._ok = True
+        bootstrap.defused = False
+        heappush(env._heap, (env._now, 1, next(env._eid), bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -75,12 +82,12 @@ class Process(Event):
         self._target = None
         try:
             if trigger._ok:
+                value = trigger._value
                 target = self._generator.send(
-                    None if trigger._value is PENDING else trigger._value)
+                    None if value is PENDING else value)
             else:
                 trigger.defused = True
-                target = self._generator.throw(
-                    _t.cast(BaseException, trigger._value))
+                target = self._generator.throw(trigger._value)
         except StopIteration as stop:
             env._active_process = None
             self.succeed(stop.value)

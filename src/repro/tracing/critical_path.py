@@ -74,7 +74,16 @@ def _dominant_child(span: Span) -> Span | None:
 
 
 def extract_critical_path(root: Span) -> CriticalPath:
-    """Walk the call tree from ``root`` and return its critical path."""
+    """Walk the call tree from ``root`` and return its critical path.
+
+    The result is memoized on the root span: a finished trace is
+    immutable, and the SCG analysis windows overlap, so deadline
+    propagation and localization would otherwise re-walk the same call
+    trees every adaptation cycle.
+    """
+    cached = root._critical_path
+    if cached is not None:
+        return cached
     if not root.finished:
         raise ValueError("trace is not finished")
     chain = [root]
@@ -83,7 +92,9 @@ def extract_critical_path(root: Span) -> CriticalPath:
         node = _dominant_child(node)
         if node is not None:
             chain.append(node)
-    return CriticalPath(spans=tuple(chain))
+    path = CriticalPath(spans=tuple(chain))
+    root._critical_path = path
+    return path
 
 
 def critical_path_frequencies(

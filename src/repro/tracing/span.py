@@ -22,12 +22,16 @@ class Span:
     __slots__ = (
         "span_id", "trace_id", "service", "replica", "operation",
         "parent", "children", "arrival", "started", "departure",
+        "_critical_path",
     )
 
     def __init__(self, trace_id: int, service: str, operation: str,
                  arrival: float, parent: "Span | None" = None,
                  replica: str | None = None) -> None:
         self.span_id = next(_span_ids)
+        #: Memoized critical path when this span is a finished trace
+        #: root (see :func:`repro.tracing.extract_critical_path`).
+        self._critical_path = None
         self.trace_id = trace_id
         self.service = service
         self.operation = operation

@@ -35,25 +35,42 @@ class TraceWarehouse:
     # Ingest
     # ------------------------------------------------------------------
     def record(self, root: Span) -> None:
-        """Store a finished trace (all spans must have departed)."""
-        if not root.finished:
+        """Store a finished trace (all spans must have departed).
+
+        The traversal is ``Span.walk()`` unrolled (same pre-order):
+        this runs once per completed request, so the generator frame
+        and per-span property calls are worth eliding.
+        """
+        if root.departure is None:
             raise ValueError("cannot record an unfinished trace")
         self._traces.append(root)
         self.total_recorded += 1
-        for span in root.walk():
-            if span.departure is None:
+        by_service = self._by_service
+        stack = [root]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            span = pop()
+            departure = span.departure
+            if departure is None:
                 raise ValueError(
                     f"span {span.service} of trace {span.trace_id} "
                     "has not finished")
-            times, spans = self._by_service.setdefault(
-                span.service, ([], []))
-            if times and span.departure < times[-1]:
-                index = bisect.bisect_right(times, span.departure)
-                times.insert(index, span.departure)
+            entry = by_service.get(span.service)
+            if entry is None:
+                entry = ([], [])
+                by_service[span.service] = entry
+            times, spans = entry
+            if times and departure < times[-1]:
+                index = bisect.bisect_right(times, departure)
+                times.insert(index, departure)
                 spans.insert(index, span)
             else:
-                times.append(span.departure)
+                times.append(departure)
                 spans.append(span)
+            children = span.children
+            if children:
+                extend(reversed(children))
 
     # ------------------------------------------------------------------
     # Queries

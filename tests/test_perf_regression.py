@@ -1,0 +1,70 @@
+"""Perf-regression smoke test against the committed kernel baseline.
+
+Runs the kernel bench suite at a small scale and checks each
+throughput metric against ``benchmarks/baselines/
+BENCH_kernel_baseline.json``. The tolerance is deliberately generous
+(default 2x, ``REPRO_PERF_TOLERANCE``): shared CI machines are noisy
+and this gate exists to catch order-of-magnitude regressions — an
+accidentally quadratic event loop, a lost fast path — not 10% drift.
+
+Refresh the baseline after intentional kernel changes with::
+
+    PYTHONPATH=src python -m repro.cli bench \
+        --output benchmarks/baselines/BENCH_kernel_baseline.json
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.bench import SCHEMA, run_bench_suite
+
+BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent /
+                 "benchmarks" / "baselines" /
+                 "BENCH_kernel_baseline.json")
+
+#: Allowed slowdown factor vs the committed baseline.
+TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
+
+#: (benchmark, throughput field) pairs the gate holds.
+GATES = [
+    ("timeout_chain", "events_per_sec"),
+    ("cpu_scheduler", "events_per_sec"),
+    ("pool_handoff", "grants_per_sec"),
+    ("sock_shop", "requests_per_sec"),
+]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert BASELINE_PATH.exists(), (
+        f"missing committed baseline {BASELINE_PATH}; regenerate with "
+        "`repro bench --output <path>`")
+    report = json.loads(BASELINE_PATH.read_text())
+    assert report["schema"] == SCHEMA
+    return report
+
+
+@pytest.fixture(scope="module")
+def current():
+    # Small scale + best-of-5 keeps this fast while the min over
+    # repeats damps scheduler noise; throughput is roughly
+    # scale-invariant so the reduced run is comparable to the
+    # full-scale baseline within the gate's tolerance.
+    return run_bench_suite(scale=0.05, repeats=5,
+                           include_parallel=False)
+
+
+@pytest.mark.parametrize("bench,field", GATES)
+def test_throughput_no_regression(baseline, current, bench, field):
+    reference = baseline["benchmarks"][bench][field]
+    measured = current["benchmarks"][bench][field]
+    assert measured > 0
+    floor = reference / TOLERANCE
+    assert measured >= floor, (
+        f"{bench}.{field} regressed: {measured:,.0f}/s vs baseline "
+        f"{reference:,.0f}/s (floor {floor:,.0f}/s at "
+        f"{TOLERANCE:g}x tolerance). If the slowdown is intentional, "
+        f"refresh {BASELINE_PATH.name} via `repro bench --output`.")
