@@ -9,7 +9,6 @@ recommendation against the sweep-derived optimum.
 
 import math
 
-import numpy as np
 
 from benchmarks._common import once, publish, scaled
 from repro.app.topologies import build_sock_shop

@@ -4,4 +4,10 @@ Latency-sensitive soft resource adaptation for microservices on a
 discrete-event simulation substrate.
 """
 
+import logging as _logging
+
 __version__ = "0.1.0"
+
+# Library-quiet default for the ``repro.*`` logging namespace; attach a
+# real handler with ``repro.obs.configure_logging()``.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())

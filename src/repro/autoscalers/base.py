@@ -9,10 +9,15 @@ allocations right after hardware changes.
 from __future__ import annotations
 
 import abc
+import logging
 import typing as _t
 from dataclasses import dataclass
 
+import repro.obs as obs_mod
+from repro.obs.events import ScaleEventRecord
 from repro.sim.engine import Environment
+
+logger = logging.getLogger(__name__)
 
 ScaleKind = _t.Literal["horizontal", "vertical"]
 
@@ -46,6 +51,9 @@ class Autoscaler(abc.ABC):
         self.scale_log: list[ScaleEvent] = []
         self._callbacks: list[_t.Callable[[ScaleEvent], None]] = []
         self._started = False
+        #: Observability scope; a hosting controller that owns an enabled
+        #: scope shares it so scale events land in the same audit trail.
+        self.obs = obs_mod.NULL
 
     def on_scale(self, callback: _t.Callable[[ScaleEvent], None]) -> None:
         """Register a callback invoked after every scaling action."""
@@ -65,6 +73,15 @@ class Autoscaler(abc.ABC):
 
     def _emit(self, event: ScaleEvent) -> None:
         self.scale_log.append(event)
+        logger.info("t=%.1f %s scaled %s %s: %g -> %g",
+                    event.time, type(self).__name__, event.service,
+                    event.kind, event.before, event.after)
+        if self.obs:
+            self.obs.record(ScaleEventRecord(
+                time=event.time, service=event.service,
+                scale_kind=event.kind, before=event.before,
+                after=event.after, autoscaler=type(self).__name__))
+            self.obs.registry.counter("autoscaler.scale_events").inc()
         for callback in self._callbacks:
             callback(event)
 

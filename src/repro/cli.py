@@ -8,6 +8,8 @@ Examples::
     python -m repro.cli compare --scenario drift --trace large_variation
     python -m repro.cli validate conformance --verbose
     python -m repro.cli validate replay --scenario tandem_balanced
+    python -m repro.cli obs report --scenario cart --controller sora \\
+        --html report.html --jsonl decisions.jsonl
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ SCENARIOS = {
 }
 
 
-def _build_scenario(args, controller: str):
+def _build_scenario(args, controller: str, obs=None):
     trace = build_trace(args.trace, duration=args.duration,
                         peak_users=args.peak_users,
                         min_users=args.min_users)
@@ -40,6 +42,8 @@ def _build_scenario(args, controller: str):
     kwargs = dict(trace=trace, controller=controller,
                   autoscaler=args.autoscaler, sla=args.sla,
                   seed=args.seed)
+    if obs is not None:
+        kwargs["obs"] = obs
     if args.scenario == "drift":
         kwargs["drift_at"] = args.duration / 3.0
     return builder(**kwargs)
@@ -119,6 +123,41 @@ def cmd_bench(args) -> int:
     if args.output:
         path = write_report(report, args.output)
         print(f"wrote {path}")
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs import (
+        Observability,
+        configure_logging,
+        render_html,
+        render_text,
+    )
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    obs = Observability()
+    scenario = _build_scenario(args, args.controller, obs=obs)
+    result = run_scenario(scenario, duration=args.duration)
+    title = (f"{args.scenario} / {args.trace} / "
+             f"{args.controller}+{args.autoscaler} "
+             f"(SLA {args.sla * 1000:.0f} ms)")
+    print(render_text(obs, title=title))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(obs, title=title))
+        print(f"wrote {args.html}")
+    if args.jsonl:
+        count = obs.decisions.write_jsonl(args.jsonl)
+        print(f"wrote {count} records to {args.jsonl}")
+    if args.traces_out:
+        from repro.tracing.export import write_traces
+
+        roots = scenario.app.warehouse.traces(
+            0.0, result.duration + 10.0)
+        count = write_traces(args.traces_out, roots,
+                             decisions=obs.decisions.applied())
+        print(f"wrote {count} traces to {args.traces_out}")
     return 0
 
 
@@ -229,6 +268,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. benchmarks/results/"
                             "BENCH_kernel.json)")
 
+    obs = sub.add_parser(
+        "obs",
+        help="observability: run a scenario with the audit trail on "
+             "and render the explainability report")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="run one scenario with observability enabled and explain "
+             "every adaptation decision")
+    add_run_args(report)
+    report.add_argument("--html", default=None, metavar="PATH",
+                        help="also write an HTML report here")
+    report.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="write the decision log as JSONL here")
+    report.add_argument("--traces-out", default=None, metavar="PATH",
+                        help="write decision-tagged Jaeger traces here")
+    report.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="also stream repro.* logs to stderr")
+
     validate = sub.add_parser(
         "validate",
         help="validation subsystem: theory conformance and replay")
@@ -273,6 +332,9 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_compare(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "obs":
+        if args.obs_command == "report":
+            return cmd_obs_report(args)
     if args.command == "validate":
         if args.validate_command == "conformance":
             return cmd_validate_conformance(args)

@@ -8,13 +8,17 @@ latest recommendation for the Reallocation Module to query.
 
 from __future__ import annotations
 
+import logging
 import typing as _t
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+import repro.obs as obs_mod
 from repro.core.scg import ConcurrencyEstimate, ScatterCurveModel
 from repro.core.targets import SoftResourceTarget
 from repro.metrics.sampler import ConcurrencyGoodputSampler
 from repro.sim.engine import Environment
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -60,17 +64,21 @@ class ConcurrencyEstimator:
             threshold in seconds (ignored by SCT: pass ``None`` to use
             throughput pairs).
         config: timing knobs.
+        obs: observability scope (phase timings + estimate counters);
+            defaults to the disabled :data:`repro.obs.NULL`.
     """
 
     def __init__(self, env: Environment, target: SoftResourceTarget,
                  model: ScatterCurveModel,
                  threshold_provider: _t.Callable[[], float] | None,
-                 config: EstimatorConfig | None = None) -> None:
+                 config: EstimatorConfig | None = None,
+                 obs: "obs_mod.Observability | None" = None) -> None:
         self.env = env
         self.target = target
         self.model = model
         self.config = config or EstimatorConfig()
         self.threshold_provider = threshold_provider
+        self.obs = obs if obs is not None else obs_mod.NULL
         self._uses_goodput = threshold_provider is not None
         self.sampler = ConcurrencyGoodputSampler(
             env,
@@ -80,6 +88,7 @@ class ConcurrencyEstimator:
                                 (lambda: float("inf"))),
             interval=self.config.sampling_interval,
             name=target.name,
+            obs=self.obs,
         )
         self.latest: ConcurrencyEstimate | None = None
         self.history: list[EstimateRecord] = []
@@ -100,14 +109,27 @@ class ConcurrencyEstimator:
             since=since, use_threshold=self._uses_goodput)
         threshold = (self.threshold_provider()
                      if self._uses_goodput else None)
-        if self._uses_goodput:
-            estimate = self.model.estimate(concurrency, rate,
-                                           threshold=threshold)
-        else:
-            estimate = self.model.estimate(concurrency, rate)
+        with self.obs.phase(f"estimate:{self.model.name}"):
+            if self._uses_goodput:
+                estimate = self.model.estimate(concurrency, rate,
+                                               threshold=threshold)
+            else:
+                estimate = self.model.estimate(concurrency, rate)
         if estimate is not None:
             self.latest = estimate
             self.history.append(EstimateRecord(self.env.now, estimate))
+            if self.obs:
+                self.obs.registry.counter(
+                    f"estimator.{estimate.method}").inc()
+        else:
+            logger.debug(
+                "t=%.1f %s: no estimate (%d pairs in window; need "
+                "signal over >= %d samples / %d distinct levels)",
+                self.env.now, self.target.name, concurrency.size,
+                self.model.config.min_samples,
+                self.model.config.min_distinct)
+            if self.obs:
+                self.obs.registry.counter("estimator.no_estimate").inc()
         return estimate
 
     def recommendation(self) -> int | None:

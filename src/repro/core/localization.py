@@ -18,6 +18,7 @@ correlation winner.
 
 from __future__ import annotations
 
+import logging
 import typing as _t
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
@@ -25,6 +26,8 @@ from dataclasses import dataclass, field
 from repro.analysis.correlation import pearson
 from repro.tracing.critical_path import extract_critical_path
 from repro.tracing.span import Span
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -103,6 +106,13 @@ class CriticalServiceLocator:
         )
 
         critical = self._pick(correlations, candidates, dominant_path)
+        if logger.isEnabledFor(logging.DEBUG):
+            ranked = sorted(correlations.items(), key=lambda kv: -kv[1])
+            logger.debug(
+                "localized %s from %d traces (candidates=%s, top "
+                "correlations=%s)", critical, len(traces),
+                list(candidates),
+                [(s, round(c, 3)) for s, c in ranked[:3]])
         return LocalizationReport(
             critical_service=critical,
             dominant_path=dominant_path,

@@ -15,9 +15,13 @@ memory stays bounded by the analysis window.
 
 from __future__ import annotations
 
+import logging
+
 from repro.app.application import Application
 from repro.metrics.sampler import TimeSeries
 from repro.sim.engine import Environment
+
+logger = logging.getLogger(__name__)
 
 
 class MonitoringModule:
@@ -56,6 +60,9 @@ class MonitoringModule:
         if self._started:
             return
         self._started = True
+        logger.debug("monitoring %d services every %.1fs (retention "
+                     "%.0fs)", len(self.app.services), self.interval,
+                     self.retention)
         for name, service in self.app.services.items():
             self._last_totals[name] = service.cpu_totals()
         self.env.process(self._loop(), name="monitoring")

@@ -16,6 +16,7 @@ is tuned incrementally (§3.3), and run Kneedle on the smooth curve.
 
 from __future__ import annotations
 
+import logging
 import typing as _t
 from dataclasses import dataclass
 
@@ -27,6 +28,8 @@ from repro.analysis.smoothing import (
     aggregate_scatter,
     fit_polynomial,
 )
+
+logger = logging.getLogger(__name__)
 
 EstimateMethod = _t.Literal["knee", "argmax"]
 
@@ -154,6 +157,10 @@ class ScatterCurveModel:
                              sensitivity=config.sensitivity)
             if knee.found and knee.knee_x > 0 and \
                     knee.knee_y >= config.knee_quality * float(fit.y.max()):
+                logger.debug(
+                    "%s: knee at Q=%.2f (rate=%.2f) with degree-%d fit "
+                    "over %d levels", self.name, knee.knee_x, knee.knee_y,
+                    degree, distinct)
                 return ConcurrencyEstimate(
                     optimal_concurrency=max(1, int(round(knee.knee_x))),
                     method="knee", knee=knee, fit=fit,
@@ -162,6 +169,10 @@ class ScatterCurveModel:
         if config.allow_argmax_fallback and fallback_fit is not None:
             best = int(np.argmax(fallback_fit.y))
             optimal = max(1, int(round(float(fallback_fit.x[best]))))
+            logger.debug(
+                "%s: no confirmed knee across degrees %d-%d; argmax "
+                "fallback Q=%d", self.name, config.min_degree, max_degree,
+                optimal)
             return ConcurrencyEstimate(
                 optimal_concurrency=optimal, method="argmax",
                 knee=find_knee(fallback_fit.x, fallback_fit.y,

@@ -21,8 +21,7 @@ a sequential tuner needs one *window per configuration probed*.
 from __future__ import annotations
 
 import math
-import typing as _t
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,12 +20,15 @@ Both are thin configurations of :class:`ConcurrencyAdaptationFramework`.
 
 from __future__ import annotations
 
+import logging
 import math
+import time
 import typing as _t
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs_mod
 from repro.analysis.changepoint import PageHinkley
 from repro.app.application import Application
 from repro.autoscalers.base import Autoscaler, ScaleEvent
@@ -36,9 +39,17 @@ from repro.core.localization import (
     LocalizationReport,
 )
 from repro.core.monitoring import MonitoringModule
-from repro.core.scg import ScatterModelConfig, SCGModel, SCTModel
+from repro.core.scg import ConcurrencyEstimate, ScatterModelConfig, \
+    SCGModel, SCTModel
 from repro.core.targets import ClientPoolTarget, SoftResourceTarget
+from repro.obs.events import (
+    ControlRoundRecord,
+    DriftRecord,
+    TargetDecision,
+)
 from repro.sim.engine import Environment
+
+logger = logging.getLogger(__name__)
 
 Trigger = _t.Literal["periodic", "scale-event", "bootstrap"]
 
@@ -139,7 +150,8 @@ class ConcurrencyAdaptationFramework:
                  locator: CriticalServiceLocator | None = None,
                  estimator_config: EstimatorConfig | None = None,
                  model_config: ScatterModelConfig | None = None,
-                 config: FrameworkConfig | None = None) -> None:
+                 config: FrameworkConfig | None = None,
+                 obs: "obs_mod.Observability | None" = None) -> None:
         if not targets:
             raise ValueError("need at least one adaptation target")
         self.env = env
@@ -148,6 +160,12 @@ class ConcurrencyAdaptationFramework:
         self.targets = list(targets)
         self.sla = sla
         self.autoscaler = autoscaler
+        self.obs = obs if obs is not None else obs_mod.NULL
+        if autoscaler is not None and self.obs and \
+                autoscaler.obs is obs_mod.NULL:
+            # Share one observability scope across the whole loop so
+            # scale events land in the same decision log.
+            autoscaler.obs = self.obs
         self.config = config or FrameworkConfig()
         self.locator = locator or CriticalServiceLocator(
             exclude=("front-end",))
@@ -175,7 +193,8 @@ class ConcurrencyAdaptationFramework:
             provider = self._threshold_provider(target.name) \
                 if sla is not None else None
             self.estimators[target.name] = ConcurrencyEstimator(
-                env, target, model, provider, config=estimator_config)
+                env, target, model, provider, config=estimator_config,
+                obs=self.obs)
         if autoscaler is not None:
             autoscaler.on_scale(self._on_scale)
         self._started = False
@@ -222,20 +241,24 @@ class ConcurrencyAdaptationFramework:
     # ------------------------------------------------------------------
     def control(self) -> None:
         """One adapter iteration: localize, propagate, estimate, apply."""
+        obs = self.obs
+        wall_started = time.perf_counter() if obs else 0.0
         now = self.env.now
         since = now - self.config.localization_window
         traces = self.app.warehouse.traces(since, now)
-        report = self.locator.locate(
-            traces, self.monitoring.utilizations(
-                self.config.localization_window))
+        with obs.phase("localize"):
+            report = self.locator.locate(
+                traces, self.monitoring.utilizations(
+                    self.config.localization_window))
         self.reports.append(report)
 
         if self.propagator is not None and \
                 self.config.use_deadline_propagation:
-            for target in self.targets:
-                deadline = self.propagator.propagate(
-                    traces, target.service.name)
-                self._thresholds[target.name] = deadline.threshold
+            with obs.phase("propagate"):
+                for target in self.targets:
+                    deadline = self.propagator.propagate(
+                        traces, target.service.name)
+                    self._thresholds[target.name] = deadline.threshold
 
         if self.config.detect_drift:
             self._check_drift()
@@ -246,11 +269,63 @@ class ConcurrencyAdaptationFramework:
         if not self.config.adapt_only_critical or critical is None \
                 or not matched:
             matched = self.targets
-        for target in matched:
-            self._adapt(target, trigger="periodic")
+        with obs.phase("adapt"):
+            decisions = tuple(self._adapt(target, trigger="periodic")
+                              for target in matched)
+        if obs:
+            obs.record(ControlRoundRecord(
+                time=now, controller=self.model_name,
+                trigger="periodic",
+                critical_service=critical,
+                dominant_path=report.dominant_path,
+                correlations=dict(report.correlations),
+                candidates=report.candidates,
+                thresholds={t.name: self._thresholds[t.name]
+                            for t in self.targets
+                            if self._thresholds[t.name] != float("inf")},
+                decisions=decisions,
+                traces=len(traces),
+                wall_ms=(time.perf_counter() - wall_started) * 1e3))
+            obs.registry.counter("controller.rounds").inc()
+
+    def _decision(self, target: SoftResourceTarget, trigger: Trigger,
+                  outcome: str, reason: str, before: int, after: int,
+                  estimate: ConcurrencyEstimate | None = None,
+                  growth_can_help: bool | None = None
+                  ) -> TargetDecision:
+        """Assemble the typed audit record for one verdict."""
+        threshold = self._thresholds.get(target.name)
+        if threshold == float("inf"):
+            threshold = None
+        knee_q = knee_rate = degree = samples = max_q = method = None
+        curve = None
+        if estimate is not None:
+            method = estimate.method
+            degree = estimate.fit.degree
+            samples = estimate.samples
+            max_q = estimate.max_concurrency
+            if estimate.knee.found:
+                knee_q = float(estimate.knee.knee_x)
+                knee_rate = float(estimate.knee.knee_y)
+            points = self.obs.curve_points
+            if outcome == "applied" and points > 0:
+                stride = max(1, len(estimate.fit.x) // points)
+                curve = tuple(
+                    (round(float(q), 3), round(float(r), 3))
+                    for q, r in zip(estimate.fit.x[::stride],
+                                    estimate.fit.y[::stride]))
+        return TargetDecision(
+            target=target.name, trigger=trigger,
+            outcome=_t.cast(_t.Any, outcome), reason=reason,
+            before=before, after=after, threshold=threshold,
+            method=method, knee_concurrency=knee_q,
+            knee_rate=knee_rate, poly_degree=degree, samples=samples,
+            max_concurrency=max_q, growth_can_help=growth_can_help,
+            curve=curve)
 
     def _adapt(self, target: SoftResourceTarget,
-               trigger: Trigger) -> None:
+               trigger: Trigger) -> TargetDecision:
+        """One target's evaluation; returns the audit-trail decision."""
         estimator = self.estimators[target.name]
         current = self._desired[target.name]
 
@@ -263,25 +338,38 @@ class ConcurrencyAdaptationFramework:
         # past the threshold means over-admission is melting the
         # service — step the allocation down.
         if self._saturated(estimator, current):
-            if self._growth_can_help(target, estimator):
+            can_grow = self._growth_can_help(target, estimator)
+            if can_grow:
                 new = min(self.config.max_allocation,
                           max(current + 1, math.ceil(
                               current * self.config.growth_factor)))
                 if new != current:
                     self._apply(target, new, "saturation", trigger)
-            else:
-                new = max(self.config.min_allocation, math.ceil(
-                    current * self.config.max_shrink_factor))
-                if new != current:
-                    self._apply(target, new, "overload-shed", trigger)
-            return
+                    return self._decision(
+                        target, trigger, "applied", "saturation-grow",
+                        current, new, growth_can_help=True)
+                return self._decision(
+                    target, trigger, "hold", "saturation-capped",
+                    current, current, growth_can_help=True)
+            new = max(self.config.min_allocation, math.ceil(
+                current * self.config.max_shrink_factor))
+            if new != current:
+                self._apply(target, new, "overload-shed", trigger)
+                return self._decision(
+                    target, trigger, "applied", "overload-shed",
+                    current, new, growth_can_help=False)
+            return self._decision(
+                target, trigger, "hold", "overload-floor",
+                current, current, growth_can_help=False)
 
         estimate = estimator.estimate_now()
         if estimate is None:
-            return
+            return self._decision(target, trigger, "hold",
+                                  "no-estimate", current, current)
         recommendation = estimate.optimal_concurrency
         max_q = estimate.max_concurrency
         at_edge = max_q > 0 and recommendation >= 0.9 * max_q
+        reason = estimate.method
         if at_edge:
             # The curve's interesting point sits at the edge of the
             # observed concurrency range: censored data. If the pool
@@ -290,12 +378,16 @@ class ConcurrencyAdaptationFramework:
             # explore upward (§3.2). If demand never filled the pool,
             # the window proves nothing — hold.
             if max_q < 0.9 * current:
-                return
+                return self._decision(target, trigger, "hold",
+                                      "edge-unpressed-hold", current,
+                                      current, estimate=estimate)
             if self._growth_can_help(target, estimator):
                 new = max(current + 1,
                           math.ceil(current * self.config.growth_factor))
+                reason = "edge-grow"
             else:
                 new = math.ceil(current * self.config.max_shrink_factor)
+                reason = "edge-shrink"
         else:
             new = recommendation
         if new < current:
@@ -307,10 +399,14 @@ class ConcurrencyAdaptationFramework:
                 self.config.pressure_fraction * current:
             # The pool never filled in this window: the data cannot
             # justify shrinking it (idle pools look like early knees).
-            return
+            return self._decision(target, trigger, "hold", "idle-hold",
+                                  current, current, estimate=estimate)
         if new == current:
-            return
+            return self._decision(target, trigger, "hold", "unchanged",
+                                  current, current, estimate=estimate)
         self._apply(target, new, estimate.method, trigger)
+        return self._decision(target, trigger, "applied", reason,
+                              current, new, estimate=estimate)
 
     def _check_drift(self) -> None:
         """Feed each target's recent mean processing time to its
@@ -325,6 +421,13 @@ class ConcurrencyAdaptationFramework:
             if change is not None:
                 self.drift_detections.append((self.env.now, target.name))
                 self.estimators[target.name].sampler.prune(self.env.now)
+                logger.info("t=%.1f drift detected on %s; estimator "
+                            "window flushed", self.env.now, target.name)
+                if self.obs:
+                    self.obs.record(DriftRecord(time=self.env.now,
+                                                target=target.name))
+                    self.obs.registry.counter(
+                        "controller.drift_detections").inc()
 
     def _saturated(self, estimator, current: int) -> bool:
         """Whether the pool spent most of the recent window pinned at
@@ -364,15 +467,24 @@ class ConcurrencyAdaptationFramework:
             time=self.env.now, target=target.name, before=before,
             after=per_replica, method=method, trigger=trigger,
             threshold=self._thresholds.get(target.name)))
+        logger.info("t=%.1f %s: %s %d -> %d (%s, %s)", self.env.now,
+                    self.model_name, target.name, before, per_replica,
+                    method, trigger)
+        if self.obs:
+            self.obs.registry.counter("controller.adaptations").inc()
+            self.obs.registry.histogram(
+                "controller.allocation").observe(per_replica)
 
     # ------------------------------------------------------------------
     # Hardware-scale coordination
     # ------------------------------------------------------------------
     def _on_scale(self, event: ScaleEvent) -> None:
+        decisions: list[TargetDecision] = []
         for target in self.targets:
             if not self._affected(target, event):
                 continue
             estimator = self.estimators[target.name]
+            before = self._desired[target.name]
             if event.kind == "vertical" and event.before > 0:
                 # Bootstrap proportionally to the capacity change, then
                 # let the estimator refine on fresh samples.
@@ -383,14 +495,24 @@ class ConcurrencyAdaptationFramework:
                 if bootstrap != self._desired[target.name]:
                     self._apply(target, bootstrap, "proportional",
                                 "bootstrap")
+                    decisions.append(self._decision(
+                        target, "bootstrap", "applied", "proportional",
+                        before, bootstrap))
             elif event.kind == "horizontal":
                 # Re-assert the per-replica allocation so shared client
                 # pools track the new replica count (Fig. 12).
                 self._apply(target, self._desired[target.name],
                             "replica-track", "scale-event")
+                decisions.append(self._decision(
+                    target, "scale-event", "applied", "replica-track",
+                    before, self._desired[target.name]))
             # Samples gathered under the old hardware no longer
             # describe the capacity curve.
             estimator.sampler.prune(self.env.now)
+        if self.obs and decisions:
+            self.obs.record(ControlRoundRecord(
+                time=self.env.now, controller=self.model_name,
+                trigger="scale-event", decisions=tuple(decisions)))
 
     @staticmethod
     def _affected(target: SoftResourceTarget, event: ScaleEvent) -> bool:

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import json
 import pathlib
+import subprocess
 import sys
 import time
 import typing as _t
+
+import numpy as np
 
 from repro.app.topologies import build_sock_shop
 from repro.experiments.parallel import default_workers, parallel_map
@@ -31,6 +34,20 @@ SCHEMA = "repro-bench-kernel/1"
 
 #: Default best-of count per benchmark.
 REPEATS = 3
+
+
+def _git_sha() -> str | None:
+    """The working tree's commit SHA, or ``None`` outside a checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
 
 
 def _best_of(fn: _t.Callable[[], _t.Any],
@@ -284,6 +301,8 @@ def run_bench_suite(scale: float = 1.0,
         "schema": SCHEMA,
         "scale": scale,
         "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "git_sha": _git_sha(),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                       time.gmtime()),
         "benchmarks": benchmarks,

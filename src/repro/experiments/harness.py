@@ -9,11 +9,13 @@ pool allocation/occupancy) plus summary statistics.
 
 from __future__ import annotations
 
+import logging
 import typing as _t
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs_mod
 from repro.app.application import Application
 from repro.autoscalers.base import Autoscaler, ScaleEvent
 from repro.core.monitoring import MonitoringModule
@@ -30,6 +32,8 @@ from repro.metrics.summary import (
 )
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -51,6 +55,8 @@ class Scenario:
         sla: the end-to-end SLA used for goodput reporting (seconds).
         extra_probes: additional ``name -> callable`` probes sampled
             once per second into the result.
+        obs: observability scope for the run; defaults to the disabled
+            :data:`repro.obs.NULL` so baselines pay no audit cost.
     """
 
     name: str
@@ -66,6 +72,8 @@ class Scenario:
     target: SoftResourceTarget | None = None
     extra_probes: dict[str, _t.Callable[[], float]] = field(
         default_factory=dict)
+    obs: obs_mod.Observability = field(
+        default_factory=lambda: obs_mod.NULL)
 
 
 @dataclass
@@ -82,6 +90,10 @@ class ScenarioResult:
     scale_events: list[ScaleEvent]
     adaptation_actions: list[AdaptationAction]
     total_submitted: int
+    #: The run's observability scope (disabled NULL when the scenario
+    #: did not opt in); carries the decision log and profiles.
+    obs: "obs_mod.Observability" = field(
+        default_factory=lambda: obs_mod.NULL)
 
     # ------------------------------------------------------------------
     # Summary statistics
@@ -181,6 +193,11 @@ def run_scenario(scenario: Scenario, duration: float,
         for name, probe in probes.items()
     }
 
+    obs = scenario.obs
+    if obs:
+        obs.watch_engine(env)
+        logger.info("running %s for %.0fs (observability on)",
+                    scenario.name, duration)
     if scenario.controller is not None:
         scenario.controller.start()
     else:
@@ -191,7 +208,10 @@ def run_scenario(scenario: Scenario, duration: float,
         sampler.start()
     for driver in scenario.drivers:
         driver.start()
-    env.run(until=duration + drain)
+    with obs.phase("run"):
+        env.run(until=duration + drain)
+    if obs:
+        obs.unwatch_engine()
 
     times, latencies = scenario.app.latency[
         scenario.request_type].window(0.0, duration + drain)
@@ -209,4 +229,5 @@ def run_scenario(scenario: Scenario, duration: float,
         adaptation_actions=(list(scenario.controller.actions)
                             if scenario.controller else []),
         total_submitted=scenario.app.total_submitted,
+        obs=obs,
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import typing as _t
 
+import repro.obs as obs_mod
 from repro.app.topologies import (
     HEAVY_POSTS,
     build_social_network,
@@ -51,7 +52,8 @@ def sock_shop_cart_scenario(
         autoscaler: AutoscalerKind = "firm",
         cart_threads: int = 5, cart_cores: float = 2.0,
         max_cores: float = 4.0, seed: int = 42,
-        name: str | None = None) -> Scenario:
+        name: str | None = None,
+        obs: obs_mod.Observability | None = None) -> Scenario:
     """The paper's §5.2 setup: Cart under a bursty trace.
 
     The Cart thread pool starts at the 2-core optimum (pre-profiled, as
@@ -68,16 +70,17 @@ def sock_shop_cart_scenario(
                               streams.stream("driver"), ramp_up=10.0)
     target = ThreadPoolTarget(cart)
 
+    obs = obs if obs is not None else obs_mod.NULL
     scaler = _build_autoscaler(autoscaler, env, app, monitoring, cart,
                                sla=sla, max_cores=max_cores,
-                               request_type="cart")
+                               request_type="cart", obs=obs)
     ctrl = _build_controller(controller, env, app, monitoring, [target],
-                             sla=sla, autoscaler=scaler)
+                             sla=sla, autoscaler=scaler, obs=obs)
     return Scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="cart", sla=sla,
-        controller=ctrl, autoscaler=scaler, target=target)
+        controller=ctrl, autoscaler=scaler, target=target, obs=obs)
 
 
 def sock_shop_catalogue_scenario(
@@ -85,7 +88,8 @@ def sock_shop_catalogue_scenario(
         controller: ControllerKind = "none",
         autoscaler: AutoscalerKind = "hpa",
         db_connections: int = 60, max_replicas: int = 3,
-        seed: int = 42, name: str | None = None) -> Scenario:
+        seed: int = 42, name: str | None = None,
+        obs: obs_mod.Observability | None = None) -> Scenario:
     """The paper's Fig. 1 setup: the Golang Catalogue service under
     Kubernetes HPA with a (badly sized) DB connection pool.
 
@@ -105,17 +109,18 @@ def sock_shop_catalogue_scenario(
                               streams.stream("driver"), ramp_up=10.0)
     target = ClientPoolTarget(catalogue, "db", catalogue_db)
 
+    obs = obs if obs is not None else obs_mod.NULL
     scaler = _build_autoscaler(autoscaler, env, app, monitoring,
                                catalogue, sla=sla,
                                max_replicas=max_replicas,
-                               request_type="catalogue")
+                               request_type="catalogue", obs=obs)
     ctrl = _build_controller(controller, env, app, monitoring, [target],
-                             sla=sla, autoscaler=scaler)
+                             sla=sla, autoscaler=scaler, obs=obs)
     return Scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}/catalogue",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="catalogue", sla=sla,
-        controller=ctrl, autoscaler=scaler, target=target,
+        controller=ctrl, autoscaler=scaler, target=target, obs=obs,
         extra_probes={
             "catalogue.busy_cores": lambda: monitoring.busy_cores_over(
                 "catalogue", 1.0),
@@ -129,7 +134,8 @@ def social_network_drift_scenario(
         autoscaler: AutoscalerKind = "hpa",
         connections: int = 50, drift_at: float | None = None,
         drift_posts: int = HEAVY_POSTS, max_replicas: int = 4,
-        seed: int = 42, name: str | None = None) -> Scenario:
+        seed: int = 42, name: str | None = None,
+        obs: obs_mod.Observability | None = None) -> Scenario:
     """The paper's §5.3 setup: Read-Home-Timeline under HPA with
     system-state drift.
 
@@ -150,12 +156,13 @@ def social_network_drift_scenario(
                               streams.stream("driver"), ramp_up=10.0)
     target = ClientPoolTarget(home_timeline, "poststorage", post_storage)
 
+    obs = obs if obs is not None else obs_mod.NULL
     scaler = _build_autoscaler(autoscaler, env, app, monitoring,
                                post_storage, sla=sla,
                                max_replicas=max_replicas,
-                               request_type="read_home_timeline")
+                               request_type="read_home_timeline", obs=obs)
     ctrl = _build_controller(controller, env, app, monitoring, [target],
-                             sla=sla, autoscaler=scaler)
+                             sla=sla, autoscaler=scaler, obs=obs)
 
     if drift_at is not None:
         def drift():
@@ -167,35 +174,41 @@ def social_network_drift_scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}/drift",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="read_home_timeline", sla=sla,
-        controller=ctrl, autoscaler=scaler, target=target)
+        controller=ctrl, autoscaler=scaler, target=target, obs=obs)
 
 
 def _build_autoscaler(kind: AutoscalerKind, env, app, monitoring,
                       service, *, sla: float, request_type: str,
-                      max_cores: float = 4.0, max_replicas: int = 4):
+                      max_cores: float = 4.0, max_replicas: int = 4,
+                      obs: obs_mod.Observability | None = None):
     if kind == "firm":
-        return FirmAutoscaler(
+        scaler = FirmAutoscaler(
             env, app, monitoring, request_type=request_type, sla=sla,
             scalable=[service.name], max_cores=max_cores)
-    if kind == "vpa":
-        return VerticalPodAutoscaler(
+    elif kind == "vpa":
+        scaler = VerticalPodAutoscaler(
             env, service, monitoring, max_cores=max_cores)
-    if kind == "hpa":
-        return HorizontalPodAutoscaler(
+    elif kind == "hpa":
+        scaler = HorizontalPodAutoscaler(
             env, service, monitoring, max_replicas=max_replicas)
-    if kind == "none":
-        return NullAutoscaler(env)
-    raise ValueError(f"unknown autoscaler kind {kind!r}")
+    elif kind == "none":
+        scaler = NullAutoscaler(env)
+    else:
+        raise ValueError(f"unknown autoscaler kind {kind!r}")
+    if obs:
+        scaler.obs = obs
+    return scaler
 
 
 def _build_controller(kind: ControllerKind, env, app, monitoring,
-                      targets, *, sla: float, autoscaler):
+                      targets, *, sla: float, autoscaler,
+                      obs: obs_mod.Observability | None = None):
     if kind == "sora":
         return SoraController(env, app, monitoring, targets, sla=sla,
-                              autoscaler=autoscaler)
+                              autoscaler=autoscaler, obs=obs)
     if kind == "conscale":
         return ConScaleController(env, app, monitoring, targets,
-                                  autoscaler=autoscaler)
+                                  autoscaler=autoscaler, obs=obs)
     if kind == "none":
         return None
     raise ValueError(f"unknown controller kind {kind!r}")

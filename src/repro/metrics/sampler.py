@@ -8,11 +8,17 @@ time-indexed record that window queries slice efficiently.
 
 from __future__ import annotations
 
+import logging
 import typing as _t
 
 import numpy as np
 
 from repro.sim.engine import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs import Observability
+
+logger = logging.getLogger(__name__)
 
 
 class TimeSeries:
@@ -145,13 +151,17 @@ class ConcurrencyGoodputSampler:
             :meth:`ServiceMetrics.completions`).
         threshold_provider: returns the current RT threshold in seconds.
         interval: sampling granularity (default 100 ms).
+        obs: observability scope for tick counters (``None`` disables;
+            the per-tick cost of an enabled scope is one truthiness
+            check plus a counter increment).
     """
 
     def __init__(self, env: Environment,
                  concurrency_integral: _t.Callable[[], float],
                  completion_source: _t.Callable[[float, float], np.ndarray],
                  threshold_provider: _t.Callable[[], float],
-                 interval: float = 0.1, name: str = "scg-sampler") -> None:
+                 interval: float = 0.1, name: str = "scg-sampler",
+                 obs: "Observability | None" = None) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.env = env
@@ -160,6 +170,7 @@ class ConcurrencyGoodputSampler:
         self.threshold_provider = threshold_provider
         self.interval = interval
         self.name = name
+        self.obs = obs
         self.concurrency = TimeSeries()
         self.goodput = TimeSeries()
         self.throughput = TimeSeries()
@@ -196,12 +207,22 @@ class ConcurrencyGoodputSampler:
     def _loop(self):
         last = self.env.now
         last_integral = float(self.concurrency_integral())
+        obs = self.obs
+        counter = (obs.registry.counter("sampler.ticks")
+                   if obs else None)
         while self._running:
             yield self.env.timeout(self.interval)
             now = self.env.now
+            elapsed = now - last
+            if elapsed <= 0.0:
+                # A zero-length interval carries no rate information
+                # (can only arise from same-timestamp wakeups); skip
+                # rather than divide by zero.
+                logger.warning("%s: zero-length sampling interval at "
+                               "t=%.6f; tick skipped", self.name, now)
+                continue
             latencies = np.asarray(self.completion_source(last, now))
             threshold = self.threshold_provider()
-            elapsed = now - last
             good = float(np.count_nonzero(latencies <= threshold))
             total = float(latencies.size)
             integral = float(self.concurrency_integral())
@@ -211,3 +232,5 @@ class ConcurrencyGoodputSampler:
             self.throughput.append(now, total / elapsed)
             last = now
             last_integral = integral
+            if counter is not None:
+                counter.inc()

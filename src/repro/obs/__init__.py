@@ -1,0 +1,146 @@
+"""``repro.obs``: unified observability for the Sora reproduction.
+
+One :class:`Observability` object per run bundles the four concerns
+the controllers thread through:
+
+- a :class:`~repro.obs.registry.MetricsRegistry` (counters, gauges,
+  bounded histograms);
+- a :class:`~repro.obs.events.DecisionLog` of typed control-round /
+  scale-event / drift records (JSONL-exportable);
+- a :class:`~repro.obs.profiling.PhaseProfiler` for SCG phase wall
+  timings, plus an optional
+  :class:`~repro.obs.profiling.EngineProfiler` on the event loop;
+- :func:`~repro.obs.logconfig.configure_logging` for the ``repro.*``
+  stdlib-logging namespace (quiet by default).
+
+The module-level :data:`NULL` instance is the disabled default every
+instrumented constructor falls back to. ``Observability`` is truthy
+exactly when enabled, so hot call sites guard with ``if self.obs:`` —
+one boolean check, which is what keeps the PR-2 fast paths fast.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as _t
+
+from repro.obs.events import (
+    ControlRoundRecord,
+    DecisionLog,
+    DriftRecord,
+    ObsRecord,
+    ScaleEventRecord,
+    TargetDecision,
+    record_from_dict,
+)
+from repro.obs.logconfig import configure_logging, quiet
+from repro.obs.profiling import EngineProfiler, PhaseProfiler, PhaseStats
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+#: Reusable no-op context manager handed out by disabled phase().
+_NULL_CONTEXT = contextlib.nullcontext()
+
+
+class Observability:
+    """Run-scoped observability state (registry + log + profilers).
+
+    Args:
+        enabled: master switch; a disabled instance is inert and
+            truthiness-false (``if obs:`` guards are near-free).
+        max_records: decision-log ring capacity.
+        curve_points: how many points of the fitted knee curve each
+            decision snapshot keeps (0 disables curve snapshots).
+    """
+
+    def __init__(self, *, enabled: bool = True, max_records: int = 4096,
+                 curve_points: int = 32) -> None:
+        if curve_points < 0:
+            raise ValueError(
+                f"curve_points must be >= 0, got {curve_points}")
+        self.enabled = enabled
+        self.curve_points = curve_points
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.decisions = DecisionLog(max_records=max_records)
+        self.profiler = PhaseProfiler()
+        self.engine: EngineProfiler | None = None
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, record: ObsRecord) -> None:
+        """Append a typed record to the decision log (no-op when
+        disabled)."""
+        if self.enabled:
+            self.decisions.append(record)
+
+    def phase(self, name: str):
+        """Context manager timing one named control phase."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self.profiler.phase(name)
+
+    # ------------------------------------------------------------------
+    # Engine profiling
+    # ------------------------------------------------------------------
+    def watch_engine(self, env: "Environment",
+                     sample_every: int = 2048) -> None:
+        """Attach an event-loop profiler to ``env`` (no-op when
+        disabled)."""
+        if not self.enabled:
+            return
+        if self.engine is None:
+            self.engine = EngineProfiler(env, sample_every=sample_every)
+        self.engine.attach()
+
+    def unwatch_engine(self) -> None:
+        """Detach the event-loop profiler, if attached."""
+        if self.engine is not None:
+            self.engine.detach()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-ready snapshot of everything but the decision log."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "phases": self.profiler.summary(),
+            "engine": (self.engine.summary()
+                       if self.engine is not None else None),
+        }
+
+
+#: Shared disabled instance: the default for every instrumented
+#: constructor. Never records, never times, never allocates.
+NULL = Observability(enabled=False)
+
+from repro.obs.report import render_html, render_text  # noqa: E402
+
+__all__ = [
+    "ControlRoundRecord",
+    "Counter",
+    "DecisionLog",
+    "DriftRecord",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "ObsRecord",
+    "Observability",
+    "PhaseProfiler",
+    "PhaseStats",
+    "ScaleEventRecord",
+    "TargetDecision",
+    "configure_logging",
+    "quiet",
+    "record_from_dict",
+    "render_html",
+    "render_text",
+]

@@ -1,0 +1,336 @@
+"""Typed decision/event records and the bounded decision log.
+
+Every control round of a :class:`~repro.core.sora.
+ConcurrencyAdaptationFramework` emits one :class:`ControlRoundRecord`
+capturing *why* the controller did what it did: the localized critical
+service and its Pearson correlations, the propagated RT threshold, the
+fitted polynomial degree and knee point, and — per adaptation target —
+the chosen pool size or the reason the round held (drift, saturation,
+censored window, idle pool). Hardware scale events and drift
+detections land in the same log, so one JSONL file replays the whole
+causal chain of a run.
+
+Records are plain dataclasses with a stable ``kind`` tag and a
+``to_dict`` that emits JSON-ready primitives; :func:`record_from_dict`
+inverts the mapping for JSONL round trips.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Why a target's allocation changed — or why it did not.
+DecisionOutcome = _t.Literal["applied", "hold"]
+
+
+def _round_floats(mapping: dict[str, float],
+                  digits: int = 4) -> dict[str, float]:
+    return {key: round(float(value), digits)
+            for key, value in mapping.items()}
+
+
+@dataclass(frozen=True)
+class TargetDecision:
+    """One target's verdict within a control round.
+
+    Attributes:
+        target: the soft-resource target's name.
+        trigger: what initiated the evaluation (periodic / scale-event
+            / bootstrap).
+        outcome: "applied" (allocation changed) or "hold".
+        reason: machine-readable cause — the estimate method ("knee",
+            "argmax") or the rule that fired ("saturation-grow",
+            "overload-shed", "censored-hold", "idle-hold",
+            "no-estimate", "unchanged", "proportional",
+            "replica-track", "edge-unpressed-hold").
+        before / after: per-replica allocation around the decision
+            (``after == before`` for holds).
+        threshold: propagated RT threshold active during the window
+            (``None`` for latency-agnostic SCT).
+        method: the estimate method when a model estimate existed.
+        knee_concurrency / knee_rate: the accepted knee point.
+        poly_degree: degree of the accepted polynomial fit.
+        samples: raw pairs the model consumed.
+        max_concurrency: highest observed concurrency in the window
+            (evidence ceiling for the recommendation).
+        growth_can_help: the §3.2 growth-gate verdict, when evaluated.
+        curve: optional downsampled ``[concurrency, rate]`` snapshot of
+            the fitted curve, for knee plots in the report.
+    """
+
+    kind: _t.ClassVar[str] = "decision"
+
+    target: str
+    trigger: str
+    outcome: DecisionOutcome
+    reason: str
+    before: int
+    after: int
+    threshold: float | None = None
+    method: str | None = None
+    knee_concurrency: float | None = None
+    knee_rate: float | None = None
+    poly_degree: int | None = None
+    samples: int | None = None
+    max_concurrency: float | None = None
+    growth_can_help: bool | None = None
+    curve: tuple[tuple[float, float], ...] | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {
+            "kind": self.kind,
+            "target": self.target,
+            "trigger": self.trigger,
+            "outcome": self.outcome,
+            "reason": self.reason,
+            "before": self.before,
+            "after": self.after,
+        }
+        for key in ("threshold", "method", "knee_concurrency",
+                    "knee_rate", "poly_degree", "samples",
+                    "max_concurrency", "growth_can_help"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.curve is not None:
+            payload["curve"] = [[q, r] for q, r in self.curve]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TargetDecision":
+        curve = payload.get("curve")
+        return cls(
+            target=payload["target"],
+            trigger=payload["trigger"],
+            outcome=payload["outcome"],
+            reason=payload["reason"],
+            before=payload["before"],
+            after=payload["after"],
+            threshold=payload.get("threshold"),
+            method=payload.get("method"),
+            knee_concurrency=payload.get("knee_concurrency"),
+            knee_rate=payload.get("knee_rate"),
+            poly_degree=payload.get("poly_degree"),
+            samples=payload.get("samples"),
+            max_concurrency=payload.get("max_concurrency"),
+            growth_can_help=payload.get("growth_can_help"),
+            curve=(tuple((q, r) for q, r in curve)
+                   if curve is not None else None),
+        )
+
+
+@dataclass(frozen=True)
+class ControlRoundRecord:
+    """One adapter iteration: localization context + target decisions."""
+
+    kind: _t.ClassVar[str] = "control-round"
+
+    time: float
+    controller: str
+    trigger: str
+    critical_service: str | None = None
+    dominant_path: tuple[str, ...] = ()
+    correlations: dict[str, float] = field(default_factory=dict)
+    candidates: tuple[str, ...] = ()
+    thresholds: dict[str, float] = field(default_factory=dict)
+    decisions: tuple[TargetDecision, ...] = ()
+    traces: int = 0
+    wall_ms: float | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {
+            "kind": self.kind,
+            "time": self.time,
+            "controller": self.controller,
+            "trigger": self.trigger,
+            "critical_service": self.critical_service,
+            "dominant_path": list(self.dominant_path),
+            "correlations": _round_floats(self.correlations),
+            "candidates": list(self.candidates),
+            "thresholds": _round_floats(self.thresholds, digits=6),
+            "decisions": [d.to_dict() for d in self.decisions],
+            "traces": self.traces,
+        }
+        if self.wall_ms is not None:
+            payload["wall_ms"] = round(self.wall_ms, 3)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ControlRoundRecord":
+        return cls(
+            time=payload["time"],
+            controller=payload["controller"],
+            trigger=payload["trigger"],
+            critical_service=payload.get("critical_service"),
+            dominant_path=tuple(payload.get("dominant_path", ())),
+            correlations=dict(payload.get("correlations", {})),
+            candidates=tuple(payload.get("candidates", ())),
+            thresholds=dict(payload.get("thresholds", {})),
+            decisions=tuple(TargetDecision.from_dict(d)
+                            for d in payload.get("decisions", ())),
+            traces=payload.get("traces", 0),
+            wall_ms=payload.get("wall_ms"),
+        )
+
+
+@dataclass(frozen=True)
+class ScaleEventRecord:
+    """A hardware scaling action, as seen by the observability layer."""
+
+    kind: _t.ClassVar[str] = "scale-event"
+
+    time: float
+    service: str
+    scale_kind: str
+    before: float
+    after: float
+    autoscaler: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "service": self.service,
+            "scale_kind": self.scale_kind,
+            "before": self.before,
+            "after": self.after,
+            "autoscaler": self.autoscaler,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScaleEventRecord":
+        return cls(time=payload["time"], service=payload["service"],
+                   scale_kind=payload["scale_kind"],
+                   before=payload["before"], after=payload["after"],
+                   autoscaler=payload.get("autoscaler"))
+
+
+@dataclass(frozen=True)
+class DriftRecord:
+    """A Page-Hinkley regime-shift detection on one target."""
+
+    kind: _t.ClassVar[str] = "drift"
+
+    time: float
+    target: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "time": self.time,
+                "target": self.target}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DriftRecord":
+        return cls(time=payload["time"], target=payload["target"])
+
+
+ObsRecord = _t.Union[ControlRoundRecord, TargetDecision,
+                     ScaleEventRecord, DriftRecord]
+
+_RECORD_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (ControlRoundRecord, TargetDecision, ScaleEventRecord,
+                DriftRecord)
+}
+
+
+def record_from_dict(payload: dict) -> ObsRecord:
+    """Rebuild a typed record from its ``to_dict`` payload."""
+    kind = payload.get("kind")
+    cls = _RECORD_TYPES.get(_t.cast(str, kind))
+    if cls is None:
+        raise ValueError(f"unknown record kind {kind!r}")
+    return cls.from_dict(payload)
+
+
+class DecisionLog:
+    """Bounded, append-only store of observability records.
+
+    The cap makes the log safe to leave enabled on long runs; the
+    oldest records are evicted first. All report rendering and JSONL
+    export run off this object.
+    """
+
+    def __init__(self, max_records: int = 4096) -> None:
+        if max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {max_records}")
+        self._records: deque[ObsRecord] = deque(maxlen=max_records)
+        self.total_recorded = 0
+
+    def append(self, record: ObsRecord) -> None:
+        self._records.append(record)
+        self.total_recorded += 1
+
+    def records(self, kind: str | None = None) -> list[ObsRecord]:
+        """All retained records, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def rounds(self) -> list[ControlRoundRecord]:
+        return _t.cast("list[ControlRoundRecord]",
+                       self.records(ControlRoundRecord.kind))
+
+    def applied(self) -> list[tuple[float, TargetDecision]]:
+        """``(time, decision)`` for every allocation change, in order.
+
+        Covers both decisions nested in control rounds and standalone
+        scale-triggered decisions (whose time is the enclosing round's
+        or the scale event's).
+        """
+        changes: list[tuple[float, TargetDecision]] = []
+        for record in self._records:
+            if isinstance(record, ControlRoundRecord):
+                changes.extend((record.time, decision)
+                               for decision in record.decisions
+                               if decision.outcome == "applied")
+        return changes
+
+    def scale_events(self) -> list[ScaleEventRecord]:
+        return _t.cast("list[ScaleEventRecord]",
+                       self.records(ScaleEventRecord.kind))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> _t.Iterator[ObsRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # JSONL round trip
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in record order."""
+        return "\n".join(json.dumps(r.to_dict(), sort_keys=True)
+                         for r in self._records)
+
+    def write_jsonl(self, path: str | pathlib.Path) -> int:
+        """Write the log to ``path``; returns the record count."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = self.to_jsonl()
+        path.write_text(text + ("\n" if text else ""),
+                        encoding="utf-8")
+        return len(self._records)
+
+    @classmethod
+    def from_jsonl(cls, text: str,
+                   max_records: int = 4096) -> "DecisionLog":
+        """Parse a JSONL document produced by :meth:`to_jsonl`."""
+        log = cls(max_records=max_records)
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                log.append(record_from_dict(json.loads(line)))
+        return log
+
+    @classmethod
+    def read_jsonl(cls, path: str | pathlib.Path,
+                   max_records: int = 4096) -> "DecisionLog":
+        return cls.from_jsonl(
+            pathlib.Path(path).read_text(encoding="utf-8"),
+            max_records=max_records)

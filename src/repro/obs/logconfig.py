@@ -1,0 +1,69 @@
+"""Stdlib-logging configuration for the ``repro.*`` namespace.
+
+Every module in the package logs through ``logging.getLogger(__name__)``
+(so loggers are namespaced ``repro.core.sora``, ``repro.autoscalers``,
+...). The package root installs a ``NullHandler``, which keeps library
+use silent by default; :func:`configure_logging` attaches one real
+handler when a human wants to watch a run.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import typing as _t
+
+#: The namespace root every repro logger hangs off.
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: The handler configure_logging() installed, for idempotent re-config.
+_handler: logging.Handler | None = None
+
+
+def configure_logging(level: int | str = "info",
+                      stream: _t.TextIO | None = None,
+                      fmt: str = "%(levelname).1s %(name)s: %(message)s"
+                      ) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger namespace.
+
+    Idempotent: calling again replaces the previously installed
+    handler (so tests and CLIs can reconfigure freely). Returns the
+    namespace root logger.
+
+    Args:
+        level: threshold as a ``logging`` constant or one of
+            "debug" / "info" / "warning" / "error".
+        stream: destination (default ``sys.stderr``).
+        fmt: logging format string.
+    """
+    global _handler
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of "
+                f"{sorted(_LEVELS)}") from None
+    logger = logging.getLogger(ROOT)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream or sys.stderr)
+    _handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(_handler)
+    logger.setLevel(level)
+    return logger
+
+
+def quiet() -> None:
+    """Remove the handler installed by :func:`configure_logging`."""
+    global _handler
+    if _handler is not None:
+        logging.getLogger(ROOT).removeHandler(_handler)
+        _handler = None

@@ -1,0 +1,173 @@
+"""Control-loop and event-loop profiling hooks.
+
+Two instruments:
+
+- :class:`PhaseProfiler` — wall-clock timing of named control phases
+  (localize, propagate, estimate, adapt) via a lightweight context
+  manager. Aggregates count/total/max per phase, so a run's report can
+  show where controller CPU time goes.
+- :class:`EngineProfiler` — a step monitor on the simulation
+  :class:`~repro.sim.engine.Environment` sampling events/second and
+  event-heap depth every ``sample_every`` events. Attach only when
+  observability is on: monitor callbacks run once per simulated event.
+
+Both measure *wall* time (``time.perf_counter``), never simulated
+time, so enabling them cannot perturb simulation determinism.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+from collections import deque
+from dataclasses import dataclass
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate wall-clock cost of one named phase."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    last: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total * 1e3, 3),
+            "mean_ms": round(self.mean * 1e3, 3),
+            "max_ms": round(self.max * 1e3, 3),
+        }
+
+
+class _PhaseTimer:
+    """Reusable-per-call context manager feeding one PhaseStats."""
+
+    __slots__ = ("_stats", "_started")
+
+    def __init__(self, stats: PhaseStats) -> None:
+        self._stats = stats
+        self._started = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._started
+        stats = self._stats
+        stats.count += 1
+        stats.total += elapsed
+        stats.last = elapsed
+        if elapsed > stats.max:
+            stats.max = elapsed
+
+
+class PhaseProfiler:
+    """Named wall-clock phase timers.
+
+    Usage::
+
+        with profiler.phase("localize"):
+            report = locator.locate(traces, utilizations)
+    """
+
+    def __init__(self) -> None:
+        self.phases: dict[str, PhaseStats] = {}
+        self._timers: dict[str, _PhaseTimer] = {}
+
+    def phase(self, name: str) -> _PhaseTimer:
+        timer = self._timers.get(name)
+        if timer is None:
+            stats = PhaseStats(name)
+            self.phases[name] = stats
+            timer = _PhaseTimer(stats)
+            self._timers[name] = timer
+        return timer
+
+    def summary(self) -> dict[str, dict]:
+        """JSON-ready per-phase aggregates."""
+        return {name: stats.to_dict()
+                for name, stats in sorted(self.phases.items())}
+
+
+class EngineProfiler:
+    """Event-loop throughput and queue-depth sampling.
+
+    Registers a step monitor that counts processed events and, every
+    ``sample_every`` events, records a ``(sim_time, events_per_sec,
+    queue_depth)`` sample into a bounded buffer. ``events_per_sec`` is
+    the wall-clock rate over the sampling stride.
+    """
+
+    def __init__(self, env: "Environment", sample_every: int = 2048,
+                 max_samples: int = 4096) -> None:
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}")
+        self.env = env
+        self.sample_every = sample_every
+        self.events = 0
+        self.samples: deque[tuple[float, float, int]] = deque(
+            maxlen=max_samples)
+        self._wall_started = 0.0
+        self._wall_last_sample = 0.0
+        self._since_sample = 0
+        self._attached = False
+        self._wall_total = 0.0
+
+    def _monitor(self, when: float, _eid: int, _event: object) -> None:
+        self.events += 1
+        self._since_sample += 1
+        if self._since_sample >= self.sample_every:
+            now = time.perf_counter()
+            elapsed = now - self._wall_last_sample
+            rate = self._since_sample / elapsed if elapsed > 0 else 0.0
+            self.samples.append((when, rate, self.env.queue_depth))
+            self._wall_last_sample = now
+            self._since_sample = 0
+
+    def attach(self) -> None:
+        """Start observing the environment (idempotent)."""
+        if self._attached:
+            return
+        self._attached = True
+        self._wall_started = time.perf_counter()
+        self._wall_last_sample = self._wall_started
+        self.env.add_monitor(self._monitor)
+
+    def detach(self) -> None:
+        """Stop observing and freeze the wall-clock total."""
+        if not self._attached:
+            return
+        self._attached = False
+        self._wall_total += time.perf_counter() - self._wall_started
+        self.env.remove_monitor(self._monitor)
+
+    def summary(self) -> dict:
+        """JSON-ready run aggregates."""
+        wall = self._wall_total
+        if self._attached:
+            wall += time.perf_counter() - self._wall_started
+        depths = [depth for _t_, _r, depth in self.samples]
+        rates = [rate for _t_, rate, _d in self.samples if rate > 0]
+        return {
+            "events": self.events,
+            "wall_seconds": round(wall, 6),
+            "events_per_sec": round(self.events / wall, 1) if wall > 0
+            else 0.0,
+            "sampled_rate_max": round(max(rates), 1) if rates else 0.0,
+            "queue_depth_mean": (round(sum(depths) / len(depths), 1)
+                                 if depths else 0.0),
+            "queue_depth_max": max(depths) if depths else 0,
+            "samples": len(self.samples),
+        }

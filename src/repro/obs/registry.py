@@ -1,0 +1,223 @@
+"""Run-scoped metrics registry: counters, gauges, bounded histograms.
+
+The registry is the quantitative half of ``repro.obs``: control loops
+and samplers increment counters and observe timings into it, and the
+explainability report renders a snapshot at the end of a run.
+
+Two properties matter more than feature count:
+
+- **Near-zero cost when disabled.** A disabled registry hands out
+  shared singleton no-op instruments whose methods are empty; call
+  sites can keep unconditional ``counter.inc()`` calls on warm paths
+  without giving back the PR-2 fast-path wins. Truly hot paths (the
+  event loop, the 100 ms samplers) additionally guard on
+  ``if obs:`` so even the no-op call is skipped.
+- **Bounded memory.** Histograms keep a fixed-capacity ring buffer of
+  recent observations (plus running count/sum/min/max over everything),
+  so a week-long run cannot grow the registry without bound.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        value = self.value if self.value == self.value else None
+        return {"type": "gauge", "value": value}
+
+
+class Histogram:
+    """Observation distribution over a bounded ring buffer.
+
+    Running count/sum/min/max cover the whole run; percentiles are
+    computed over the most recent ``capacity`` observations, which is
+    what a control-loop health check actually wants (recent behaviour,
+    not a run-lifetime mixture).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_ring", "_cursor", "_filled")
+
+    def __init__(self, name: str, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._ring = np.empty(capacity, dtype=np.float64)
+        self._cursor = 0
+        self._filled = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        ring = self._ring
+        ring[self._cursor] = value
+        self._cursor = (self._cursor + 1) % ring.shape[0]
+        if self._filled < ring.shape[0]:
+            self._filled += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def recent(self) -> np.ndarray:
+        """The retained observations (unordered)."""
+        return self._ring[:self._filled]
+
+    def percentile(self, q: float) -> float:
+        """Percentile over the retained (recent) observations."""
+        if self._filled == 0:
+            return float("nan")
+        return float(np.percentile(self.recent(), q))
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "retained": int(self._filled),
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": 0.0}
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = float("nan")
+
+    def set(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": None}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    mean = float("nan")
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
+
+    def snapshot(self) -> dict:
+        return {"type": "histogram", "count": 0}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments for one run.
+
+    ``counter()``/``gauge()``/``histogram()`` create on first use and
+    return the existing instrument afterwards, so call sites never need
+    registration ceremony. A disabled registry returns the shared
+    no-op singletons and records nothing.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def _get(self, name: str, kind: type, null: object,
+             **kwargs) -> _t.Any:
+        if not self.enabled:
+            return null
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, NULL_COUNTER)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, NULL_GAUGE)
+
+    def histogram(self, name: str, capacity: int = 1024) -> Histogram:
+        return self._get(name, Histogram, NULL_HISTOGRAM,
+                         capacity=capacity)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready ``name -> summary`` for every instrument."""
+        return {name: inst.snapshot()
+                for name, inst in sorted(self._instruments.items())}

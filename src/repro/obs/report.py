@@ -1,0 +1,364 @@
+"""Per-run explainability report: text and HTML renderings.
+
+Turns an :class:`~repro.obs.Observability` capture (decision log +
+phase timings + engine profile + metrics) into the artifact a human
+reads after a run: a timeline of every adaptation with its recorded
+cause (knee point, propagated threshold, saturation rule), knee-curve
+snapshots, hardware scale events, and where the controller's wall time
+went. ``repro obs report`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import typing as _t
+
+from repro.obs.events import DecisionLog, DriftRecord, TargetDecision
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs import Observability
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.1f}"
+
+
+def _fmt_opt(value: float | None, spec: str = ".1f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def _decision_rows(log: DecisionLog) -> list[list[str]]:
+    rows = []
+    for when, decision in log.applied():
+        rows.append([
+            f"{when:.1f}",
+            decision.target,
+            f"{decision.before} -> {decision.after}",
+            decision.reason,
+            decision.trigger,
+            _fmt_ms(decision.threshold),
+            _fmt_opt(decision.knee_concurrency),
+            _fmt_opt(float(decision.poly_degree), ".0f")
+            if decision.poly_degree is not None else "-",
+        ])
+    return rows
+
+
+_DECISION_HEADERS = ["t[s]", "target", "allocation", "reason",
+                     "trigger", "threshold[ms]", "knee Q", "degree"]
+
+
+def _hold_counts(log: DecisionLog) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for record in log.rounds():
+        for decision in record.decisions:
+            if decision.outcome == "hold":
+                counts[decision.reason] = \
+                    counts.get(decision.reason, 0) + 1
+    return counts
+
+
+def _curve_snapshots(log: DecisionLog, limit: int = 4
+                     ) -> list[tuple[float, TargetDecision]]:
+    """The most recent applied decisions that carry a curve."""
+    with_curves = [(when, d) for when, d in log.applied()
+                   if d.curve]
+    return with_curves[-limit:]
+
+
+def _scale_rows(log: DecisionLog) -> list[list[str]]:
+    return [[f"{r.time:.1f}", r.service, r.scale_kind,
+             f"{r.before:g} -> {r.after:g}", r.autoscaler or "-"]
+            for r in log.scale_events()]
+
+
+_SCALE_HEADERS = ["t[s]", "service", "kind", "change", "autoscaler"]
+
+
+def _drift_rows(log: DecisionLog) -> list[list[str]]:
+    return [[f"{r.time:.1f}", r.target] for r in log.records("drift")
+            if isinstance(r, DriftRecord)]
+
+
+def _localization_rows(log: DecisionLog,
+                       limit: int = 8) -> list[list[str]]:
+    rows = []
+    for record in log.rounds()[-limit:]:
+        top = sorted(record.correlations.items(),
+                     key=lambda item: -item[1])[:3]
+        rows.append([
+            f"{record.time:.1f}",
+            record.critical_service or "-",
+            " ".join(f"{s}:{c:.2f}" for s, c in top) or "-",
+            ",".join(record.candidates) or "-",
+            str(record.traces),
+        ])
+    return rows
+
+
+_LOCALIZATION_HEADERS = ["t[s]", "critical", "top correlations",
+                         "util candidates", "traces"]
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def render_text(obs: "Observability", *, title: str = "run") -> str:
+    """The explainability report as plain text."""
+    from repro.experiments.reporting import ascii_table, sparkline
+
+    log = obs.decisions
+    lines: list[str] = [f"obs report — {title}",
+                        "=" * (13 + len(title)), ""]
+
+    applied = log.applied()
+    lines.append(f"{len(log.rounds())} control rounds, "
+                 f"{len(applied)} adaptations applied, "
+                 f"{len(log.scale_events())} hardware scale events, "
+                 f"{len(_drift_rows(log))} drift detections "
+                 f"({log.total_recorded} records total)")
+    lines.append("")
+
+    if applied:
+        lines.append(ascii_table(
+            _DECISION_HEADERS, _decision_rows(log),
+            title="Adaptation timeline (why each pool size changed)"))
+    else:
+        lines.append("No adaptations were applied.")
+    lines.append("")
+
+    holds = _hold_counts(log)
+    if holds:
+        lines.append(ascii_table(
+            ["hold reason", "rounds"],
+            [[reason, str(count)]
+             for reason, count in sorted(holds.items())],
+            title="Hold decisions (rounds that changed nothing)"))
+        lines.append("")
+
+    snapshots = _curve_snapshots(log)
+    if snapshots:
+        lines.append("Knee-curve snapshots (rate vs concurrency; "
+                     "* marks the knee)")
+        for when, decision in snapshots:
+            assert decision.curve is not None
+            rates = [rate for _q, rate in decision.curve]
+            marker = ""
+            if decision.knee_concurrency is not None:
+                qs = [q for q, _r in decision.curve]
+                nearest = min(range(len(qs)), key=lambda i: abs(
+                    qs[i] - _t.cast(float, decision.knee_concurrency)))
+                marker = (f"  knee at Q={decision.knee_concurrency:.1f}"
+                          f" (col {nearest + 1})")
+            lines.append(f"  t={when:.1f} {decision.target} "
+                         f"[{decision.method}] "
+                         f"{sparkline(rates, width=48)}{marker}")
+        lines.append("")
+
+    localization = _localization_rows(log)
+    if localization:
+        lines.append(ascii_table(
+            _LOCALIZATION_HEADERS, localization,
+            title="Localization (most recent rounds)"))
+        lines.append("")
+
+    scale_rows = _scale_rows(log)
+    if scale_rows:
+        lines.append(ascii_table(_SCALE_HEADERS, scale_rows,
+                                 title="Hardware scale events"))
+        lines.append("")
+
+    drift_rows = _drift_rows(log)
+    if drift_rows:
+        lines.append(ascii_table(["t[s]", "target"], drift_rows,
+                                 title="Drift detections"))
+        lines.append("")
+
+    phases = obs.profiler.summary()
+    if phases:
+        lines.append(ascii_table(
+            ["phase", "calls", "total[ms]", "mean[ms]", "max[ms]"],
+            [[name, str(stats["count"]), f"{stats['total_ms']:.2f}",
+              f"{stats['mean_ms']:.3f}", f"{stats['max_ms']:.3f}"]
+             for name, stats in phases.items()],
+            title="Control-loop phase timings (wall clock)"))
+        lines.append("")
+
+    if obs.engine is not None:
+        engine = obs.engine.summary()
+        lines.append("Event loop: "
+                     f"{engine['events']:,} events in "
+                     f"{engine['wall_seconds']:.3f}s wall "
+                     f"({engine['events_per_sec']:,.0f} events/s), "
+                     f"queue depth mean {engine['queue_depth_mean']:g} "
+                     f"max {engine['queue_depth_max']}")
+        lines.append("")
+
+    metrics = obs.registry.snapshot()
+    if metrics:
+        rows = []
+        for name, snap in metrics.items():
+            if snap["type"] == "counter":
+                rows.append([name, f"{snap['value']:g}"])
+            elif snap["type"] == "gauge":
+                rows.append([name, _fmt_opt(snap["value"], "g")])
+            else:
+                rows.append([name, f"n={snap['count']}" + (
+                    f" mean={snap['mean']:.4g} p95={snap['p95']:.4g}"
+                    if snap["count"] else "")])
+        lines.append(ascii_table(["metric", "value"], rows,
+                                 title="Metrics registry"))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1a2e; padding: 0 1em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #cbd2dc; padding: 0.25em 0.6em;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #eef1f6; }
+.summary { color: #444; }
+svg { background: #fafbfd; border: 1px solid #cbd2dc; }
+.knee-label { font-size: 11px; fill: #b4231f; }
+"""
+
+
+def _html_table(headers: _t.Sequence[str],
+                rows: _t.Sequence[_t.Sequence[str]]) -> str:
+    head = "".join(f"<th>{_html.escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_html.escape(str(c))}</td>"
+                         for c in row) + "</tr>"
+        for row in rows)
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>")
+
+
+def _curve_svg(decision: TargetDecision, width: int = 320,
+               height: int = 120, pad: int = 8) -> str:
+    """Inline SVG of one fitted curve with the knee marked."""
+    assert decision.curve is not None
+    qs = [q for q, _r in decision.curve]
+    rs = [r for _q, r in decision.curve]
+    q_lo, q_hi = min(qs), max(qs)
+    r_lo, r_hi = min(rs), max(rs)
+    q_span = (q_hi - q_lo) or 1.0
+    r_span = (r_hi - r_lo) or 1.0
+
+    def sx(q: float) -> float:
+        return pad + (q - q_lo) / q_span * (width - 2 * pad)
+
+    def sy(r: float) -> float:
+        return height - pad - (r - r_lo) / r_span * (height - 2 * pad)
+
+    points = " ".join(f"{sx(q):.1f},{sy(r):.1f}"
+                      for q, r in zip(qs, rs))
+    knee = ""
+    if decision.knee_concurrency is not None:
+        kx = sx(decision.knee_concurrency)
+        knee = (f'<line x1="{kx:.1f}" y1="{pad}" x2="{kx:.1f}" '
+                f'y2="{height - pad}" stroke="#b4231f" '
+                f'stroke-dasharray="4 3"/>'
+                f'<text x="{kx + 4:.1f}" y="{pad + 10}" '
+                f'class="knee-label">knee '
+                f'Q={decision.knee_concurrency:.1f}</text>')
+    return (f'<svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline fill="none" stroke="#2a6fb0" '
+            f'stroke-width="1.5" points="{points}"/>{knee}</svg>')
+
+
+def render_html(obs: "Observability", *, title: str = "run") -> str:
+    """The explainability report as a self-contained HTML document."""
+    log = obs.decisions
+    parts: list[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>obs report — {_html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>obs report — {_html.escape(title)}</h1>",
+        f"<p class='summary'>{len(log.rounds())} control rounds · "
+        f"{len(log.applied())} adaptations applied · "
+        f"{len(log.scale_events())} hardware scale events · "
+        f"{len(_drift_rows(log))} drift detections · "
+        f"{log.total_recorded} records total</p>",
+    ]
+
+    rows = _decision_rows(log)
+    parts.append("<h2>Adaptation timeline</h2>")
+    parts.append(_html_table(_DECISION_HEADERS, rows) if rows
+                 else "<p>No adaptations were applied.</p>")
+
+    holds = _hold_counts(log)
+    if holds:
+        parts.append("<h2>Hold decisions</h2>")
+        parts.append(_html_table(
+            ["hold reason", "rounds"],
+            [[reason, str(count)]
+             for reason, count in sorted(holds.items())]))
+
+    snapshots = _curve_snapshots(log)
+    if snapshots:
+        parts.append("<h2>Knee-curve snapshots</h2>")
+        for when, decision in snapshots:
+            parts.append(
+                f"<p>t={when:.1f}s — {_html.escape(decision.target)} "
+                f"({_html.escape(decision.method or '-')}, "
+                f"{decision.before} → {decision.after})</p>")
+            parts.append(_curve_svg(decision))
+
+    localization = _localization_rows(log)
+    if localization:
+        parts.append("<h2>Localization (most recent rounds)</h2>")
+        parts.append(_html_table(_LOCALIZATION_HEADERS, localization))
+
+    scale_rows = _scale_rows(log)
+    if scale_rows:
+        parts.append("<h2>Hardware scale events</h2>")
+        parts.append(_html_table(_SCALE_HEADERS, scale_rows))
+
+    drift_rows = _drift_rows(log)
+    if drift_rows:
+        parts.append("<h2>Drift detections</h2>")
+        parts.append(_html_table(["t[s]", "target"], drift_rows))
+
+    phases = obs.profiler.summary()
+    if phases:
+        parts.append("<h2>Control-loop phase timings</h2>")
+        parts.append(_html_table(
+            ["phase", "calls", "total[ms]", "mean[ms]", "max[ms]"],
+            [[name, str(stats["count"]), f"{stats['total_ms']:.2f}",
+              f"{stats['mean_ms']:.3f}", f"{stats['max_ms']:.3f}"]
+             for name, stats in phases.items()]))
+
+    if obs.engine is not None:
+        engine = obs.engine.summary()
+        parts.append("<h2>Event loop</h2>")
+        parts.append(
+            f"<p>{engine['events']:,} events in "
+            f"{engine['wall_seconds']:.3f}s wall "
+            f"({engine['events_per_sec']:,.0f} events/s); queue depth "
+            f"mean {engine['queue_depth_mean']:g}, "
+            f"max {engine['queue_depth_max']}</p>")
+
+    metrics = obs.registry.snapshot()
+    if metrics:
+        parts.append("<h2>Metrics registry</h2>")
+        rows = []
+        for name, snap in metrics.items():
+            if snap["type"] == "counter":
+                rows.append([name, f"{snap['value']:g}"])
+            elif snap["type"] == "gauge":
+                rows.append([name, _fmt_opt(snap["value"], "g")])
+            else:
+                rows.append([name, f"n={snap['count']}" + (
+                    f" mean={snap['mean']:.4g} p95={snap['p95']:.4g}"
+                    if snap["count"] else "")])
+        parts.append(_html_table(["metric", "value"], rows))
+
+    parts.append("</body></html>")
+    return "".join(parts)

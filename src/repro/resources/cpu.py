@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import typing as _t
 from heapq import heappush
 from itertools import count
 

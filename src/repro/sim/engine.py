@@ -54,6 +54,12 @@ class Environment:
         """The process currently being stepped, if any."""
         return self._active_process
 
+    @property
+    def queue_depth(self) -> int:
+        """Scheduled-but-unprocessed events currently on the heap
+        (observability probe; see :mod:`repro.obs.profiling`)."""
+        return len(self._heap)
+
     # ------------------------------------------------------------------
     # Event factories
     # ------------------------------------------------------------------

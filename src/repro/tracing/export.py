@@ -11,12 +11,50 @@ from __future__ import annotations
 
 import json
 import typing as _t
+from bisect import bisect_right
 
 from repro.tracing.span import Span
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.events import TargetDecision
 
 #: Simulated time zero maps to this epoch microsecond (arbitrary but
 #: stable, so exported traces are reproducible byte-for-byte).
 EPOCH_US = 1_600_000_000_000_000
+
+#: ``(time, decision)`` pairs as returned by
+#: :meth:`repro.obs.events.DecisionLog.applied`.
+AppliedDecisions = _t.Sequence[tuple[float, "TargetDecision"]]
+
+
+def _decision_tags(arrival: float,
+                   decisions: AppliedDecisions) -> list[dict]:
+    """Audit tags for the allocation decision active at ``arrival``.
+
+    Picks the latest applied decision at or before the trace's arrival,
+    so a span links back to the control round that set the soft-resource
+    allocation it ran under.
+    """
+    times = [time for time, _decision in decisions]
+    index = bisect_right(times, arrival) - 1
+    if index < 0:
+        return []
+    _time, decision = decisions[index]
+    tags = [
+        {"key": "sora.target", "type": "string",
+         "value": decision.target},
+        {"key": "sora.allocation", "type": "int64",
+         "value": decision.after},
+        {"key": "sora.reason", "type": "string",
+         "value": decision.reason},
+    ]
+    if decision.threshold is not None:
+        tags.append({"key": "sora.threshold_ms", "type": "float64",
+                     "value": round(decision.threshold * 1e3, 3)})
+    if decision.knee_concurrency is not None:
+        tags.append({"key": "sora.knee_concurrency", "type": "float64",
+                     "value": round(decision.knee_concurrency, 3)})
+    return tags
 
 
 def _span_dict(span: Span, trace_id: str) -> dict:
@@ -54,12 +92,23 @@ def _span_dict(span: Span, trace_id: str) -> dict:
     }
 
 
-def trace_to_jaeger(root: Span) -> dict:
-    """One finished trace as a Jaeger ``data[]`` element."""
+def trace_to_jaeger(root: Span, *,
+                    decisions: AppliedDecisions | None = None) -> dict:
+    """One finished trace as a Jaeger ``data[]`` element.
+
+    Args:
+        root: the finished root span.
+        decisions: optional applied adaptation decisions (see
+            :meth:`repro.obs.events.DecisionLog.applied`); when given,
+            the root span is tagged with the allocation, threshold, and
+            knee point in force when the trace arrived.
+    """
     if not root.finished:
         raise ValueError("cannot export an unfinished trace")
     trace_id = format(root.trace_id, "032x")
     spans = [_span_dict(span, trace_id) for span in root.walk()]
+    if decisions:
+        spans[0]["tags"].extend(_decision_tags(root.arrival, decisions))
     processes = {
         span.service: {"serviceName": span.service, "tags": []}
         for span in root.walk()
@@ -67,16 +116,19 @@ def trace_to_jaeger(root: Span) -> dict:
     return {"traceID": trace_id, "spans": spans, "processes": processes}
 
 
-def export_traces(roots: _t.Iterable[Span], *, indent: int | None = None
-                  ) -> str:
+def export_traces(roots: _t.Iterable[Span], *, indent: int | None = None,
+                  decisions: AppliedDecisions | None = None) -> str:
     """Serialize traces to a Jaeger-API-shaped JSON document."""
-    document = {"data": [trace_to_jaeger(root) for root in roots]}
+    document = {"data": [trace_to_jaeger(root, decisions=decisions)
+                         for root in roots]}
     return json.dumps(document, indent=indent, sort_keys=True)
 
 
-def write_traces(path: str, roots: _t.Iterable[Span]) -> int:
+def write_traces(path: str, roots: _t.Iterable[Span], *,
+                 decisions: AppliedDecisions | None = None) -> int:
     """Write traces to ``path``; returns the number exported."""
-    data = [trace_to_jaeger(root) for root in roots]
+    data = [trace_to_jaeger(root, decisions=decisions)
+            for root in roots]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"data": data}, handle, sort_keys=True)
     return len(data)
@@ -105,11 +157,17 @@ def _trace_from_jaeger(element: dict) -> Span:
         # value so export -> import -> export is a fixed point.
         span.span_id = int(span_dict["spanID"], 16)
         queue_wait_us = _tag_value(span_dict, "queue_wait_us") or 0
-        span.started = arrival + queue_wait_us / 1e6
-        span.departure = arrival + span_dict["duration"] / 1e6
+        span.departure = arrival + span_dict.get("duration", 0) / 1e6
+        # Foreign documents may omit the queue_wait tag or carry one
+        # larger than a (zero-)duration span; clamp so service start
+        # never passes departure.
+        span.started = min(arrival + queue_wait_us / 1e6,
+                           span.departure)
         by_id[span_dict["spanID"]] = span
-        parents = [ref["spanID"] for ref in span_dict["references"]
-                   if ref.get("refType") == "CHILD_OF"]
+        parents = [ref["spanID"]
+                   for ref in span_dict.get("references", ())
+                   if ref.get("refType") == "CHILD_OF"
+                   and "spanID" in ref]
         if parents:
             children.setdefault(parents[0], []).append(
                 span_dict["spanID"])

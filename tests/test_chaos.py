@@ -7,7 +7,6 @@ accounting consistent, and remain deterministic.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -42,6 +42,18 @@ class TestParser:
         assert args.scenario == "tandem_balanced"
         assert args.perturb_at is None
 
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_obs_report_defaults(self):
+        args = build_parser().parse_args(["obs", "report"])
+        assert args.obs_command == "report"
+        assert args.controller == "sora"
+        assert args.html is None
+        assert args.jsonl is None
+        assert args.log_level is None
+
 
 class TestCommands:
     def test_traces_command(self, capsys):
@@ -69,6 +81,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hardware-only" in out
         assert "sora" in out
+
+    def test_obs_report_command_small(self, capsys, tmp_path):
+        html = tmp_path / "report.html"
+        jsonl = tmp_path / "decisions.jsonl"
+        code = main(["obs", "report", "--scenario", "cart", "--trace",
+                     "big_spike", "--controller", "sora",
+                     "--autoscaler", "none", "--duration", "40",
+                     "--peak-users", "60", "--min-users", "20",
+                     "--html", str(html), "--jsonl", str(jsonl)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "control rounds" in out
+        assert "Localization" in out
+        assert "Metrics registry" in out
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert jsonl.exists()
 
 
 class TestValidateCommands:

@@ -1,6 +1,5 @@
 """Tests for targets, the concurrency estimator, and monitoring."""
 
-import numpy as np
 import pytest
 
 from repro.app import Application, Call, Compute, Microservice, Operation

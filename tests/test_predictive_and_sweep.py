@@ -5,7 +5,7 @@ import pytest
 from repro.app import Application, Compute, Microservice, Operation
 from repro.autoscalers import PredictiveAutoscaler
 from repro.core import MonitoringModule
-from repro.experiments import SweepResult, sweep
+from repro.experiments import sweep
 from repro.sim import Environment, Exponential, RandomStreams
 from repro.workloads import OpenLoopDriver
 

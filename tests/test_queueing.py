@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.queueing import (
-    MvaResult,
     Station,
     asymptotic_bounds,
     bottleneck,

@@ -1,7 +1,6 @@
 """Tests for the text reporting utilities."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import ascii_table, ratio, series_table, sparkline
 

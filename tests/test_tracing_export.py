@@ -3,9 +3,13 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.obs.events import TargetDecision
 from repro.sim import Environment, RandomStreams
 from repro.tracing import (
+    Span,
     export_traces,
     trace_to_jaeger,
     traces_from_jaeger,
@@ -86,7 +90,132 @@ class TestImportValidation:
             traces_from_jaeger(document)
 
     def test_unfinished_trace_rejected_on_export(self):
-        from repro.tracing import Span
         root = Span(trace_id=1, service="a", operation="op", arrival=0.0)
         with pytest.raises(ValueError, match="unfinished"):
             trace_to_jaeger(root)
+
+
+def _synthetic_span(trace_id, span_id, service, arrival, queue_wait,
+                    service_time, parent=None):
+    span = Span(trace_id=trace_id, service=service, operation="op",
+                arrival=arrival)
+    span.span_id = span_id
+    span.started = arrival + queue_wait
+    span.departure = span.started + service_time
+    if parent is not None:
+        span.parent = parent
+        parent.children.append(span)
+        parent.departure = max(parent.departure, span.departure)
+    return span
+
+
+#: Non-negative durations down to exactly zero, on a microsecond-exact
+#: grid so Jaeger's integer-microsecond timestamps are lossless and the
+#: fixed-point assertion is byte-exact.
+_micros = st.integers(min_value=0, max_value=5_000_000).map(
+    lambda us: us / 1e6)
+
+
+class TestHardening:
+    """Foreign/degenerate documents the importer must tolerate."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(queue_waits=st.lists(_micros, min_size=1, max_size=5),
+           service_times=st.lists(_micros, min_size=1, max_size=5))
+    def test_zero_duration_spans_round_trip(self, queue_waits,
+                                            service_times):
+        root = _synthetic_span(7, 1, "root", arrival=1.0,
+                               queue_wait=0.0, service_time=0.0)
+        cursor = 1.0
+        for index, (wait, work) in enumerate(
+                zip(queue_waits, service_times)):
+            _synthetic_span(7, index + 2, f"child{index}",
+                            arrival=cursor, queue_wait=wait,
+                            service_time=work, parent=root)
+            cursor += wait + work
+        document = export_traces([root])
+        parsed = traces_from_jaeger(document)
+        assert export_traces(parsed) == document
+        restored = list(parsed[0].walk())
+        for a, b in zip(root.walk(), restored):
+            assert b.started <= b.departure
+            assert b.duration == pytest.approx(a.duration, abs=1e-6)
+
+    def test_missing_tags_key_tolerated(self):
+        document = json.loads(export_traces(finished_traces(count=1)))
+        for span in document["data"][0]["spans"]:
+            del span["tags"]
+        parsed = traces_from_jaeger(document)[0]
+        assert all(span.operation == "" for span in parsed.walk())
+        assert all(span.replica is None for span in parsed.walk())
+
+    def test_missing_references_key_tolerated(self):
+        document = json.loads(export_traces(finished_traces(count=1)))
+        spans = document["data"][0]["spans"]
+        roots_before = sum(1 for s in spans if not s["references"])
+        for span in spans:
+            if not span["references"]:
+                del span["references"]
+        parsed = traces_from_jaeger(document)[0]
+        assert roots_before == 1
+        assert parsed.parent is None
+
+    def test_excess_queue_wait_clamped_to_departure(self):
+        document = json.loads(export_traces(finished_traces(count=1)))
+        span_dict = document["data"][0]["spans"][0]
+        for tag in span_dict["tags"]:
+            if tag["key"] == "queue_wait_us":
+                tag["value"] = span_dict["duration"] + 10_000
+        parsed = traces_from_jaeger(document)[0]
+        for span in parsed.walk():
+            assert span.started <= span.departure
+            assert span.self_time() >= 0.0
+
+    def test_missing_duration_means_zero(self):
+        document = json.loads(export_traces(finished_traces(count=1)))
+        span_dict = document["data"][0]["spans"][0]
+        del span_dict["duration"]
+        parsed = traces_from_jaeger(document)[0]
+        found = [s for s in parsed.walk()
+                 if format(s.span_id, "016x") == span_dict["spanID"]]
+        assert found and found[0].duration == 0.0
+
+
+class TestDecisionTags:
+    def _decision(self, after, threshold=0.35, knee=4.2):
+        return TargetDecision(
+            target="cart.threads", trigger="periodic",
+            outcome="applied", reason="knee", before=after - 1,
+            after=after, threshold=threshold, knee_concurrency=knee)
+
+    def test_root_tagged_with_active_decision(self):
+        root = finished_traces(count=1)[0]
+        decisions = [(0.0, self._decision(6)),
+                     (root.arrival + 100.0, self._decision(9))]
+        element = trace_to_jaeger(root, decisions=decisions)
+        tags = {t["key"]: t["value"] for t in element["spans"][0]["tags"]}
+        # The later decision postdates the trace: the earlier one rules.
+        assert tags["sora.allocation"] == 6
+        assert tags["sora.target"] == "cart.threads"
+        assert tags["sora.threshold_ms"] == pytest.approx(350.0)
+        assert tags["sora.knee_concurrency"] == pytest.approx(4.2)
+        # Child spans carry no decision tags.
+        for span_dict in element["spans"][1:]:
+            assert not any(t["key"].startswith("sora.")
+                           for t in span_dict["tags"])
+
+    def test_trace_before_first_decision_untagged(self):
+        root = finished_traces(count=1)[0]
+        decisions = [(root.arrival + 100.0, self._decision(6))]
+        element = trace_to_jaeger(root, decisions=decisions)
+        assert not any(t["key"].startswith("sora.")
+                       for t in element["spans"][0]["tags"])
+
+    def test_tagged_document_still_parses(self):
+        roots = finished_traces(count=2)
+        document = export_traces(
+            roots, decisions=[(0.0, self._decision(6))])
+        parsed = traces_from_jaeger(document)
+        assert len(parsed) == 2
+        assert [p.trace_id for p in parsed] == \
+            [r.trace_id for r in roots]
