@@ -10,7 +10,12 @@ Fig. 6) against a running Sock Shop:
 
 Run:
     python examples/critical_path_tour.py
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` for a CI-sized run (one estimation
+window instead of two).
 """
+
+import os
 
 import numpy as np
 
@@ -31,6 +36,8 @@ from repro.workloads import ClosedLoopDriver, WorkloadTrace
 
 SLA = 0.4
 WINDOW = 60.0
+DURATION = 70.0 if os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1" \
+    else 120.0
 
 
 def main() -> None:
@@ -44,7 +51,7 @@ def main() -> None:
     # Drive the "browse" request type: the front-end fans out to Cart
     # and Catalogue in parallel (Fig. 5), so the critical path varies.
     import math
-    trace = WorkloadTrace("tour", 120.0, 400, 120,
+    trace = WorkloadTrace("tour", DURATION, 400, 120,
                           lambda u: 0.55 + 0.45 * math.sin(
                               2 * math.pi * 4.0 * u))
     driver = ClosedLoopDriver(env, app, "browse", trace,
@@ -56,7 +63,7 @@ def main() -> None:
         config=EstimatorConfig(window=WINDOW))
     estimator.start()
     driver.start()
-    env.run(until=120.0)
+    env.run(until=DURATION)
 
     now = env.now
     traces = app.warehouse.traces(now - WINDOW, now)

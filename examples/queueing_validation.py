@@ -8,7 +8,12 @@ throughput and mean response time side by side.
 
 Run:
     python examples/queueing_validation.py
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` for a CI-sized run (shorter measurement
+window, so expect a couple of percent more simulation noise).
 """
+
+import os
 
 import numpy as np
 
@@ -20,7 +25,8 @@ from repro.workloads import ClosedLoopDriver, WorkloadTrace
 
 DEMANDS = [0.020, 0.035, 0.010]  # seconds per visit, station 2 is heavy
 THINK = 0.5
-DURATION = 240.0
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+DURATION = 60.0 if SMOKE else 240.0
 
 
 def simulate(population: int) -> tuple[float, float]:

@@ -6,15 +6,23 @@ FIRM vertical autoscaler) keep the Cart service's thread pool optimal.
 
 Run:
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` for a CI-sized run (shorter trace, same
+story).
 """
+
+import os
 
 from repro.experiments import run_scenario, sock_shop_cart_scenario
 from repro.experiments.reporting import ascii_table, sparkline
 from repro.workloads import big_spike
 
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+
 
 def main() -> None:
-    trace = big_spike(duration=180.0, peak_users=450, min_users=80)
+    trace = big_spike(duration=30.0 if SMOKE else 180.0,
+                      peak_users=450, min_users=80)
 
     rows = []
     for controller in ("none", "sora"):

@@ -1,0 +1,126 @@
+"""Resilience tour: fault injection and call-layer policies end to end.
+
+Walks the whole `repro.faults` surface in one run. A `FaultPlan`
+throws every injector kind at the Sock Shop cart path — a database
+crash, CPU interference from a noisy neighbor, edge latency, edge
+failures, and a replica blackout — while call-layer policies
+(timeouts, retries with jittered backoff, a circuit breaker, graceful
+degradation) absorb what they can and Sora re-adapts the thread pool
+through the turbulence.
+
+Run:
+    python examples/resilience_tour.py            # full 240 s run
+    python examples/resilience_tour.py --smoke    # 30 s CI-sized run
+
+``REPRO_EXAMPLE_SMOKE=1`` (the convention CI uses for every example)
+is equivalent to ``--smoke``.
+"""
+
+import argparse
+import os
+
+from repro.experiments import run_scenario, sock_shop_cart_scenario
+from repro.experiments.reporting import ascii_table, sparkline
+from repro.faults import CallPolicy, CircuitBreakerPolicy, FaultPlan, RetryPolicy
+from repro.obs import Observability
+from repro.workloads import big_spike
+
+
+def build_plan(duration: float) -> FaultPlan:
+    """One fault of every kind, spread over the run (times scale with
+    ``duration`` so the smoke run exercises the same schedule)."""
+    at = lambda f: round(f * duration, 1)  # noqa: E731
+    return FaultPlan.from_dict({"faults": [
+        {"kind": "crash", "service": "cart-db", "at": at(0.20),
+         "mode": "drain", "restart_after": at(0.05)},
+        {"kind": "interference", "service": "cart", "at": at(0.40),
+         "duration": at(0.15), "demand_factor": 2.0, "core_steal": 0.25},
+        {"kind": "edge-latency", "caller": "cart", "callee": "cart-db",
+         "at": at(0.60), "duration": at(0.10), "delay": 0.02,
+         "jitter": 0.5},
+        {"kind": "edge-failure", "caller": "front-end", "callee": "cart",
+         "at": at(0.75), "duration": at(0.10), "probability": 0.4},
+        {"kind": "blackout", "service": "cart", "at": at(0.90),
+         "duration": at(0.05), "replicas": 1},
+    ]})
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI-sized run (30 s instead of 240 s)")
+    args = parser.parse_args()
+    smoke = args.smoke or \
+        os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+    duration = 30.0 if smoke else 240.0
+
+    trace = big_spike(duration=duration, peak_users=350, min_users=100)
+    obs = Observability()
+    plan = build_plan(duration)
+    scenario = sock_shop_cart_scenario(
+        trace=trace, controller="sora", autoscaler="firm", sla=0.4,
+        obs=obs, fault_plan=plan)
+
+    # Call-layer resilience on the edges the plan attacks. The
+    # front-end retries/degrades around injected edge failures and the
+    # cart blackout; the cart breaker stops hammering the crashed DB.
+    streams = scenario.streams
+    scenario.app.service("front-end").set_call_policy(
+        "cart",
+        CallPolicy(timeout=2.0,
+                   retry=RetryPolicy(max_attempts=4, base_backoff=0.05),
+                   degrade=True),
+        rng=streams.stream("resilience.front-end.cart"))
+    scenario.app.service("cart").set_call_policy(
+        "cart-db",
+        CallPolicy(timeout=1.0,
+                   retry=RetryPolicy(max_attempts=3, base_backoff=0.02),
+                   breaker=CircuitBreakerPolicy(failure_threshold=5,
+                                                recovery_time=2.0)),
+        rng=streams.stream("resilience.cart.cart-db"))
+
+    result = run_scenario(scenario, duration=duration)
+
+    print(ascii_table(
+        ["t [s]", "fault", "phase", "where", "detail"],
+        [[f"{r.time:.1f}", r.fault, r.phase, r.service or r.edge or "",
+          " ".join(f"{k}={v}" for k, v in sorted(r.detail.items()))]
+         for r in result.fault_events],
+        title="Fault timeline (what the plan injected)"))
+    print()
+
+    _, rt = result.response_time_series(interval=duration / 48)
+    print(f"p95 response time over the run: {sparkline(rt * 1000)}")
+    print()
+
+    rows = []
+    for caller, callee in (("front-end", "cart"), ("cart", "cart-db")):
+        stats = scenario.app.service(caller).call_policy_stats(callee)
+        rows.append([f"{caller} -> {callee}"] +
+                    [stats[k] for k in ("attempts", "retries", "timeouts",
+                                        "injected", "short_circuited",
+                                        "degraded", "failures")])
+    print(ascii_table(
+        ["edge", "attempts", "retries", "timeouts", "injected",
+         "breaker", "degraded", "failures"],
+        rows, title="Call-layer policy counters (what resilience absorbed)"))
+    print()
+
+    summary = result.summary_row()
+    adapted = [a for a in result.adaptation_actions if a.after != a.before]
+    print(f"Requests: {scenario.app.total_submitted} submitted, "
+          f"{result.failed_total} failed, goodput "
+          f"{summary['goodput_rps']} req/s, p95 {summary['p95_ms']} ms.")
+    print(f"Sora applied {len(adapted)} pool changes through the faults; "
+          f"the decision log recorded "
+          f"{len(obs.decisions.fault_events())} fault transitions.")
+    print()
+    print("Every fault and every re-adaptation shares one audit trail — "
+          "render it with:")
+    print("    python -m repro.cli faults example > plan.json")
+    print("    python -m repro.cli faults run --plan plan.json --report "
+          "report.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,12 @@ shared pool as the replica count changes.
 
 Run:
     python examples/social_network_state_drift.py
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` for a CI-sized run (shorter trace, same
+story).
 """
+
+import os
 
 from repro.experiments import (
     run_scenario,
@@ -20,8 +25,9 @@ from repro.experiments import (
 from repro.experiments.reporting import series_table
 from repro.workloads import large_variation
 
-DURATION = 240.0
-DRIFT_AT = 80.0
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+DURATION = 45.0 if SMOKE else 240.0
+DRIFT_AT = 15.0 if SMOKE else 80.0
 SLA = 0.4
 
 
@@ -50,7 +56,7 @@ def describe(result, label: str) -> None:
             "conns in use": in_use,
             "replicas": replicas,
         },
-        step=30.0, until=DURATION,
+        step=DURATION / 8, until=DURATION,
         title=f"--- {label} (Fig. 12 panels; drift at "
               f"t={DRIFT_AT:.0f}s) ---"))
     summary = result.summary_row()

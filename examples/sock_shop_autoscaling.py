@@ -8,13 +8,19 @@ each hardware action and keeps refining it online.
 
 Run:
     python examples/sock_shop_autoscaling.py
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` for a CI-sized run (shorter trace, same
+story).
 """
+
+import os
 
 from repro.experiments import run_scenario, sock_shop_cart_scenario
 from repro.experiments.reporting import series_table
 from repro.workloads import steep_tri_phase
 
-DURATION = 300.0
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+DURATION = 45.0 if SMOKE else 300.0
 SLA = 0.4
 
 
@@ -40,7 +46,7 @@ def describe(result, label: str) -> None:
             "CPU busy [cores]": busy,
             "threads": threads,
         },
-        step=30.0, until=DURATION,
+        step=DURATION / 10, until=DURATION,
         title=f"--- {label} (Fig. 10 panels) ---"))
     summary = result.summary_row()
     print(f"summary: goodput={summary['goodput_rps']} req/s  "

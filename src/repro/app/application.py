@@ -17,7 +17,9 @@ import numpy as np
 
 from repro.app.request import Request
 from repro.app.service import Microservice
+from repro.faults.resilience import CallError
 from repro.sim.engine import Environment
+from repro.sim.errors import Interrupt
 from repro.sim.process import Process
 from repro.tracing.span import Span
 from repro.tracing.warehouse import TraceWarehouse
@@ -68,6 +70,9 @@ class Application:
         self.latency: dict[str, EndToEndLog] = {}
         self.in_flight = 0
         self.total_submitted = 0
+        #: Requests abandoned on an unrecovered CallError, by type.
+        self.failed: dict[str, int] = {}
+        self.failed_total = 0
 
     # ------------------------------------------------------------------
     # Assembly
@@ -163,6 +168,21 @@ class Application:
             # registration): one less generator frame per request.
             root_span = yield from self.services[service_name].handle(
                 request, operation, None)
+        except CallError as error:
+            # A call failed past its resilience policy (or a service
+            # was down with none attached): the request is abandoned
+            # but the closed loop continues — drivers that yield on
+            # the request process must not die with it.
+            self._record_failure(request, error)
+            return request
+        except Interrupt as interrupt:
+            # Crash with drop_inflight interrupts victims with a
+            # CallError cause; other interrupts (external chaos) keep
+            # their original semantics and propagate.
+            if isinstance(interrupt.cause, CallError):
+                self._record_failure(request, interrupt.cause)
+                return request
+            raise
         finally:
             self.in_flight -= 1
         request.root_span = root_span
@@ -171,3 +191,10 @@ class Application:
             request.completed_at, request.response_time)
         self.warehouse.record(root_span)
         return request
+
+    def _record_failure(self, request: Request, error: CallError) -> None:
+        request.failed_at = self.env._now
+        request.failure = f"{error.service}: {error.reason}"
+        self.failed[request.request_type] = \
+            self.failed.get(request.request_type, 0) + 1
+        self.failed_total += 1

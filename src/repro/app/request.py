@@ -21,6 +21,9 @@ class Request:
         issued_at: time the user (or generator) submitted it.
         completed_at: time the final response left the front-end.
         root_span: the root of the request's call tree once started.
+        failed_at: time the request was abandoned because a call
+            failed past its resilience policy (``None`` on success).
+        failure: short reason string for a failed request.
     """
 
     request_type: str
@@ -28,6 +31,8 @@ class Request:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     completed_at: float | None = None
     root_span: Span | None = None
+    failed_at: float | None = None
+    failure: str | None = None
 
     @property
     def finished(self) -> bool:

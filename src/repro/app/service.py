@@ -28,13 +28,26 @@ import numpy as np
 from repro.app.behavior import Call, Compute, Operation, Parallel, Step
 from repro.app.loadbalancer import LoadBalancer, RoundRobin
 from repro.app.request import Request
+from repro.faults.resilience import (
+    BoundPolicy,
+    CallError,
+    CallPolicy,
+    CallTimeout,
+    CircuitOpenError,
+    InjectedFailure,
+    LoadShedError,
+    ServiceUnavailable,
+)
 from repro.resources.cpu import ProcessorSharingCpu
 from repro.resources.pool import SoftResourcePool
 from repro.sim.engine import Environment
+from repro.sim.errors import Interrupt
 from repro.tracing.span import Span
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.app.application import Application
+    from repro.faults.injectors import EdgeDisruption
+    from repro.sim.process import Process
 
 
 class ServiceMetrics:
@@ -218,6 +231,17 @@ class Microservice:
         # service's dedicated stream exactly as single draws would.
         self._demand_buffers: dict[int, list] = {}
 
+        # Fault/resilience state (see repro.faults). All of it defaults
+        # to "off", in which case the request path pays only attribute
+        # checks — no extra events, no extra draws — so runs without
+        # faults stay byte-identical to runs before this layer existed.
+        self._down = False
+        self._track_inflight = False
+        self._inflight: set["Process"] = set()
+        self._call_policies: dict[str, BoundPolicy] = {}
+        self._edge_faults: dict[str, list["EdgeDisruption"]] = {}
+        self._call_layer_active = False
+
         self._replica_counter = 0
         self.replicas: list[Replica] = []
         self._retired_busy = 0.0
@@ -306,6 +330,82 @@ class Microservice:
         self.client_pools[name].resize(capacity)
 
     # ------------------------------------------------------------------
+    # Faults & resilience (see repro.faults)
+    # ------------------------------------------------------------------
+    @property
+    def down(self) -> bool:
+        """Whether the service is crashed (refusing all invocations)."""
+        return self._down
+
+    def crash(self, *, drop_inflight: bool = False) -> int:
+        """Take the service down; every new invocation raises
+        :class:`~repro.faults.resilience.ServiceUnavailable`.
+
+        With ``drop_inflight`` the requests currently inside the
+        service are interrupted and fail (requires
+        :meth:`track_inflight` to have been armed before they
+        entered); without it they drain normally. Returns the number
+        of requests dropped.
+        """
+        self._down = True
+        if not drop_inflight:
+            return 0
+        cause = ServiceUnavailable(self.name, "crashed (in-flight drop)")
+        victims = [proc for proc in self._inflight if proc.is_alive]
+        for proc in victims:
+            proc.interrupt(cause=cause)
+        return len(victims)
+
+    def restore(self) -> None:
+        """Bring a crashed service back online."""
+        self._down = False
+
+    def track_inflight(self) -> None:
+        """Arm per-request process tracking (needed by drop-mode
+        crashes; off by default to keep the request path pure)."""
+        self._track_inflight = True
+
+    def set_call_policy(self, callee: str, policy: CallPolicy,
+                        rng: np.random.Generator | None = None) -> None:
+        """Attach a resilience policy to this service's calls to
+        ``callee``.
+
+        Args:
+            callee: target service name of the guarded edge.
+            policy: timeout/retry/breaker/shedding configuration.
+            rng: dedicated stream for retry-backoff jitter — pass
+                ``streams.stream(f"resilience.{self.name}.{callee}")``
+                so replay fingerprints stay stable. Without it,
+                backoff is deterministic (no jitter).
+        """
+        self._call_policies[callee] = BoundPolicy(policy=policy, rng=rng)
+        self._call_layer_active = True
+
+    def call_policy_stats(self, callee: str) -> dict[str, int]:
+        """Runtime counters of the policy guarding calls to ``callee``."""
+        return self._call_policies[callee].stats
+
+    def add_edge_disruption(self, callee: str,
+                            disruption: "EdgeDisruption") -> None:
+        """Install an active edge fault on calls to ``callee``
+        (used by :class:`~repro.faults.injectors.FaultInjector`)."""
+        self._edge_faults.setdefault(callee, []).append(disruption)
+        self._call_layer_active = True
+
+    def remove_edge_disruption(self, callee: str,
+                               disruption: "EdgeDisruption") -> None:
+        """Remove a previously installed edge fault (no-op if absent)."""
+        active = self._edge_faults.get(callee)
+        if active is None:
+            return
+        if disruption in active:
+            active.remove(disruption)
+        if not active:
+            del self._edge_faults[callee]
+        self._call_layer_active = bool(self._call_policies
+                                       or self._edge_faults)
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def server_concurrency(self) -> int:
@@ -355,7 +455,14 @@ class Microservice:
             raise KeyError(
                 f"service {self.name!r} has no operation "
                 f"{operation_name!r} (has: {sorted(self.operations)})")
+        if self._down:
+            raise ServiceUnavailable(self.name, "crashed")
         env = self.env
+        tracked = None
+        if self._track_inflight:
+            tracked = env.active_process
+            if tracked is not None:
+                self._inflight.add(tracked)
         replica = self.load_balancer.pick(self.replicas)
         span = Span(request.request_id, self.name, operation_name,
                     arrival=env._now, parent=parent_span,
@@ -385,7 +492,8 @@ class Microservice:
                     yield replica.cpu.submit(
                         self._sample_demand(step.demand)
                         * self.demand_scale)
-                elif isinstance(step, Call) and step.via_pool is None:
+                elif isinstance(step, Call) and step.via_pool is None \
+                        and not self._call_layer_active:
                     app = self.app
                     if app is None:
                         raise RuntimeError(
@@ -400,6 +508,8 @@ class Microservice:
                 else:
                     yield from self._execute(replica, step, request, span)
         finally:
+            if tracked is not None:
+                self._inflight.discard(tracked)
             if pool_request is not None and \
                     pool_request.granted_at is not None:
                 assert replica.server_pool is not None
@@ -449,6 +559,13 @@ class Microservice:
         if self.app is None:
             raise RuntimeError(
                 f"service {self.name!r} is not attached to an application")
+        if self._call_layer_active:
+            bound = self._call_policies.get(call.service)
+            faults = self._edge_faults.get(call.service)
+            if bound is not None or faults is not None:
+                result = yield from self._invoke_guarded(
+                    call, request, span, bound, faults)
+                return result
         pool = self.client_pools.get(call.via_pool) if call.via_pool else None
         pool_request = None
         if pool is not None:
@@ -471,6 +588,165 @@ class Microservice:
                     pool_request.granted_at is not None:
                 pool.release()
         return result
+
+    def _invoke_guarded(self, call: Call, request: Request, span: Span,
+                        bound: BoundPolicy | None,
+                        faults: "list[EdgeDisruption] | None"):
+        """Slow-path invoke for edges with a resilience policy and/or
+        an active injected fault (see :mod:`repro.faults`).
+
+        Per attempt: breaker/shedding gate, client-pool admission,
+        injected edge latency/failure, then the call itself (deadline-
+        bounded when the policy has a timeout). Downstream failures —
+        including interrupts caused by the callee dropping us — are
+        retried per the policy; exhaustion either degrades (returns
+        ``None``) or raises the last :class:`CallError`.
+        """
+        assert self.app is not None
+        env = self.env
+        target = self.app.services.get(call.service)
+        if target is None:
+            raise KeyError(f"unknown service {call.service!r}")
+        pool = self.client_pools.get(call.via_pool) if call.via_pool else None
+        policy = bound.policy if bound is not None else None
+        breaker = bound.breaker if bound is not None else None
+        attempts = policy.max_attempts if policy is not None else 1
+        last_error: CallError | None = None
+        for attempt in range(attempts):
+            if breaker is not None and not breaker.allow(env._now):
+                assert bound is not None
+                bound.stats["short_circuited"] += 1
+                last_error = CircuitOpenError(call.service, "circuit open")
+                break
+            if policy is not None and policy.shed_queue_limit is not None \
+                    and pool is not None \
+                    and pool.queue_length >= policy.shed_queue_limit:
+                assert bound is not None
+                bound.stats["shed"] += 1
+                last_error = LoadShedError(call.service,
+                                           "client pool saturated")
+                break
+            if attempt > 0:
+                assert bound is not None and policy is not None \
+                    and policy.retry is not None
+                bound.stats["retries"] += 1
+                delay = policy.retry.backoff(attempt - 1, bound.rng)
+                if delay > 0.0:
+                    yield env.timeout(delay)
+            if bound is not None:
+                bound.stats["attempts"] += 1
+            pool_request = None
+            try:
+                if pool is not None:
+                    pool_request = pool.acquire()
+                    try:
+                        yield pool_request
+                    except BaseException:
+                        if pool_request.granted_at is None:
+                            pool.cancel(pool_request)
+                            pool_request = None
+                        raise
+                if faults:
+                    for disruption in tuple(faults):
+                        extra = disruption.sample_latency()
+                        if extra > 0.0:
+                            yield env.timeout(extra)
+                        if disruption.sample_failure():
+                            if bound is not None:
+                                bound.stats["injected"] += 1
+                            raise InjectedFailure(
+                                call.service,
+                                "injected connection failure")
+                if policy is not None and policy.timeout is not None:
+                    result = yield from self._call_with_timeout(
+                        target, call, request, span, policy.timeout,
+                        bound)
+                else:
+                    result = yield from target.handle(
+                        request, call.operation, span)
+            except CallError as error:
+                last_error = error
+                if breaker is not None:
+                    breaker.record_failure(env._now)
+                continue
+            except Interrupt as interrupt:
+                cause = interrupt.cause
+                if isinstance(cause, CallError) and \
+                        cause.service == call.service:
+                    # The callee dropped us mid-call (crash with
+                    # drop_inflight): retryable at this layer.
+                    last_error = cause
+                    if breaker is not None:
+                        breaker.record_failure(env._now)
+                    continue
+                raise
+            finally:
+                if pool_request is not None and \
+                        pool_request.granted_at is not None:
+                    pool.release()
+            if breaker is not None:
+                breaker.record_success()
+            if bound is not None:
+                bound.stats["successes"] += 1
+            return result
+        if bound is not None:
+            bound.stats["failures"] += 1
+        assert last_error is not None
+        if policy is not None and policy.degrade:
+            assert bound is not None
+            bound.stats["degraded"] += 1
+            return None
+        raise last_error
+
+    def _call_with_timeout(self, target: "Microservice", call: Call,
+                           request: Request, span: Span, timeout: float,
+                           bound: BoundPolicy | None):
+        """Run one call attempt under a deadline.
+
+        The attempt runs as a child process so the deadline can cut it
+        loose: on expiry the child is interrupted (its finally blocks
+        release any held pool tokens) and :class:`CallTimeout` is
+        raised for the retry loop to handle.
+        """
+        env = self.env
+        proc = env.process(target.handle(request, call.operation, span),
+                           name=f"{self.name}->{call.service}")
+        condition = env.any_of((proc, env.timeout(timeout)))
+        try:
+            yield condition
+        except BaseException as error:
+            if condition.triggered and not condition.ok and \
+                    condition.value is error:
+                # The child failed before the deadline; the condition
+                # forwarded (and defused) its exception.
+                if isinstance(error, Interrupt) and \
+                        isinstance(error.cause, CallError):
+                    raise error.cause from None
+                raise
+            # The caller itself was aborted while waiting: cut the
+            # child loose and defuse the condition — nobody is left to
+            # consume a failure it may still forward.
+            condition.defused = True
+            if proc.is_alive:
+                proc.interrupt(cause=CallTimeout(call.service,
+                                                 "caller aborted"))
+            raise
+        if proc.triggered:
+            if proc.ok:
+                return proc.value
+            # Lost race: the child failed in the same timestep the
+            # deadline fired; defuse it and surface the failure.
+            proc.defused = True
+            error = _t.cast(BaseException, proc.value)
+            if isinstance(error, Interrupt) and \
+                    isinstance(error.cause, CallError):
+                raise error.cause from None
+            raise error
+        if bound is not None:
+            bound.stats["timeouts"] += 1
+        proc.interrupt(cause=CallTimeout(call.service,
+                                         f"no response in {timeout:g}s"))
+        raise CallTimeout(call.service, f"no response in {timeout:g}s")
 
     def __repr__(self) -> str:
         return (f"<Microservice {self.name!r} replicas={self.replica_count} "

@@ -10,6 +10,9 @@ Examples::
     python -m repro.cli validate replay --scenario tandem_balanced
     python -m repro.cli obs report --scenario cart --controller sora \\
         --html report.html --jsonl decisions.jsonl
+    python -m repro.cli faults example > plan.json
+    python -m repro.cli faults run --plan plan.json --scenario drift \\
+        --controller sora --autoscaler hpa --report
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ SCENARIOS = {
 }
 
 
-def _build_scenario(args, controller: str, obs=None):
+def _build_scenario(args, controller: str, obs=None, fault_plan=None):
     trace = build_trace(args.trace, duration=args.duration,
                         peak_users=args.peak_users,
                         min_users=args.min_users)
@@ -44,6 +47,8 @@ def _build_scenario(args, controller: str, obs=None):
                   seed=args.seed)
     if obs is not None:
         kwargs["obs"] = obs
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
     if args.scenario == "drift":
         kwargs["drift_at"] = args.duration / 3.0
     return builder(**kwargs)
@@ -158,6 +163,74 @@ def cmd_obs_report(args) -> int:
         count = write_traces(args.traces_out, roots,
                              decisions=obs.decisions.applied())
         print(f"wrote {count} traces to {args.traces_out}")
+    return 0
+
+
+#: Sample plan printed by ``repro faults example`` — one spec of each
+#: kind, sized for the default cart scenario.
+_EXAMPLE_PLAN = {
+    "faults": [
+        {"kind": "crash", "service": "cart-db", "at": 60.0,
+         "mode": "drain", "restart_after": 10.0},
+        {"kind": "interference", "service": "cart", "at": 100.0,
+         "duration": 40.0, "demand_factor": 2.0, "core_steal": 0.25},
+        {"kind": "edge-latency", "caller": "cart", "callee": "cart-db",
+         "at": 150.0, "duration": 20.0, "delay": 0.02, "jitter": 0.5},
+        {"kind": "edge-failure", "caller": "front-end", "callee": "cart",
+         "at": 180.0, "duration": 15.0, "probability": 0.2},
+        {"kind": "blackout", "service": "cart", "at": 200.0,
+         "duration": 15.0, "replicas": 1},
+    ],
+}
+
+
+def cmd_faults_example(_args) -> int:
+    from repro.faults import FaultPlan
+
+    print(FaultPlan.from_dict(_EXAMPLE_PLAN).to_json())
+    return 0
+
+
+def cmd_faults_run(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.obs import Observability, render_text
+
+    try:
+        plan = FaultPlan.read_json(args.plan)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load plan {args.plan!r}: {error}",
+              file=sys.stderr)
+        return 2
+    if not plan:
+        print(f"error: plan {args.plan!r} has no faults",
+              file=sys.stderr)
+        return 2
+    obs = Observability()
+    try:
+        scenario = _build_scenario(args, args.controller, obs=obs,
+                                   fault_plan=plan)
+        scenario.faults.plan.validate(scenario.app)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_scenario(scenario, duration=args.duration)
+    rows = [[f"{r.time:.1f}", r.fault, r.phase, r.service or r.edge or ""]
+            for r in result.fault_events]
+    print(ascii_table(["t [s]", "fault", "phase", "where"], rows,
+                      title=f"Fault plan {args.plan} "
+                            f"({len(plan)} specs)"))
+    row = _report(result, args.controller)
+    print(ascii_table(
+        ["controller", "goodput [req/s]", "p95 [ms]", "p99 [ms]",
+         "HW scalings", "adaptations"], [row],
+        title=f"{args.scenario} / {args.trace} under faults "
+              f"(SLA {args.sla * 1000:.0f} ms, "
+              f"{result.failed_total} requests failed)"))
+    if args.report:
+        print(render_text(obs, title=f"{args.scenario} under faults"))
+    if args.jsonl:
+        count = obs.decisions.write_jsonl(args.jsonl)
+        print(f"wrote {count} records to {args.jsonl}")
     return 0
 
 
@@ -288,6 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("debug", "info", "warning", "error"),
                         help="also stream repro.* logs to stderr")
 
+    faults = sub.add_parser(
+        "faults",
+        help="fault injection: run a scenario under a JSON fault plan")
+    faults_sub = faults.add_subparsers(dest="faults_command",
+                                       required=True)
+    faults_run = faults_sub.add_parser(
+        "run",
+        help="run one scenario with a fault plan injected and report "
+             "fault transitions + goodput impact")
+    add_run_args(faults_run)
+    faults_run.add_argument("--plan", required=True, metavar="PATH",
+                            help="JSON fault plan (see 'faults example')")
+    faults_run.add_argument("--report", action="store_true",
+                            help="also render the full observability "
+                                 "report (faults + decisions)")
+    faults_run.add_argument("--jsonl", default=None, metavar="PATH",
+                            help="write the decision log (including "
+                                 "fault records) as JSONL here")
+    faults_sub.add_parser(
+        "example",
+        help="print a sample fault plan covering every fault kind")
+
     validate = sub.add_parser(
         "validate",
         help="validation subsystem: theory conformance and replay")
@@ -335,6 +430,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "obs":
         if args.obs_command == "report":
             return cmd_obs_report(args)
+    if args.command == "faults":
+        if args.faults_command == "run":
+            return cmd_faults_run(args)
+        if args.faults_command == "example":
+            return cmd_faults_example(args)
     if args.command == "validate":
         if args.validate_command == "conformance":
             return cmd_validate_conformance(args)

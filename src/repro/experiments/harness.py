@@ -33,6 +33,10 @@ from repro.metrics.summary import (
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 
+if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.faults.injectors import FaultInjector
+    from repro.obs.events import FaultRecord
+
 logger = logging.getLogger(__name__)
 
 
@@ -57,6 +61,9 @@ class Scenario:
             once per second into the result.
         obs: observability scope for the run; defaults to the disabled
             :data:`repro.obs.NULL` so baselines pay no audit cost.
+        faults: optional :class:`~repro.faults.injectors.FaultInjector`
+            started just before the run; ``None`` (the default) keeps
+            the run byte-identical to a fault-free build.
     """
 
     name: str
@@ -74,6 +81,7 @@ class Scenario:
         default_factory=dict)
     obs: obs_mod.Observability = field(
         default_factory=lambda: obs_mod.NULL)
+    faults: "FaultInjector | None" = None
 
 
 @dataclass
@@ -94,6 +102,10 @@ class ScenarioResult:
     #: did not opt in); carries the decision log and profiles.
     obs: "obs_mod.Observability" = field(
         default_factory=lambda: obs_mod.NULL)
+    #: Requests abandoned after exhausting resilience policies.
+    failed_total: int = 0
+    #: Fault transitions the injector logged (empty without a plan).
+    fault_events: "list[FaultRecord]" = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Summary statistics
@@ -208,6 +220,8 @@ def run_scenario(scenario: Scenario, duration: float,
         sampler.start()
     for driver in scenario.drivers:
         driver.start()
+    if scenario.faults is not None:
+        scenario.faults.start()
     with obs.phase("run"):
         env.run(until=duration + drain)
     if obs:
@@ -230,4 +244,7 @@ def run_scenario(scenario: Scenario, duration: float,
                             if scenario.controller else []),
         total_submitted=scenario.app.total_submitted,
         obs=obs,
+        failed_total=scenario.app.failed_total,
+        fault_events=(list(scenario.faults.log)
+                      if scenario.faults is not None else []),
     )

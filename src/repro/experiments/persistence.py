@@ -16,6 +16,7 @@ import numpy as np
 from repro.autoscalers.base import ScaleEvent
 from repro.core.sora import AdaptationAction
 from repro.experiments.harness import ScenarioResult
+from repro.obs.events import FaultRecord
 
 FORMAT_VERSION = 1
 
@@ -46,6 +47,8 @@ def result_to_dict(result: ScenarioResult) -> dict:
              "threshold": a.threshold}
             for a in result.adaptation_actions
         ],
+        "failed_total": result.failed_total,
+        "fault_events": [r.to_dict() for r in result.fault_events],
     }
 
 
@@ -80,6 +83,9 @@ def result_from_dict(payload: dict) -> ScenarioResult:
             for a in payload["adaptation_actions"]
         ],
         total_submitted=payload["total_submitted"],
+        failed_total=payload.get("failed_total", 0),
+        fault_events=[FaultRecord.from_dict(r)
+                      for r in payload.get("fault_events", [])],
     )
 
 

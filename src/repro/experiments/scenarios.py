@@ -39,11 +39,19 @@ from repro.core import (
     ThreadPoolTarget,
 )
 from repro.experiments.harness import Scenario
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim import Environment, RandomStreams
 from repro.workloads import ClosedLoopDriver, WorkloadTrace
 
 ControllerKind = _t.Literal["sora", "conscale", "none"]
 AutoscalerKind = _t.Literal["firm", "vpa", "hpa", "none"]
+
+
+def _build_faults(fault_plan, env, app, streams, obs):
+    """Wrap a plan (or ``None``) into a started-at-run injector."""
+    if fault_plan is None or not fault_plan:
+        return None
+    return FaultInjector(env, app, fault_plan, streams, obs=obs)
 
 
 def sock_shop_cart_scenario(
@@ -53,7 +61,8 @@ def sock_shop_cart_scenario(
         cart_threads: int = 5, cart_cores: float = 2.0,
         max_cores: float = 4.0, seed: int = 42,
         name: str | None = None,
-        obs: obs_mod.Observability | None = None) -> Scenario:
+        obs: obs_mod.Observability | None = None,
+        fault_plan: FaultPlan | None = None) -> Scenario:
     """The paper's §5.2 setup: Cart under a bursty trace.
 
     The Cart thread pool starts at the 2-core optimum (pre-profiled, as
@@ -80,7 +89,8 @@ def sock_shop_cart_scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="cart", sla=sla,
-        controller=ctrl, autoscaler=scaler, target=target, obs=obs)
+        controller=ctrl, autoscaler=scaler, target=target, obs=obs,
+        faults=_build_faults(fault_plan, env, app, streams, obs))
 
 
 def sock_shop_catalogue_scenario(
@@ -89,7 +99,8 @@ def sock_shop_catalogue_scenario(
         autoscaler: AutoscalerKind = "hpa",
         db_connections: int = 60, max_replicas: int = 3,
         seed: int = 42, name: str | None = None,
-        obs: obs_mod.Observability | None = None) -> Scenario:
+        obs: obs_mod.Observability | None = None,
+        fault_plan: FaultPlan | None = None) -> Scenario:
     """The paper's Fig. 1 setup: the Golang Catalogue service under
     Kubernetes HPA with a (badly sized) DB connection pool.
 
@@ -121,6 +132,7 @@ def sock_shop_catalogue_scenario(
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="catalogue", sla=sla,
         controller=ctrl, autoscaler=scaler, target=target, obs=obs,
+        faults=_build_faults(fault_plan, env, app, streams, obs),
         extra_probes={
             "catalogue.busy_cores": lambda: monitoring.busy_cores_over(
                 "catalogue", 1.0),
@@ -135,7 +147,8 @@ def social_network_drift_scenario(
         connections: int = 50, drift_at: float | None = None,
         drift_posts: int = HEAVY_POSTS, max_replicas: int = 4,
         seed: int = 42, name: str | None = None,
-        obs: obs_mod.Observability | None = None) -> Scenario:
+        obs: obs_mod.Observability | None = None,
+        fault_plan: FaultPlan | None = None) -> Scenario:
     """The paper's §5.3 setup: Read-Home-Timeline under HPA with
     system-state drift.
 
@@ -174,7 +187,8 @@ def social_network_drift_scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}/drift",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="read_home_timeline", sla=sla,
-        controller=ctrl, autoscaler=scaler, target=target, obs=obs)
+        controller=ctrl, autoscaler=scaler, target=target, obs=obs,
+        faults=_build_faults(fault_plan, env, app, streams, obs))
 
 
 def _build_autoscaler(kind: AutoscalerKind, env, app, monitoring,

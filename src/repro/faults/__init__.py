@@ -1,0 +1,74 @@
+"""``repro.faults``: deterministic fault injection and resilience.
+
+Two halves, both deterministic under a fixed seed:
+
+- **Injection** (:mod:`repro.faults.plan`,
+  :mod:`repro.faults.injectors`): a JSON-loadable
+  :class:`FaultPlan` of crash/restart, CPU-interference, edge-latency,
+  edge-failure, and replica-blackout specs, executed by a
+  :class:`FaultInjector` that perturbs the application through its
+  public scaling/demand APIs and records every transition in the
+  observability decision log.
+
+- **Resilience** (:mod:`repro.faults.resilience`): per-edge
+  :class:`CallPolicy` (timeout, retry with backoff + jitter, circuit
+  breaker, load shedding / graceful degradation) attached via
+  :meth:`repro.app.service.Microservice.set_call_policy`, plus the
+  :class:`CallError` hierarchy the application layer uses to account
+  failed requests.
+
+With no plan and no policies attached, every hook in the hot path is a
+single attribute check — simulated outcomes stay byte-identical to a
+build without this package (replay fingerprints unchanged).
+"""
+
+from repro.faults.injectors import EdgeDisruption, FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    BlackoutFault,
+    CrashFault,
+    EdgeFailureFault,
+    EdgeLatencyFault,
+    FaultPlan,
+    FaultSpec,
+    InterferenceFault,
+    spec_from_dict,
+)
+from repro.faults.resilience import (
+    BoundPolicy,
+    CallError,
+    CallPolicy,
+    CallTimeout,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CircuitOpenError,
+    InjectedFailure,
+    LoadShedError,
+    RetryPolicy,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BlackoutFault",
+    "BoundPolicy",
+    "CallError",
+    "CallPolicy",
+    "CallTimeout",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "CircuitOpenError",
+    "CrashFault",
+    "EdgeDisruption",
+    "EdgeFailureFault",
+    "EdgeLatencyFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFailure",
+    "InterferenceFault",
+    "LoadShedError",
+    "RetryPolicy",
+    "ServiceUnavailable",
+    "spec_from_dict",
+]

@@ -1,0 +1,207 @@
+"""Deterministic fault-injection processes driven by a fault plan.
+
+A :class:`FaultInjector` turns every spec in a
+:class:`~repro.faults.plan.FaultPlan` into one simulation process that
+fires at the spec's schedule, mutates the application through the same
+public APIs operators use (``demand_scale``, ``set_cores``,
+``scale_replicas``, crash/restore), and emits a
+:class:`~repro.obs.events.FaultRecord` into the run's decision log so
+the explainability report shows injected causes next to the
+controller's reactions.
+
+Determinism: injector schedules are fixed by the plan; the only random
+draws (edge latency jitter, edge failure coin flips) come from
+dedicated ``fault.<kind>.<index>`` streams, so a plan never perturbs
+the draws of any other subsystem and fault runs replay bit-identically
+for a fixed seed. Starting an injector with an *empty* plan spawns no
+processes and leaves the event stream byte-identical to a run without
+the injector.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import repro.obs as obs_mod
+from repro.faults.plan import (
+    BlackoutFault,
+    CrashFault,
+    EdgeFailureFault,
+    EdgeLatencyFault,
+    FaultPlan,
+    InterferenceFault,
+)
+from repro.obs.events import FaultRecord
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    import numpy as np
+
+    from repro.app.application import Application
+    from repro.sim.engine import Environment
+    from repro.sim.rng import RandomStreams
+
+
+class EdgeDisruption:
+    """Active latency/failure state for one ``caller -> callee`` edge.
+
+    Installed on the caller service while the fault window is open;
+    the caller's guarded invoke path samples it once per attempt. All
+    draws come from the disruption's own stream.
+    """
+
+    __slots__ = ("delay", "jitter", "probability", "rng")
+
+    def __init__(self, *, delay: float = 0.0, jitter: float = 0.0,
+                 probability: float = 0.0,
+                 rng: "np.random.Generator | None" = None) -> None:
+        self.delay = delay
+        self.jitter = jitter
+        self.probability = probability
+        self.rng = rng
+
+    def sample_latency(self) -> float:
+        """Extra seconds this attempt pays before reaching the callee."""
+        if self.delay <= 0.0:
+            return 0.0
+        if self.jitter > 0.0 and self.rng is not None:
+            return self.delay * (1.0 - self.jitter
+                                 + 2.0 * self.jitter * self.rng.random())
+        return self.delay
+
+    def sample_failure(self) -> bool:
+        """Whether this attempt fails before reaching the callee."""
+        if self.probability <= 0.0 or self.rng is None:
+            return False
+        return float(self.rng.random()) < self.probability
+
+
+class FaultInjector:
+    """Runs a :class:`FaultPlan` against one application.
+
+    Args:
+        env: simulation environment.
+        app: the application under test.
+        plan: the faults to inject.
+        streams: the run's named random streams; injectors draw only
+            from fresh ``fault.*`` streams.
+        obs: observability scope receiving one
+            :class:`~repro.obs.events.FaultRecord` per inject/recover
+            transition (defaults to the disabled ``NULL``).
+
+    The injector also keeps its own ``log`` of emitted records, so
+    benches can assert on fault timing without enabling observability.
+    """
+
+    def __init__(self, env: "Environment", app: "Application",
+                 plan: FaultPlan, streams: "RandomStreams",
+                 obs: obs_mod.Observability | None = None) -> None:
+        self.env = env
+        self.app = app
+        self.plan = plan
+        self.streams = streams
+        self.obs = obs if obs is not None else obs_mod.NULL
+        self.log: list[FaultRecord] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Validate the plan and launch one process per fault
+        (idempotent; a no-op for an empty plan)."""
+        if self._started:
+            return
+        self._started = True
+        self.plan.validate(self.app)
+        for index, spec in enumerate(self.plan.faults):
+            if isinstance(spec, CrashFault):
+                if spec.mode == "drop":
+                    # Arm in-flight tracking before the run starts so
+                    # the crash can find the processes to drop.
+                    self.app.service(spec.service).track_inflight()
+                runner = self._run_crash(spec)
+            elif isinstance(spec, InterferenceFault):
+                runner = self._run_interference(spec)
+            elif isinstance(spec, (EdgeLatencyFault, EdgeFailureFault)):
+                runner = self._run_edge(spec, index)
+            elif isinstance(spec, BlackoutFault):
+                runner = self._run_blackout(spec)
+            else:  # pragma: no cover - plan validates spec types
+                raise TypeError(f"unknown fault spec {spec!r}")
+            self.env.process(runner, name=f"fault:{spec.kind}:{index}")
+
+    # ------------------------------------------------------------------
+    # Runners (one simulation process per fault spec)
+    # ------------------------------------------------------------------
+    def _emit(self, fault: str, phase: str, *, service: str | None = None,
+              edge: str | None = None,
+              detail: dict | None = None) -> None:
+        record = FaultRecord(time=self.env.now, fault=fault, phase=phase,
+                             service=service, edge=edge,
+                             detail=detail or {})
+        self.log.append(record)
+        if self.obs:
+            self.obs.record(record)
+
+    def _run_crash(self, spec: CrashFault):
+        service = self.app.service(spec.service)
+        yield self.env.timeout(spec.at)
+        dropped = service.crash(drop_inflight=(spec.mode == "drop"))
+        self._emit("crash", "inject", service=spec.service,
+                   detail={"mode": spec.mode, "dropped": dropped})
+        if spec.restart_after is not None:
+            yield self.env.timeout(spec.restart_after)
+            service.restore()
+            self._emit("crash", "recover", service=spec.service)
+
+    def _run_interference(self, spec: InterferenceFault):
+        service = self.app.service(spec.service)
+        yield self.env.timeout(spec.at)
+        service.demand_scale *= spec.demand_factor
+        if spec.core_steal > 0.0:
+            service.set_cores(service.cores_per_replica
+                              * (1.0 - spec.core_steal))
+        self._emit("interference", "inject", service=spec.service,
+                   detail={"demand_factor": spec.demand_factor,
+                           "core_steal": spec.core_steal})
+        if spec.duration is not None:
+            yield self.env.timeout(spec.duration)
+            # Multiplicative restore composes with autoscaler actions
+            # taken while the fault was active.
+            service.demand_scale /= spec.demand_factor
+            if spec.core_steal > 0.0:
+                service.set_cores(service.cores_per_replica
+                                  / (1.0 - spec.core_steal))
+            self._emit("interference", "recover", service=spec.service)
+
+    def _run_edge(self, spec: EdgeLatencyFault | EdgeFailureFault,
+                  index: int):
+        caller = self.app.service(spec.caller)
+        rng = self.streams.stream(f"fault.{spec.kind}.{index}")
+        if isinstance(spec, EdgeLatencyFault):
+            disruption = EdgeDisruption(delay=spec.delay,
+                                        jitter=spec.jitter, rng=rng)
+            detail: dict = {"delay": spec.delay, "jitter": spec.jitter}
+        else:
+            disruption = EdgeDisruption(probability=spec.probability,
+                                        rng=rng)
+            detail = {"probability": spec.probability}
+        edge = f"{spec.caller}->{spec.callee}"
+        yield self.env.timeout(spec.at)
+        caller.add_edge_disruption(spec.callee, disruption)
+        self._emit(spec.kind, "inject", edge=edge, detail=detail)
+        if spec.duration is not None:
+            yield self.env.timeout(spec.duration)
+            caller.remove_edge_disruption(spec.callee, disruption)
+            self._emit(spec.kind, "recover", edge=edge)
+
+    def _run_blackout(self, spec: BlackoutFault):
+        service = self.app.service(spec.service)
+        yield self.env.timeout(spec.at)
+        down = min(spec.replicas, service.replica_count - 1)
+        if down > 0:
+            service.scale_replicas(service.replica_count - down)
+        self._emit("blackout", "inject", service=spec.service,
+                   detail={"replicas_down": down})
+        yield self.env.timeout(spec.duration)
+        if down > 0:
+            service.scale_replicas(service.replica_count + down)
+        self._emit("blackout", "recover", service=spec.service,
+                   detail={"replicas_restored": down})

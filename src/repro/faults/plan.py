@@ -1,0 +1,284 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a small, JSON-serializable description of the
+faults to inject into one run: service crashes (with or without a
+restart), CPU interference / noisy neighbors, latency jitter or
+failures on specific call edges, and replica blackouts. Scenarios and
+the CLI (``repro faults run --plan plan.json``) load plans from a dict
+or JSON document; the :class:`~repro.faults.injectors.FaultInjector`
+turns each spec into a deterministic simulation process.
+
+Determinism contract: a spec contains *only* schedule and magnitude —
+every random draw an injector makes comes from a dedicated named
+stream (``fault.<kind>.<index>``), so adding or removing faults never
+perturbs the draws of workload, demand, or resilience streams.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+from dataclasses import dataclass, fields
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.app.application import Application
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A whole-service crash at ``at`` seconds.
+
+    While down, every invocation of the service fails immediately with
+    :class:`~repro.faults.resilience.ServiceUnavailable` (callers with
+    a retry policy see it as a retryable error). ``mode`` controls the
+    fate of requests already inside the service:
+
+    - ``"drain"``: in-flight requests finish normally (a graceful
+      SIGTERM-style stop);
+    - ``"drop"``: in-flight requests are interrupted and accounted as
+      failed (a kill -9 / node loss).
+
+    ``restart_after`` seconds later the service comes back; ``None``
+    means it never restarts.
+    """
+
+    kind: _t.ClassVar[str] = "crash"
+
+    service: str
+    at: float
+    mode: str = "drain"
+    restart_after: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_non_negative("at", self.at)
+        if self.mode not in ("drain", "drop"):
+            raise ValueError(
+                f"crash mode must be 'drain' or 'drop', got {self.mode!r}")
+        if self.restart_after is not None:
+            _check_positive("restart_after", self.restart_after)
+
+
+@dataclass(frozen=True)
+class InterferenceFault:
+    """CPU interference / noisy neighbor on one service.
+
+    Models a co-located tenant stealing capacity: every sampled CPU
+    demand is multiplied by ``demand_factor`` (work takes longer per
+    unit of progress) and/or a ``core_steal`` fraction of the current
+    core limit disappears. Both are applied *multiplicatively* and
+    undone by division when the fault clears, so they compose with any
+    autoscaler decisions taken while the fault is active.
+
+    ``duration=None`` makes the interference persistent — the regime
+    shift the paper's §2.3 argues moves the soft-resource knee.
+    """
+
+    kind: _t.ClassVar[str] = "interference"
+
+    service: str
+    at: float
+    duration: float | None = None
+    demand_factor: float = 1.0
+    core_steal: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_non_negative("at", self.at)
+        if self.duration is not None:
+            _check_positive("duration", self.duration)
+        _check_positive("demand_factor", self.demand_factor)
+        if not 0.0 <= self.core_steal < 1.0:
+            raise ValueError(
+                f"core_steal must be in [0, 1), got {self.core_steal}")
+
+
+@dataclass(frozen=True)
+class EdgeLatencyFault:
+    """Extra latency on every call over one ``caller -> callee`` edge.
+
+    Each attempt over the edge pays ``delay`` additional seconds,
+    jittered uniformly in ``[delay*(1-jitter), delay*(1+jitter)]``
+    from the fault's own named stream. ``duration=None`` keeps the
+    degradation until the end of the run.
+    """
+
+    kind: _t.ClassVar[str] = "edge-latency"
+
+    caller: str
+    callee: str
+    at: float
+    duration: float | None = None
+    delay: float = 0.05
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_non_negative("at", self.at)
+        if self.duration is not None:
+            _check_positive("duration", self.duration)
+        _check_positive("delay", self.delay)
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+
+@dataclass(frozen=True)
+class EdgeFailureFault:
+    """Probabilistic connection failures on one call edge.
+
+    Each attempt over the edge fails (instantaneously, before reaching
+    the callee) with ``probability``, drawn from the fault's own named
+    stream. Callers with a retry policy absorb low probabilities;
+    callers without one surface failed requests.
+    """
+
+    kind: _t.ClassVar[str] = "edge-failure"
+
+    caller: str
+    callee: str
+    at: float
+    duration: float | None = None
+    probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_non_negative("at", self.at)
+        if self.duration is not None:
+            _check_positive("duration", self.duration)
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}")
+
+
+@dataclass(frozen=True)
+class BlackoutFault:
+    """Temporary loss of ``replicas`` replicas of one service.
+
+    The lost replicas drain (finish their in-flight work but accept no
+    new requests) and the survivors absorb the load; after
+    ``duration`` seconds the same number of fresh replicas come back.
+    At least one replica always survives.
+    """
+
+    kind: _t.ClassVar[str] = "blackout"
+
+    service: str
+    at: float
+    duration: float
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        _check_non_negative("at", self.at)
+        _check_positive("duration", self.duration)
+        if self.replicas < 1:
+            raise ValueError(
+                f"replicas must be >= 1, got {self.replicas}")
+
+
+FaultSpec = _t.Union[CrashFault, InterferenceFault, EdgeLatencyFault,
+                     EdgeFailureFault, BlackoutFault]
+
+FAULT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (CrashFault, InterferenceFault, EdgeLatencyFault,
+                EdgeFailureFault, BlackoutFault)
+}
+
+
+def _spec_to_dict(spec: FaultSpec) -> dict:
+    payload: dict[str, _t.Any] = {"kind": spec.kind}
+    for field in fields(spec):
+        value = getattr(spec, field.name)
+        if value is not None:
+            payload[field.name] = value
+    return payload
+
+
+def spec_from_dict(payload: dict) -> FaultSpec:
+    """Rebuild one fault spec from its ``to_dict`` payload."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = FAULT_KINDS.get(_t.cast(str, kind))
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r} (have: {sorted(FAULT_KINDS)})")
+    allowed = {field.name for field in fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} for fault kind {kind!r}")
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of fault specs.
+
+    Truthiness follows content: an empty plan is falsy and injecting
+    it is a provable no-op (see ``test_empty_plan_is_byte_identical``).
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> _t.Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload (``{"faults": [...]}``)."""
+        return {"faults": [_spec_to_dict(spec) for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, payload: dict | list) -> "FaultPlan":
+        """Build a plan from ``to_dict`` output (or a bare spec list)."""
+        if isinstance(payload, list):
+            specs = payload
+        else:
+            specs = payload.get("faults", [])
+        return cls(faults=tuple(spec_from_dict(spec) for spec in specs))
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, 2-space indent)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def read_json(cls, path: str | pathlib.Path) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        return cls.from_json(
+            pathlib.Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, app: "Application") -> None:
+        """Check every spec references services the app actually has."""
+        known = app.services
+        for spec in self.faults:
+            for attr in ("service", "caller", "callee"):
+                name = getattr(spec, attr, None)
+                if name is not None and name not in known:
+                    raise ValueError(
+                        f"{spec.kind} fault references unknown service "
+                        f"{name!r} (has: {sorted(known)})")

@@ -1,0 +1,226 @@
+"""Call-layer resilience: timeouts, retries, breakers, load shedding.
+
+Real meshes do not surface raw downstream behavior to their callers —
+clients time out, retry with backoff, trip circuit breakers, and shed
+load when their connection pools saturate. This module provides those
+policies for the simulated application layer so Sora's goodput
+sampling sees retries and timeouts the way a production mesh would.
+
+A :class:`CallPolicy` is attached to a specific ``caller -> callee``
+edge via :meth:`repro.app.service.Microservice.set_call_policy`; the
+caller's ``_invoke`` path then routes that edge through the guarded
+slow path. Retry backoff jitter is drawn from an explicit, dedicated
+RNG stream handed in at attach time, which keeps replay fingerprints
+stable: edges without a policy never consume a draw.
+
+Failures surface as :class:`CallError` subclasses carrying the name of
+the service that failed, so retry logic can tell "my downstream died"
+from "I was interrupted for an unrelated reason".
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.errors import SimulationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    import numpy as np
+
+
+class CallError(SimulationError):
+    """An application-layer invocation failed.
+
+    Attributes:
+        service: the service whose invocation failed.
+        reason: short machine-readable cause.
+    """
+
+    def __init__(self, service: str, reason: str) -> None:
+        super().__init__(f"call to {service!r} failed: {reason}")
+        self.service = service
+        self.reason = reason
+
+
+class ServiceUnavailable(CallError):
+    """The target service is crashed/blacked out and refused the call."""
+
+
+class CallTimeout(CallError):
+    """The call exceeded the policy's per-attempt timeout."""
+
+
+class InjectedFailure(CallError):
+    """An injected edge fault failed the connection before the callee."""
+
+
+class LoadShedError(CallError):
+    """The caller shed the call because its client pool is saturated."""
+
+
+class CircuitOpenError(CallError):
+    """The caller's circuit breaker is open; the call was not attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry with exponential backoff and uniform jitter.
+
+    Attempt ``i`` (0-based) that fails is retried after
+    ``min(max_backoff, base_backoff * factor**i)`` seconds, scaled
+    uniformly in ``[1 - jitter, 1 + jitter]`` when an RNG stream is
+    available.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.05
+    factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int,
+                rng: "np.random.Generator | None" = None) -> float:
+        """Delay before retry number ``attempt + 1`` (0-based)."""
+        delay = min(self.max_backoff,
+                    self.base_backoff * self.factor ** attempt)
+        if rng is not None and self.jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 - self.jitter + 2.0 * self.jitter * rng.random()
+        return delay
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Classic three-state breaker configuration.
+
+    The breaker opens after ``failure_threshold`` consecutive
+    failures; after ``recovery_time`` seconds it lets one probe call
+    through (half-open) and closes again on the first success.
+    """
+
+    failure_threshold: int = 5
+    recovery_time: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, "
+                             f"got {self.failure_threshold}")
+        if self.recovery_time <= 0:
+            raise ValueError(f"recovery_time must be positive, "
+                             f"got {self.recovery_time}")
+
+
+class CircuitBreaker:
+    """Runtime state for one edge's :class:`CircuitBreakerPolicy`."""
+
+    def __init__(self, policy: CircuitBreakerPolicy) -> None:
+        self.policy = policy
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._half_open = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        if self._opened_at is None:
+            return "closed"
+        return "half-open" if self._half_open else "open"
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may be attempted at simulated time ``now``."""
+        if self._opened_at is None:
+            return True
+        if self._half_open:
+            return False  # one probe already in flight
+        if now - self._opened_at >= self.policy.recovery_time:
+            self._half_open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """Reset the breaker to closed after a successful call."""
+        self._failures = 0
+        self._opened_at = None
+        self._half_open = False
+
+    def record_failure(self, now: float) -> None:
+        """Count a failed call; opens the breaker at the threshold
+        (or immediately when a half-open probe fails)."""
+        self._failures += 1
+        if self._half_open or \
+                self._failures >= self.policy.failure_threshold:
+            self._opened_at = now
+            self._half_open = False
+
+
+@dataclass(frozen=True)
+class CallPolicy:
+    """Resilience configuration for one ``caller -> callee`` edge.
+
+    Attributes:
+        timeout: per-attempt deadline in seconds (``None`` disables).
+        retry: retry/backoff policy (``None`` = single attempt).
+        breaker: circuit-breaker policy (``None`` disables).
+        shed_queue_limit: shed the call (without attempting it) when
+            the edge's client pool already has at least this many
+            waiters queued — graceful degradation under
+            ``SoftResourcePool`` saturation. ``None`` disables.
+        degrade: when every attempt fails, return ``None`` from the
+            call instead of failing the whole request (the caller's
+            operation continues without the callee's contribution).
+    """
+
+    timeout: float | None = None
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreakerPolicy | None = None
+    shed_queue_limit: int | None = None
+    degrade: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {self.timeout}")
+        if self.shed_queue_limit is not None and self.shed_queue_limit < 1:
+            raise ValueError(f"shed_queue_limit must be >= 1, "
+                             f"got {self.shed_queue_limit}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per call (1 when no retry policy is set)."""
+        return self.retry.max_attempts if self.retry is not None else 1
+
+
+def _zero_stats() -> dict[str, int]:
+    return {"attempts": 0, "retries": 0, "timeouts": 0, "failures": 0,
+            "injected": 0, "shed": 0, "short_circuited": 0,
+            "degraded": 0, "successes": 0}
+
+
+@dataclass
+class BoundPolicy:
+    """A :class:`CallPolicy` attached to an edge, with runtime state.
+
+    Holds the breaker instance, the dedicated jitter stream, and the
+    per-edge counters the explainability report surfaces.
+    """
+
+    policy: CallPolicy
+    rng: "np.random.Generator | None" = None
+    breaker: CircuitBreaker | None = None
+    stats: dict[str, int] = field(default_factory=_zero_stats)
+
+    def __post_init__(self) -> None:
+        if self.policy.breaker is not None and self.breaker is None:
+            self.breaker = CircuitBreaker(self.policy.breaker)

@@ -28,6 +28,7 @@ from repro.obs.events import (
     ControlRoundRecord,
     DecisionLog,
     DriftRecord,
+    FaultRecord,
     ObsRecord,
     ScaleEventRecord,
     TargetDecision,
@@ -128,6 +129,7 @@ __all__ = [
     "DecisionLog",
     "DriftRecord",
     "EngineProfiler",
+    "FaultRecord",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -227,13 +227,62 @@ class DriftRecord:
         return cls(time=payload["time"], target=payload["target"])
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """An injected fault transition (see :mod:`repro.faults`).
+
+    Attributes:
+        time: simulated time of the transition.
+        fault: fault kind ("crash", "interference", "edge-latency",
+            "edge-failure", "blackout").
+        phase: "inject" when the fault begins, "recover" when it
+            clears.
+        service: affected service, for service-scoped faults.
+        edge: ``"caller->callee"``, for edge-scoped faults.
+        detail: kind-specific magnitudes (demand factor, probability,
+            dropped request count, ...), JSON-ready.
+    """
+
+    kind: _t.ClassVar[str] = "fault"
+
+    time: float
+    fault: str
+    phase: str
+    service: str | None = None
+    edge: str | None = None
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {
+            "kind": self.kind,
+            "time": self.time,
+            "fault": self.fault,
+            "phase": self.phase,
+        }
+        if self.service is not None:
+            payload["service"] = self.service
+        if self.edge is not None:
+            payload["edge"] = self.edge
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRecord":
+        return cls(time=payload["time"], fault=payload["fault"],
+                   phase=payload["phase"],
+                   service=payload.get("service"),
+                   edge=payload.get("edge"),
+                   detail=dict(payload.get("detail", {})))
+
+
 ObsRecord = _t.Union[ControlRoundRecord, TargetDecision,
-                     ScaleEventRecord, DriftRecord]
+                     ScaleEventRecord, DriftRecord, FaultRecord]
 
 _RECORD_TYPES: dict[str, type] = {
     cls.kind: cls
     for cls in (ControlRoundRecord, TargetDecision, ScaleEventRecord,
-                DriftRecord)
+                DriftRecord, FaultRecord)
 }
 
 
@@ -293,6 +342,10 @@ class DecisionLog:
     def scale_events(self) -> list[ScaleEventRecord]:
         return _t.cast("list[ScaleEventRecord]",
                        self.records(ScaleEventRecord.kind))
+
+    def fault_events(self) -> list[FaultRecord]:
+        return _t.cast("list[FaultRecord]",
+                       self.records(FaultRecord.kind))
 
     def __len__(self) -> int:
         return len(self._records)

@@ -80,6 +80,18 @@ def _drift_rows(log: DecisionLog) -> list[list[str]]:
             if isinstance(r, DriftRecord)]
 
 
+def _fault_rows(log: DecisionLog) -> list[list[str]]:
+    return [[f"{r.time:.1f}", r.fault, r.phase,
+             r.service or r.edge or "-",
+             " ".join(f"{k}={v:g}" if isinstance(v, (int, float))
+                      else f"{k}={v}"
+                      for k, v in sorted(r.detail.items())) or "-"]
+            for r in log.fault_events()]
+
+
+_FAULT_HEADERS = ["t[s]", "fault", "phase", "where", "detail"]
+
+
 def _localization_rows(log: DecisionLog,
                        limit: int = 8) -> list[list[str]]:
     rows = []
@@ -115,9 +127,17 @@ def render_text(obs: "Observability", *, title: str = "run") -> str:
     lines.append(f"{len(log.rounds())} control rounds, "
                  f"{len(applied)} adaptations applied, "
                  f"{len(log.scale_events())} hardware scale events, "
-                 f"{len(_drift_rows(log))} drift detections "
+                 f"{len(_drift_rows(log))} drift detections, "
+                 f"{len(log.fault_events())} fault transitions "
                  f"({log.total_recorded} records total)")
     lines.append("")
+
+    fault_rows = _fault_rows(log)
+    if fault_rows:
+        lines.append(ascii_table(
+            _FAULT_HEADERS, fault_rows,
+            title="Injected faults (what the plan did to the system)"))
+        lines.append("")
 
     if applied:
         lines.append(ascii_table(
@@ -285,8 +305,14 @@ def render_html(obs: "Observability", *, title: str = "run") -> str:
         f"{len(log.applied())} adaptations applied · "
         f"{len(log.scale_events())} hardware scale events · "
         f"{len(_drift_rows(log))} drift detections · "
+        f"{len(log.fault_events())} fault transitions · "
         f"{log.total_recorded} records total</p>",
     ]
+
+    fault_rows = _fault_rows(log)
+    if fault_rows:
+        parts.append("<h2>Injected faults</h2>")
+        parts.append(_html_table(_FAULT_HEADERS, fault_rows))
 
     rows = _decision_rows(log)
     parts.append("<h2>Adaptation timeline</h2>")

@@ -11,11 +11,28 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.app.topologies import build_sock_shop
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim import Environment, Interrupt, RandomStreams
 from repro.workloads import ClosedLoopDriver, WorkloadTrace
 
+#: Structured chaos layered on top of the random kind below: every
+#: fault kind fires at least once inside the 40 s run.
+FAULT_PLAN = FaultPlan.from_dict({"faults": [
+    {"kind": "crash", "service": "cart-db", "at": 8.0, "mode": "drop",
+     "restart_after": 3.0},
+    {"kind": "interference", "service": "cart", "at": 14.0,
+     "duration": 6.0, "demand_factor": 2.0, "core_steal": 0.25},
+    {"kind": "edge-latency", "caller": "cart", "callee": "cart-db",
+     "at": 18.0, "duration": 5.0, "delay": 0.01, "jitter": 0.5},
+    {"kind": "edge-failure", "caller": "front-end", "callee": "cart",
+     "at": 24.0, "duration": 4.0, "probability": 0.3},
+    {"kind": "blackout", "service": "cart", "at": 29.0, "duration": 4.0,
+     "replicas": 2},
+]})
 
-def chaotic_run(seed, *, duration=40.0, interrupt_some=False):
+
+def chaotic_run(seed, *, duration=40.0, interrupt_some=False,
+                fault_plan=None):
     env = Environment()
     streams = RandomStreams(seed)
     app = build_sock_shop(env, streams, cart_threads=6)
@@ -55,6 +72,8 @@ def chaotic_run(seed, *, duration=40.0, interrupt_some=False):
     env.process(chaos(env), name="chaos")
     if interrupt_some:
         env.process(sniper(env), name="sniper")
+    if fault_plan is not None:
+        FaultInjector(env, app, fault_plan, streams).start()
     driver.start()
     env.run()  # to exhaustion: the population drains after the trace
     return env, app, cart, interrupted
@@ -101,3 +120,49 @@ def test_unhandled_interrupt_does_not_kill_simulation():
     env, app, _cart, interrupted = chaotic_run(3, interrupt_some=True)
     assert env.now > 40.0
     assert app.latency["cart"].total > 1000
+
+
+# ----------------------------------------------------------------------
+# Structured chaos: the same invariants with a FaultPlan layered on top
+# ----------------------------------------------------------------------
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000))
+def test_conservation_under_fault_plan(seed):
+    env, app, cart, _ = chaotic_run(seed, fault_plan=FAULT_PLAN)
+    assert app.in_flight == 0
+    # Fault-failed requests are accounted, never lost.
+    assert app.latency["cart"].total + app.failed_total == \
+        app.total_submitted
+    assert app.failed_total > 0  # the crash window guarantees some
+    for replica in cart.replicas:
+        assert replica.server_pool.in_use == 0
+        assert replica.active_requests == 0
+    for service in app.services.values():
+        assert not service._inflight
+        for pool in service.client_pools.values():
+            assert pool.in_use == 0
+
+
+def test_fault_plan_with_sniper_interrupts():
+    env, app, cart, interrupted = chaotic_run(
+        99, interrupt_some=True, fault_plan=FAULT_PLAN)
+    assert interrupted, "sniper never fired"
+    completed = app.latency["cart"].total
+    # Sniper-interrupted requests die uncounted; fault-failed requests
+    # land in failed_total; everything else completes.
+    assert completed + app.failed_total == \
+        app.total_submitted - len(interrupted)
+    assert app.in_flight == 0
+    for replica in cart.replicas:
+        assert replica.server_pool.in_use == 0
+
+
+def test_fault_plan_chaos_is_deterministic():
+    def fingerprint(seed):
+        _env, app, _cart, _ = chaotic_run(seed, fault_plan=FAULT_PLAN)
+        times, latencies = app.latency["cart"].window()
+        return (times.size, app.failed_total, float(np.sum(times)),
+                float(np.sum(latencies)))
+
+    assert fingerprint(7) == fingerprint(7)

@@ -1,0 +1,432 @@
+"""Tests for repro.faults: plans, injectors, and resilience policies.
+
+Covers the determinism contract (same seed => same faulted run; empty
+plan => byte-identical to no injector at all), request conservation
+under every fault kind, and the call-layer policies (retry, timeout,
+breaker, shedding, graceful degradation).
+"""
+
+import json
+
+import pytest
+
+from repro.app.topologies import build_sock_shop
+from repro.faults import (
+    BlackoutFault,
+    CallPolicy,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CrashFault,
+    EdgeFailureFault,
+    EdgeLatencyFault,
+    FaultInjector,
+    FaultPlan,
+    InterferenceFault,
+    RetryPolicy,
+    spec_from_dict,
+)
+from repro.sim import Environment, RandomStreams
+from repro.validation.fingerprint import RunRecorder
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+
+def _flat(duration, users=100):
+    return WorkloadTrace("flat", duration, users, users, lambda u: 1.0)
+
+
+def _sock_shop_run(seed, plan, *, duration=30.0, users=100,
+                   policies=None, record=False):
+    """One Sock Shop cart run under ``plan``; returns accounting."""
+    env = Environment()
+    streams = RandomStreams(seed)
+    app = build_sock_shop(env, streams, cart_threads=6)
+    recorder = RunRecorder(env, keep_events=False) if record else None
+    for (caller, callee), policy in (policies or {}).items():
+        app.service(caller).set_call_policy(
+            callee, policy,
+            rng=streams.stream(f"resilience.{caller}.{callee}"))
+    injector = FaultInjector(env, app, plan, streams)
+    driver = ClosedLoopDriver(env, app, "cart", _flat(duration, users),
+                              streams.stream("drv"), ramp_up=2.0)
+    injector.start()
+    driver.start()
+    env.run()  # to exhaustion: the closed loop drains after the trace
+    fingerprint = recorder.finish(app) if recorder else None
+    return env, app, injector, fingerprint
+
+
+def _assert_no_leaks(app):
+    assert app.in_flight == 0
+    assert app.latency["cart"].total + app.failed_total == \
+        app.total_submitted
+    for service in app.services.values():
+        assert not service._inflight
+        for pool in service.client_pools.values():
+            assert pool.in_use == 0
+            assert pool.queue_length == 0
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(faults=(
+            CrashFault(service="cart", at=5.0, mode="drop",
+                       restart_after=2.0),
+            InterferenceFault(service="cart-db", at=1.0, duration=4.0,
+                              demand_factor=3.0, core_steal=0.5),
+            EdgeLatencyFault(caller="cart", callee="cart-db", at=2.0,
+                             delay=0.01, jitter=0.25),
+            EdgeFailureFault(caller="front-end", callee="cart", at=3.0,
+                             duration=1.0, probability=0.5),
+            BlackoutFault(service="cart", at=4.0, duration=2.0),
+        ))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        # Bare list form is accepted too.
+        specs = json.loads(plan.to_json())["faults"]
+        assert FaultPlan.from_dict(specs) == plan
+
+    def test_plan_truthiness(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+        plan = FaultPlan(faults=(CrashFault(service="x", at=0.0),))
+        assert plan and len(plan) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            spec_from_dict({"kind": "meteor", "service": "cart", "at": 1})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            spec_from_dict({"kind": "crash", "service": "cart",
+                            "at": 1.0, "blast_radius": 3})
+
+    @pytest.mark.parametrize("bad", [
+        dict(kind="crash", service="s", at=-1.0),
+        dict(kind="crash", service="s", at=1.0, mode="explode"),
+        dict(kind="interference", service="s", at=0.0, demand_factor=0.0),
+        dict(kind="interference", service="s", at=0.0, core_steal=1.0),
+        dict(kind="edge-latency", caller="a", callee="b", at=0.0,
+             delay=0.0),
+        dict(kind="edge-failure", caller="a", callee="b", at=0.0,
+             probability=1.5),
+        dict(kind="blackout", service="s", at=0.0, duration=0.0),
+    ])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            spec_from_dict(bad)
+
+    def test_validate_rejects_unknown_service(self):
+        env = Environment()
+        app = build_sock_shop(env, RandomStreams(1))
+        plan = FaultPlan(faults=(CrashFault(service="nonesuch", at=1.0),))
+        with pytest.raises(ValueError, match="unknown service"):
+            plan.validate(app)
+        injector = FaultInjector(env, app, plan, RandomStreams(1))
+        with pytest.raises(ValueError, match="unknown service"):
+            injector.start()
+
+
+# ----------------------------------------------------------------------
+# Injectors (through full Sock Shop runs)
+# ----------------------------------------------------------------------
+class TestInjectors:
+    def test_crash_drain_fails_requests_then_recovers(self):
+        plan = FaultPlan(faults=(
+            CrashFault(service="cart-db", at=10.0, restart_after=5.0),))
+        _env, app, injector, _ = _sock_shop_run(3, plan)
+        _assert_no_leaks(app)
+        assert app.failed_total > 0
+        times = [r.time for r in injector.log]
+        assert times == [10.0, 15.0]
+        # Completions resume after the restart.
+        post, _lat = app.latency["cart"].window(15.0, 30.0)
+        assert post.size > 0
+
+    def test_crash_drop_interrupts_inflight(self):
+        plan = FaultPlan(faults=(
+            CrashFault(service="cart-db", at=10.0, mode="drop",
+                       restart_after=5.0),))
+        _env, app, injector, _ = _sock_shop_run(3, plan)
+        _assert_no_leaks(app)
+        inject = injector.log[0]
+        assert inject.detail["mode"] == "drop"
+        assert inject.detail["dropped"] > 0
+
+    def test_permanent_crash_conserves_requests(self):
+        plan = FaultPlan(faults=(CrashFault(service="cart-db", at=8.0),))
+        _env, app, _, _ = _sock_shop_run(5, plan, duration=20.0)
+        _assert_no_leaks(app)
+        # Nothing completes after the unrecovered crash.
+        post, _lat = app.latency["cart"].window(9.0, 25.0)
+        assert post.size == 0
+        assert app.failed_total > 0
+
+    def test_interference_restores_demand_and_cores(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = build_sock_shop(env, streams)
+        cart = app.service("cart")
+        base_demand, base_cores = cart.demand_scale, cart.cores_per_replica
+        plan = FaultPlan(faults=(
+            InterferenceFault(service="cart", at=5.0, duration=10.0,
+                              demand_factor=2.5, core_steal=0.5),))
+        FaultInjector(env, app, plan, streams).start()
+        env.run(until=6.0)
+        assert cart.demand_scale == pytest.approx(base_demand * 2.5)
+        assert cart.cores_per_replica == pytest.approx(base_cores * 0.5)
+        env.run(until=16.0)
+        assert cart.demand_scale == pytest.approx(base_demand)
+        assert cart.cores_per_replica == pytest.approx(base_cores)
+
+    def test_persistent_interference_never_recovers(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = build_sock_shop(env, streams)
+        plan = FaultPlan(faults=(
+            InterferenceFault(service="cart", at=1.0, demand_factor=4.0),))
+        injector = FaultInjector(env, app, plan, streams)
+        injector.start()
+        env.run(until=50.0)
+        assert [r.phase for r in injector.log] == ["inject"]
+        assert app.service("cart").demand_scale == pytest.approx(4.0)
+
+    def test_edge_latency_slows_the_edge(self):
+        window = (8.0, 18.0)
+        plan = FaultPlan(faults=(
+            EdgeLatencyFault(caller="front-end", callee="cart",
+                             at=window[0], duration=10.0, delay=0.2,
+                             jitter=0.5),))
+        _env, app, _, _ = _sock_shop_run(4, plan)
+        _assert_no_leaks(app)
+        # Completions in (fault_at + 1, fault_end) were issued inside
+        # the window; pre-fault in-flight stragglers are excluded.
+        _t0, during = app.latency["cart"].window(window[0] + 1.0,
+                                                 window[1])
+        _t1, after = app.latency["cart"].window(20.0, 30.0)
+        assert during.size and after.size
+        assert during.min() >= 0.2 * 0.5
+        assert during.mean() > after.mean() + 0.05
+
+    def test_edge_failure_fails_requests_only_in_window(self):
+        plan = FaultPlan(faults=(
+            EdgeFailureFault(caller="front-end", callee="cart", at=10.0,
+                             duration=8.0, probability=1.0),))
+        _env, app, _, _ = _sock_shop_run(6, plan)
+        _assert_no_leaks(app)
+        assert app.failed_total > 0
+        during, _lat = app.latency["cart"].window(10.0, 18.0)
+        assert during.size == 0  # probability 1.0: nothing gets through
+        post, _lat = app.latency["cart"].window(18.0, 30.0)
+        assert post.size > 0
+
+    def test_blackout_dips_replicas_and_restores(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = build_sock_shop(env, streams)
+        cart = app.service("cart")
+        cart.scale_replicas(3)
+        plan = FaultPlan(faults=(
+            BlackoutFault(service="cart", at=5.0, duration=5.0,
+                          replicas=2),))
+        FaultInjector(env, app, plan, streams).start()
+        env.run(until=6.0)
+        assert cart.replica_count == 1
+        env.run(until=11.0)
+        assert cart.replica_count == 3
+
+    def test_blackout_always_leaves_one_replica(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = build_sock_shop(env, streams)  # 1 cart replica
+        plan = FaultPlan(faults=(
+            BlackoutFault(service="cart", at=1.0, duration=2.0,
+                          replicas=5),))
+        injector = FaultInjector(env, app, plan, streams)
+        injector.start()
+        env.run(until=5.0)
+        assert app.service("cart").replica_count == 1
+        assert injector.log[0].detail["replicas_down"] == 0
+
+    def test_start_is_idempotent(self):
+        env = Environment()
+        streams = RandomStreams(2)
+        app = build_sock_shop(env, streams)
+        plan = FaultPlan(faults=(CrashFault(service="cart", at=1.0),))
+        injector = FaultInjector(env, app, plan, streams)
+        injector.start()
+        injector.start()
+        env.run(until=2.0)
+        assert len(injector.log) == 1
+
+
+# ----------------------------------------------------------------------
+# Resilience policies
+# ----------------------------------------------------------------------
+class TestResilience:
+    def test_retry_masks_transient_edge_failures(self):
+        plan = FaultPlan(faults=(
+            EdgeFailureFault(caller="cart", callee="cart-db", at=8.0,
+                             duration=10.0, probability=0.4),))
+        policy = CallPolicy(retry=RetryPolicy(max_attempts=5,
+                                              base_backoff=0.005))
+        _env, app, _, _ = _sock_shop_run(
+            7, plan, policies={("cart", "cart-db"): policy})
+        _assert_no_leaks(app)
+        stats = app.service("cart").call_policy_stats("cart-db")
+        assert stats["injected"] > 0
+        assert stats["retries"] > 0
+        # Retries absorb (nearly) everything at p=0.4 with 5 attempts.
+        assert stats["failures"] < stats["injected"] / 10
+        assert app.failed_total == stats["failures"]
+
+    def test_timeout_cuts_slow_calls(self):
+        plan = FaultPlan(faults=(
+            InterferenceFault(service="cart-db", at=8.0, duration=10.0,
+                              demand_factor=60.0),))
+        policy = CallPolicy(timeout=0.08,
+                            retry=RetryPolicy(max_attempts=2,
+                                              base_backoff=0.01))
+        _env, app, _, _ = _sock_shop_run(
+            8, plan, policies={("cart", "cart-db"): policy})
+        _assert_no_leaks(app)
+        stats = app.service("cart").call_policy_stats("cart-db")
+        assert stats["timeouts"] > 0
+        assert app.failed_total > 0
+
+    def test_breaker_short_circuits_during_outage(self):
+        plan = FaultPlan(faults=(
+            CrashFault(service="cart-db", at=8.0, restart_after=10.0),))
+        policy = CallPolicy(
+            retry=RetryPolicy(max_attempts=2, base_backoff=0.005),
+            breaker=CircuitBreakerPolicy(failure_threshold=3,
+                                         recovery_time=1.0))
+        _env, app, _, _ = _sock_shop_run(
+            9, plan, policies={("cart", "cart-db"): policy})
+        _assert_no_leaks(app)
+        stats = app.service("cart").call_policy_stats("cart-db")
+        assert stats["short_circuited"] > 0
+        # The breaker closes again once the service restarts.
+        post, _lat = app.latency["cart"].window(19.0, 30.0)
+        assert post.size > 0
+
+    def test_degrade_completes_requests_through_outage(self):
+        plan = FaultPlan(faults=(
+            CrashFault(service="cart-db", at=8.0, restart_after=10.0),))
+        policy = CallPolicy(retry=RetryPolicy(max_attempts=2,
+                                              base_backoff=0.005),
+                            degrade=True)
+        _env, app, _, _ = _sock_shop_run(
+            10, plan, policies={("cart", "cart-db"): policy})
+        _assert_no_leaks(app)
+        stats = app.service("cart").call_policy_stats("cart-db")
+        assert stats["degraded"] > 0
+        assert app.failed_total == 0  # degraded, never failed
+        during, _lat = app.latency["cart"].window(8.0, 18.0)
+        assert during.size > 0
+
+    def test_shedding_on_saturated_pool(self):
+        env = Environment()
+        streams = RandomStreams(11)
+        app = build_sock_shop(env, streams,
+                              catalogue_db_connections=2)
+        catalogue = app.service("catalogue")
+        catalogue.set_call_policy(
+            "catalogue-db", CallPolicy(shed_queue_limit=3))
+        driver = ClosedLoopDriver(env, app, "catalogue",
+                                  _flat(20.0, users=150),
+                                  streams.stream("drv"), ramp_up=1.0)
+        driver.start()
+        env.run()
+        stats = catalogue.call_policy_stats("catalogue-db")
+        assert stats["shed"] > 0
+        assert app.failed_total == stats["shed"]
+        assert app.in_flight == 0
+        assert app.latency["catalogue"].total + app.failed_total == \
+            app.total_submitted
+
+    def test_backoff_schedule_caps_and_jitters(self):
+        retry = RetryPolicy(max_attempts=4, base_backoff=0.1, factor=2.0,
+                            max_backoff=0.3, jitter=0.0)
+        assert [retry.backoff(i) for i in range(3)] == \
+            pytest.approx([0.1, 0.2, 0.3])
+        jittered = RetryPolicy(base_backoff=0.1, jitter=0.5)
+        rng = RandomStreams(1).stream("jitter")
+        samples = {jittered.backoff(0, rng) for _ in range(32)}
+        assert len(samples) > 1
+        assert all(0.05 <= s <= 0.15 for s in samples)
+
+    def test_breaker_state_machine(self):
+        breaker = CircuitBreaker(CircuitBreakerPolicy(
+            failure_threshold=2, recovery_time=5.0))
+        assert breaker.state == "closed"
+        breaker.record_failure(0.0)
+        assert breaker.allow(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state == "open"
+        assert not breaker.allow(1.0)
+        assert breaker.allow(5.5)  # half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow(5.6)  # only one probe at a time
+        breaker.record_failure(5.7)  # probe failed: open again
+        assert breaker.state == "open"
+        assert not breaker.allow(6.0)
+        assert breaker.allow(10.8)
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    PLAN = FaultPlan(faults=(
+        CrashFault(service="cart-db", at=8.0, mode="drop",
+                   restart_after=4.0),
+        InterferenceFault(service="cart", at=14.0, duration=6.0,
+                          demand_factor=2.0, core_steal=0.25),
+        EdgeLatencyFault(caller="cart", callee="cart-db", at=18.0,
+                         duration=5.0, delay=0.01, jitter=0.5),
+        EdgeFailureFault(caller="front-end", callee="cart", at=22.0,
+                         duration=4.0, probability=0.3),
+    ))
+    POLICY = CallPolicy(timeout=0.5,
+                        retry=RetryPolicy(max_attempts=3,
+                                          base_backoff=0.01))
+
+    def _run(self, seed):
+        return _sock_shop_run(
+            seed, self.PLAN,
+            policies={("cart", "cart-db"): self.POLICY}, record=True)
+
+    def test_same_seed_same_faulted_run(self):
+        _, app_a, inj_a, fp_a = self._run(21)
+        _, app_b, inj_b, fp_b = self._run(21)
+        assert fp_a.same_digest(fp_b)
+        assert app_a.failed_total == app_b.failed_total
+        assert [(r.time, r.fault, r.phase) for r in inj_a.log] == \
+            [(r.time, r.fault, r.phase) for r in inj_b.log]
+
+    def test_different_seed_diverges(self):
+        _, _, _, fp_a = self._run(21)
+        _, _, _, fp_b = self._run(22)
+        assert not fp_a.same_digest(fp_b)
+
+    def test_empty_plan_is_byte_identical(self):
+        """Arming an injector with an empty plan changes nothing."""
+        def run(with_injector):
+            env = Environment()
+            streams = RandomStreams(31)
+            app = build_sock_shop(env, streams, cart_threads=6)
+            recorder = RunRecorder(env, keep_events=False)
+            if with_injector:
+                FaultInjector(env, app, FaultPlan(), streams).start()
+            driver = ClosedLoopDriver(env, app, "cart", _flat(15.0),
+                                      streams.stream("drv"),
+                                      ramp_up=2.0)
+            driver.start()
+            env.run()
+            return recorder.finish(app)
+
+        assert run(False).same_digest(run(True))

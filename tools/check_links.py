@@ -1,0 +1,78 @@
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked ``*.md`` file for markdown links and validates the
+local ones: relative paths must exist on disk (anchors are stripped),
+and bare ``path:line`` code references in the docs must point at real
+files. External ``http(s)``/``mailto`` links are only syntax-checked,
+never fetched — CI must not depend on the network.
+
+Run:
+    python tools/check_links.py            # check the whole repo
+    python tools/check_links.py README.md  # check specific files
+
+Exits non-zero listing every broken link, one per line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for the docs we write; nested
+#: parens in URLs are out of scope.
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+#: Inline-code file references like ``src/repro/faults/plan.py`` —
+#: checked so the prose never points at files that moved.
+CODE_REF = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md|toml|yml|json))`")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(paths: list[str]) -> list[Path]:
+    if paths:
+        return [Path(p).resolve() for p in paths]
+    return sorted(p for p in REPO.rglob("*.md")
+                  if ".git" not in p.parts and "results" not in p.parts)
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    targets = [(m.group(1), "link") for m in LINK.finditer(text)]
+    targets += [(m.group(1), "code-ref") for m in CODE_REF.finditer(text)]
+    for target, kind in targets:
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if kind == "code-ref" and "/" not in path:
+            continue  # bare filename mentions, not paths
+        # Docs refer to modules three ways: relative to the file,
+        # repo-rooted, or package-rooted (`sim/engine.py` meaning
+        # `src/repro/sim/engine.py`).
+        bases = (md.parent, REPO, REPO / "src" / "repro")
+        if not any((base / path).exists() for base in bases):
+            errors.append(f"{md.relative_to(REPO)}: broken {kind} "
+                          f"-> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = iter_markdown_files(argv)
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"OK: {len(files)} markdown files, all local links resolve.")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
