@@ -23,7 +23,13 @@ directly comparable across windows.
 import numpy as np
 
 import repro.obs as obs_mod
-from benchmarks._common import SLA, TRACE_DURATION, once, publish
+from benchmarks._common import (
+    RESULTS_DIR,
+    SLA,
+    TRACE_DURATION,
+    once,
+    publish,
+)
 from repro.experiments import (
     run_scenario,
     series_table,
@@ -31,7 +37,7 @@ from repro.experiments import (
 )
 from repro.experiments.reporting import ascii_table
 from repro.faults import FaultPlan
-from repro.obs import render_text
+from repro.obs import SLOSpec, render_dashboard_html, render_text
 from repro.workloads import OpenLoopDriver, WorkloadTrace
 
 #: Longer than the Fig. 10-12 runs: the post-fault third must leave
@@ -78,6 +84,11 @@ def run_pair():
             scenario.streams.stream("openloop"), duration=DURATION)]
         if scenario.controller is not None:
             scenario.controller.config.detect_drift = True
+        if obs:
+            # Guard the run with the reporting SLA so the burn-rate
+            # engine pages on the interference-induced outage.
+            scenario.slo = SLOSpec(name="timeline-rt",
+                                   latency_threshold=SLA)
         results[controller] = run_scenario(scenario, duration=DURATION)
         scopes[controller] = (obs, scenario)
     return results, scopes
@@ -156,3 +167,31 @@ def test_extension_interference(benchmark):
     assert "interference" in report
     applied = [t for t, _d in obs.decisions.applied() if t > FAULT_AT]
     assert applied, "no applied adaptation after the fault in the log"
+
+    # The burn-rate engine pages on the outage: the fast-burn alert
+    # fires after the interference onset and *before* goodput bottoms
+    # out — the alert leads the damage, it does not trail it.
+    fired = [r for r in obs.decisions.alerts()
+             if r.rule == "fast-burn" and r.phase == "fire"]
+    assert fired, "interference outage never tripped the fast-burn rule"
+    if fired:  # smoke runs are shorter than the alert windows
+        first_fire = min(r.time for r in fired)
+        assert first_fire > FAULT_AT
+        gp_times, gp_values = sora.goodput_series(interval=10.0)
+        post = gp_times >= FAULT_AT
+        bottom = gp_times[post][np.argmin(gp_values[post])]
+        assert first_fire < bottom, (
+            f"alert at t={first_fire:.0f} trailed the goodput bottom "
+            f"at t={bottom:.0f}")
+
+    # One time axis tells the whole story: the annotated dashboard
+    # shows the fault, the page, the Page-Hinkley drift detection, and
+    # the pool re-convergence decisions over the telemetry series.
+    html = render_dashboard_html(obs, title="interference extension")
+    for marker in ("marker-fault", "marker-alert", "marker-drift",
+                   "marker-decision"):
+        assert marker in html, f"dashboard is missing {marker}s"
+    path = RESULTS_DIR / "extension_interference_dashboard.html"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(html)
+    print(f"dashboard written to {path}")

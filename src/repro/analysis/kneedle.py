@@ -39,6 +39,12 @@ class KneeResult:
             original units (NaN when not found).
         all_knee_x: every confirmed knee, in x order.
         difference: the normalized difference curve (diagnostics).
+        prominence: height of the normalized difference curve at the
+            selected knee, in [0, 1] — how far the curve bulges above
+            the straight line between its endpoints. Sharp capacity
+            knees score high; gentle roll-offs score near 0 (NaN when
+            not found). Surfaced as a knee-confidence diagnostic on
+            control decisions.
     """
 
     found: bool
@@ -46,6 +52,7 @@ class KneeResult:
     knee_y: float
     all_knee_x: tuple[float, ...]
     difference: np.ndarray
+    prominence: float = float("nan")
 
     def __bool__(self) -> bool:
         return self.found
@@ -151,10 +158,15 @@ def find_knee(x: _t.Sequence[float] | np.ndarray,
         chosen = original_index(chosen_t)
     else:
         chosen = original[0]
+        # original_index is a self-inverse reflection (or identity), so
+        # it also maps the chosen original index back to its position in
+        # the transformed difference curve.
+        chosen_t = original_index(chosen)
     return KneeResult(
         found=True,
         knee_x=float(x[chosen]),
         knee_y=float(y[chosen]),
         all_knee_x=tuple(float(x[i]) for i in original),
         difference=difference,
+        prominence=float(difference[chosen_t]),
     )

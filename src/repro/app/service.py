@@ -385,6 +385,17 @@ class Microservice:
         """Runtime counters of the policy guarding calls to ``callee``."""
         return self._call_policies[callee].stats
 
+    def breaker_states(self) -> dict[str, str]:
+        """Circuit-breaker state per guarded callee edge.
+
+        ``callee -> "closed" | "open" | "half-open"``, only for edges
+        whose policy actually configures a breaker. The telemetry pump
+        samples this into ``breaker.<caller>-><callee>`` series.
+        """
+        return {callee: bound.breaker.state
+                for callee, bound in self._call_policies.items()
+                if bound.breaker is not None}
+
     def add_edge_disruption(self, callee: str,
                             disruption: "EdgeDisruption") -> None:
         """Install an active edge fault on calls to ``callee``
@@ -466,7 +477,7 @@ class Microservice:
         replica = self.load_balancer.pick(self.replicas)
         span = Span(request.request_id, self.name, operation_name,
                     arrival=env._now, parent=parent_span,
-                    replica=replica.name)
+                    replica=replica.name, span_id=next(env._span_ids))
         replica.request_started()
         pool_request = None
         try:

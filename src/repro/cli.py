@@ -10,6 +10,10 @@ Examples::
     python -m repro.cli validate replay --scenario tandem_balanced
     python -m repro.cli obs report --scenario cart --controller sora \\
         --html report.html --jsonl decisions.jsonl
+    python -m repro.cli obs dashboard --scenario cart --controller sora \\
+        --html dashboard.html --save run.json
+    python -m repro.cli obs dashboard --input run.json
+    python -m repro.cli obs export --format openmetrics --input run.json
     python -m repro.cli faults example > plan.json
     python -m repro.cli faults run --plan plan.json --scenario drift \\
         --controller sora --autoscaler hpa --report
@@ -163,6 +167,86 @@ def cmd_obs_report(args) -> int:
         count = write_traces(args.traces_out, roots,
                              decisions=obs.decisions.applied())
         print(f"wrote {count} traces to {args.traces_out}")
+    return 0
+
+
+def _obs_from_args(args, *, need_telemetry: bool = True):
+    """Shared front half of ``obs dashboard``/``obs export``.
+
+    Either loads a persisted run (``--input``) or runs one scenario
+    live with telemetry + SLO monitoring enabled. Returns
+    ``(obs, title)`` or an exit code on error.
+    """
+    from repro.obs import Observability, SLOSpec
+
+    if args.input:
+        from repro.experiments.persistence import load_result
+
+        try:
+            result = load_result(args.input)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load {args.input!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        obs = result.obs
+        if need_telemetry and not obs:
+            print(f"error: {args.input!r} carries no telemetry "
+                  "(was the run made with observability enabled?)",
+                  file=sys.stderr)
+            return 2
+        return obs, result.name
+    obs = Observability()
+    scenario = _build_scenario(args, args.controller, obs=obs)
+    scenario.slo = SLOSpec(name=f"{args.scenario}-rt",
+                           latency_threshold=args.sla,
+                           objective=args.slo_objective)
+    result = run_scenario(scenario, duration=args.duration)
+    if args.save:
+        from repro.experiments.persistence import save_result
+
+        save_result(args.save, result)
+        print(f"wrote {args.save}", file=sys.stderr)
+    title = (f"{args.scenario} / {args.trace} / "
+             f"{args.controller}+{args.autoscaler} "
+             f"(SLA {args.sla * 1000:.0f} ms)")
+    return obs, title
+
+
+def cmd_obs_dashboard(args) -> int:
+    from repro.obs import render_dashboard_html, render_sparklines
+
+    resolved = _obs_from_args(args)
+    if isinstance(resolved, int):
+        return resolved
+    obs, title = resolved
+    try:
+        html = render_dashboard_html(obs, title=title)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"wrote {args.html}", file=sys.stderr)
+    if not args.html or args.text:
+        print(render_sparklines(obs, title=title))
+    return 0
+
+
+def cmd_obs_export(args) -> int:
+    from repro.obs import render_openmetrics
+
+    resolved = _obs_from_args(args, need_telemetry=False)
+    if isinstance(resolved, int):
+        return resolved
+    obs, _title = resolved
+    text = render_openmetrics(obs)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -361,6 +445,42 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("debug", "info", "warning", "error"),
                         help="also stream repro.* logs to stderr")
 
+    def add_telemetry_source_args(p):
+        p.add_argument("--input", default=None, metavar="PATH",
+                       help="render a persisted run (from --save or "
+                            "save_result) instead of running live")
+        p.add_argument("--save", default=None, metavar="PATH",
+                       help="persist the live run's result (with "
+                            "telemetry) here")
+        p.add_argument("--slo-objective", type=float, default=0.99,
+                       help="SLO good-fraction objective for the live "
+                            "run (default 0.99; threshold is --sla)")
+
+    dashboard = obs_sub.add_parser(
+        "dashboard",
+        help="annotated telemetry dashboard (self-contained HTML or "
+             "text sparklines) for a live or persisted run")
+    add_run_args(dashboard)
+    add_telemetry_source_args(dashboard)
+    dashboard.add_argument("--html", default=None, metavar="PATH",
+                           help="write the self-contained HTML "
+                                "dashboard here")
+    dashboard.add_argument("--text", action="store_true",
+                           help="print text sparklines even when "
+                                "--html is given")
+
+    export = obs_sub.add_parser(
+        "export",
+        help="expose the metrics registry + final SLO state in "
+             "OpenMetrics text format")
+    add_run_args(export)
+    add_telemetry_source_args(export)
+    export.add_argument("--format", choices=("openmetrics",),
+                        default="openmetrics")
+    export.add_argument("--output", default=None, metavar="PATH",
+                        help="write the exposition here instead of "
+                             "stdout")
+
     faults = sub.add_parser(
         "faults",
         help="fault injection: run a scenario under a JSON fault plan")
@@ -430,6 +550,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "obs":
         if args.obs_command == "report":
             return cmd_obs_report(args)
+        if args.obs_command == "dashboard":
+            return cmd_obs_dashboard(args)
+        if args.obs_command == "export":
+            return cmd_obs_export(args)
     if args.command == "faults":
         if args.faults_command == "run":
             return cmd_faults_run(args)

@@ -16,10 +16,14 @@ memory stays bounded by the analysis window.
 from __future__ import annotations
 
 import logging
+import typing as _t
 
 from repro.app.application import Application
 from repro.metrics.sampler import TimeSeries
 from repro.sim.engine import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs import Observability
 
 logger = logging.getLogger(__name__)
 
@@ -33,10 +37,14 @@ class MonitoringModule:
         interval: utilization sampling period (seconds).
         retention: how much history to keep (seconds); should exceed the
             longest analysis window used by models and autoscalers.
+        obs: optional observability scope; when its timeline is
+            enabled, each sampled per-service utilization fraction is
+            also streamed into a ``cpu.<service>`` telemetry series.
     """
 
     def __init__(self, env: Environment, app: Application,
-                 interval: float = 1.0, retention: float = 300.0) -> None:
+                 interval: float = 1.0, retention: float = 300.0,
+                 obs: "Observability | None" = None) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         if retention <= 0:
@@ -45,6 +53,7 @@ class MonitoringModule:
         self.app = app
         self.interval = interval
         self.retention = retention
+        self.obs = obs
         #: service -> utilization fraction time series (busy/capacity).
         self.utilization: dict[str, TimeSeries] = {
             name: TimeSeries() for name in app.services}
@@ -89,6 +98,8 @@ class MonitoringModule:
                 for name in self.utilization}
 
     def _loop(self):
+        timeline = (self.obs.timeline
+                    if self.obs is not None and self.obs else None)
         while True:
             yield self.env.timeout(self.interval)
             now = self.env.now
@@ -103,6 +114,8 @@ class MonitoringModule:
                 self.utilization[name].append(now, fraction)
                 self.busy_cores[name].append(
                     now, delta_busy / self.interval)
+                if timeline:
+                    timeline.record(f"cpu.{name}", now, fraction)
             horizon = now - self.retention
             if horizon > 0:
                 self.app.warehouse.prune(horizon)

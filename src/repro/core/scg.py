@@ -93,6 +93,10 @@ class ConcurrencyEstimate:
         threshold: RT threshold active during collection (None for SCT).
         max_concurrency: highest concurrency observed in the window —
             recommendations are only evidenced up to this level.
+        fit_r2: coefficient of determination of the accepted fit over
+            the aggregated scatter (1.0 = the polynomial explains all
+            per-level variation; low values flag noisy windows whose
+            knees deserve less trust).
     """
 
     optimal_concurrency: int
@@ -102,6 +106,7 @@ class ConcurrencyEstimate:
     samples: int
     threshold: float | None = None
     max_concurrency: float = 0.0
+    fit_r2: float = float("nan")
 
 
 class ScatterCurveModel:
@@ -146,6 +151,13 @@ class ScatterCurveModel:
         if max_degree < config.min_degree:
             return None
 
+        gp_variance = float(np.var(gp_values))
+
+        def r_squared(fit: PolynomialFit) -> float:
+            if gp_variance == 0.0:
+                return 1.0 if fit.rmse == 0.0 else 0.0
+            return 1.0 - (fit.rmse ** 2) / gp_variance
+
         fallback_fit: PolynomialFit | None = None
         for degree in range(config.min_degree, max_degree + 1):
             try:
@@ -165,7 +177,8 @@ class ScatterCurveModel:
                     optimal_concurrency=max(1, int(round(knee.knee_x))),
                     method="knee", knee=knee, fit=fit,
                     samples=int(concurrency.size), threshold=threshold,
-                    max_concurrency=float(q_values.max()))
+                    max_concurrency=float(q_values.max()),
+                    fit_r2=r_squared(fit))
         if config.allow_argmax_fallback and fallback_fit is not None:
             best = int(np.argmax(fallback_fit.y))
             optimal = max(1, int(round(float(fallback_fit.x[best]))))
@@ -179,7 +192,8 @@ class ScatterCurveModel:
                                sensitivity=self.config.sensitivity),
                 fit=fallback_fit, samples=int(concurrency.size),
                 threshold=threshold,
-                max_concurrency=float(q_values.max()))
+                max_concurrency=float(q_values.max()),
+                fit_r2=r_squared(fallback_fit))
         return None
 
 

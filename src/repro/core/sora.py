@@ -298,15 +298,20 @@ class ConcurrencyAdaptationFramework:
         if threshold == float("inf"):
             threshold = None
         knee_q = knee_rate = degree = samples = max_q = method = None
+        fit_r2 = prominence = None
         curve = None
         if estimate is not None:
             method = estimate.method
             degree = estimate.fit.degree
             samples = estimate.samples
             max_q = estimate.max_concurrency
+            if estimate.fit_r2 == estimate.fit_r2:
+                fit_r2 = round(float(estimate.fit_r2), 4)
             if estimate.knee.found:
                 knee_q = float(estimate.knee.knee_x)
                 knee_rate = float(estimate.knee.knee_y)
+                if estimate.knee.prominence == estimate.knee.prominence:
+                    prominence = round(float(estimate.knee.prominence), 4)
             points = self.obs.curve_points
             if outcome == "applied" and points > 0:
                 stride = max(1, len(estimate.fit.x) // points)
@@ -321,7 +326,7 @@ class ConcurrencyAdaptationFramework:
             method=method, knee_concurrency=knee_q,
             knee_rate=knee_rate, poly_degree=degree, samples=samples,
             max_concurrency=max_q, growth_can_help=growth_can_help,
-            curve=curve)
+            fit_r2=fit_r2, knee_prominence=prominence, curve=curve)
 
     def _adapt(self, target: SoftResourceTarget,
                trigger: Trigger) -> TargetDecision:
@@ -474,6 +479,10 @@ class ConcurrencyAdaptationFramework:
             self.obs.registry.counter("controller.adaptations").inc()
             self.obs.registry.histogram(
                 "controller.allocation").observe(per_replica)
+            # Step series: one point per change (the telemetry pump
+            # fills in the regular samples between changes).
+            self.obs.timeline.record(f"pool.{target.name}",
+                                     self.env.now, float(per_replica))
 
     # ------------------------------------------------------------------
     # Hardware-scale coordination

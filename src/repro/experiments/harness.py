@@ -36,6 +36,7 @@ from repro.sim.rng import RandomStreams
 if _t.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.faults.injectors import FaultInjector
     from repro.obs.events import FaultRecord
+    from repro.obs.slo import SLOMonitor, SLOSpec
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +65,12 @@ class Scenario:
         faults: optional :class:`~repro.faults.injectors.FaultInjector`
             started just before the run; ``None`` (the default) keeps
             the run byte-identical to a fault-free build.
+        slo: optional latency SLO to monitor during the run — an
+            :class:`~repro.obs.slo.SLOSpec` (guarded with the default
+            burn-rate rules) or a pre-configured
+            :class:`~repro.obs.slo.SLOMonitor`. Requires an enabled
+            ``obs``; the monitor lands on ``obs.slo`` and its alert
+            transitions in the decision log.
     """
 
     name: str
@@ -82,6 +89,7 @@ class Scenario:
     obs: obs_mod.Observability = field(
         default_factory=lambda: obs_mod.NULL)
     faults: "FaultInjector | None" = None
+    slo: "SLOSpec | SLOMonitor | None" = None
 
 
 @dataclass
@@ -171,6 +179,86 @@ class ScenarioResult:
         }
 
 
+def _attach_slo(scenario: Scenario) -> "SLOMonitor | None":
+    """Resolve ``scenario.slo`` into a monitor on ``scenario.obs``."""
+    if scenario.slo is None:
+        return None
+    if not scenario.obs:
+        raise ValueError(
+            "Scenario.slo requires an enabled Observability (the SLO "
+            "monitor emits AlertRecords into its decision log)")
+    from repro.obs.slo import SLOMonitor
+    monitor = scenario.slo
+    if not isinstance(monitor, SLOMonitor):
+        monitor = SLOMonitor(monitor)
+    scenario.obs.slo = monitor
+    return monitor
+
+
+def _telemetry_pump(scenario: Scenario, slo: "SLOMonitor | None",
+                    interval: float):
+    """Streaming-telemetry process: one tick per ``interval``.
+
+    Each tick drains the newly completed requests of the scenario's
+    request type, folds their latencies into a P² sketch (so P50/P99
+    series never retain raw samples), feeds the SLO monitor (counting
+    abandoned requests as bad), evaluates burn-rate rules, and records
+    the goodput / latency / pool / breaker / burn-rate series. The
+    pump is a pure observer — it reads simulation state and writes
+    only into ``scenario.obs`` — so enabling it never changes
+    simulated outcomes; it is only *started* when telemetry is on, so
+    default runs keep byte-identical replay fingerprints.
+    """
+    from repro.obs.sketch import QuantileSketch
+
+    env = scenario.env
+    obs = scenario.obs
+    timeline = obs.timeline
+    app = scenario.app
+    sla = scenario.sla
+    target = scenario.target
+    sketch = QuantileSketch((0.5, 0.99))
+    last_drained = 0.0
+    last_failed = app.failed_total
+    while True:
+        yield env.timeout(interval)
+        now = env.now
+        log = app.latency.get(scenario.request_type)
+        times, latencies = (log.window(last_drained, now)
+                            if log is not None
+                            else (np.empty(0), np.empty(0)))
+        last_drained = now
+        good = int(np.count_nonzero(latencies <= sla))
+        timeline.record("goodput", now, good / interval)
+        if latencies.size:
+            sketch.observe_many(latencies)
+            timeline.record("latency.p50", now, sketch.quantile(0.5))
+            timeline.record("latency.p99", now, sketch.quantile(0.99))
+        new_failures = app.failed_total - last_failed
+        last_failed = app.failed_total
+        if target is not None:
+            timeline.record(f"pool.{target.name}.total", now,
+                            float(target.total_allocation()))
+        for service in app.services.values():
+            for callee, state in service.breaker_states().items():
+                level = {"closed": 0.0, "half-open": 0.5,
+                         "open": 1.0}[state]
+                timeline.record(
+                    f"breaker.{service.name}->{callee}", now, level)
+        if slo is not None:
+            for when, latency in zip(times, latencies):
+                slo.observe(float(when), float(latency))
+            if new_failures:
+                slo.observe_counts(now, 0, new_failures)
+            slo.evaluate(now, obs.decisions if obs else None)
+            for rule in slo.rules:
+                timeline.record(
+                    f"burn.{rule.name}", now,
+                    slo.burn_rate(now, rule.long_window))
+            timeline.record("slo.budget_remaining", now,
+                            slo.budget_remaining(now))
+
+
 def run_scenario(scenario: Scenario, duration: float,
                  probe_interval: float = 1.0,
                  drain: float = 2.0) -> ScenarioResult:
@@ -206,10 +294,18 @@ def run_scenario(scenario: Scenario, duration: float,
     }
 
     obs = scenario.obs
+    slo = _attach_slo(scenario)
     if obs:
         obs.watch_engine(env)
         logger.info("running %s for %.0fs (observability on)",
                     scenario.name, duration)
+        if scenario.monitoring.obs is None:
+            # Stream per-service utilization into the run's timeline.
+            scenario.monitoring.obs = obs
+        if obs.timeline or slo is not None:
+            env.process(_telemetry_pump(scenario, slo,
+                                        interval=probe_interval),
+                        name="telemetry-pump")
     if scenario.controller is not None:
         scenario.controller.start()
     else:

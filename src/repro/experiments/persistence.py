@@ -13,17 +13,69 @@ import typing as _t
 
 import numpy as np
 
+import repro.obs as obs_mod
 from repro.autoscalers.base import ScaleEvent
 from repro.core.sora import AdaptationAction
 from repro.experiments.harness import ScenarioResult
 from repro.obs.events import FaultRecord
+from repro.obs.slo import SLOMonitor
+from repro.obs.timeline import Timeline
 
 FORMAT_VERSION = 1
 
 
+def _telemetry_to_dict(obs: "obs_mod.Observability") -> dict | None:
+    """Timeline + decision log + SLO state, when the run captured any.
+
+    The payload is what ``repro obs dashboard``/``export`` need to
+    render a persisted run without re-simulating it.
+    """
+    if not obs:
+        return None
+    payload: dict[str, _t.Any] = {}
+    if obs.timeline and len(obs.timeline):
+        payload["timeline"] = obs.timeline.to_dict()
+    if len(obs.decisions):
+        payload["decisions"] = [record.to_dict()
+                                for record in obs.decisions]
+    if obs.slo is not None:
+        payload["slo"] = obs.slo.state_dict()
+    metrics = obs.registry.snapshot()
+    if metrics:
+        payload["metrics"] = metrics
+    return payload or None
+
+
+def _telemetry_from_dict(payload: dict | None
+                         ) -> "obs_mod.Observability":
+    """Rebuild an enabled Observability scope from persisted telemetry.
+
+    Only the persisted halves are restored (timeline, decision log,
+    SLO state); profilers start empty and the metrics snapshot — being
+    point-in-time summaries, not instruments — is kept on the returned
+    scope as ``restored_metrics``.
+    """
+    if not payload:
+        return obs_mod.NULL
+    obs = obs_mod.Observability(enabled=True)
+    timeline = payload.get("timeline")
+    if timeline:
+        obs.timeline = Timeline.from_dict(timeline)
+    for record in payload.get("decisions", ()):
+        obs.decisions.append(obs_mod.record_from_dict(record))
+    slo = payload.get("slo")
+    if slo:
+        obs.slo = SLOMonitor.from_state_dict(slo)
+    obs.restored_metrics = dict(payload.get("metrics", {}))
+    return obs
+
+
 def result_to_dict(result: ScenarioResult) -> dict:
     """A JSON-serializable dict capturing the full result."""
+    telemetry = _telemetry_to_dict(result.obs)
+    extra = {"telemetry": telemetry} if telemetry else {}
     return {
+        **extra,
         "version": FORMAT_VERSION,
         "name": result.name,
         "request_type": result.request_type,
@@ -83,6 +135,7 @@ def result_from_dict(payload: dict) -> ScenarioResult:
             for a in payload["adaptation_actions"]
         ],
         total_submitted=payload["total_submitted"],
+        obs=_telemetry_from_dict(payload.get("telemetry")),
         failed_total=payload.get("failed_total", 0),
         fault_events=[FaultRecord.from_dict(r)
                       for r in payload.get("fault_events", [])],

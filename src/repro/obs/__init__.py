@@ -25,6 +25,7 @@ import contextlib
 import typing as _t
 
 from repro.obs.events import (
+    AlertRecord,
     ControlRoundRecord,
     DecisionLog,
     DriftRecord,
@@ -37,6 +38,15 @@ from repro.obs.events import (
 from repro.obs.logconfig import configure_logging, quiet
 from repro.obs.profiling import EngineProfiler, PhaseProfiler, PhaseStats
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sketch import P2Quantile, QuantileSketch
+from repro.obs.slo import DEFAULT_RULES, BurnRateRule, SLOMonitor, SLOSpec
+from repro.obs.timeline import (
+    NULL_TIMELINE,
+    Annotation,
+    SeriesBuffer,
+    Timeline,
+    annotations_from_log,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -54,10 +64,17 @@ class Observability:
         max_records: decision-log ring capacity.
         curve_points: how many points of the fitted knee curve each
             decision snapshot keeps (0 disables curve snapshots).
+        telemetry: whether the streaming :class:`Timeline` records
+            series; ``False`` swaps in the shared no-op
+            :data:`~repro.obs.timeline.NULL_TIMELINE` so the harness
+            starts no telemetry pump and event streams stay
+            byte-identical to a telemetry-free build.
+        timeline_capacity: per-series retained-point bound.
     """
 
     def __init__(self, *, enabled: bool = True, max_records: int = 4096,
-                 curve_points: int = 32) -> None:
+                 curve_points: int = 32, telemetry: bool = True,
+                 timeline_capacity: int = 720) -> None:
         if curve_points < 0:
             raise ValueError(
                 f"curve_points must be >= 0, got {curve_points}")
@@ -67,6 +84,11 @@ class Observability:
         self.decisions = DecisionLog(max_records=max_records)
         self.profiler = PhaseProfiler()
         self.engine: EngineProfiler | None = None
+        self.timeline = (Timeline(capacity=timeline_capacity)
+                         if enabled and telemetry else NULL_TIMELINE)
+        #: SLO monitor attached by the harness when the scenario
+        #: carries an SLO spec (or restored by persistence).
+        self.slo: SLOMonitor | None = None
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -114,6 +136,8 @@ class Observability:
             "phases": self.profiler.summary(),
             "engine": (self.engine.summary()
                        if self.engine is not None else None),
+            "slo": (self.slo.state_dict()
+                    if self.slo is not None else None),
         }
 
 
@@ -121,9 +145,23 @@ class Observability:
 #: constructor. Never records, never times, never allocates.
 NULL = Observability(enabled=False)
 
+from repro.obs.dashboard import (  # noqa: E402
+    render_dashboard_html,
+    render_sparklines,
+)
+from repro.obs.openmetrics import (  # noqa: E402
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.obs.report import render_html, render_text  # noqa: E402
 
 __all__ = [
+    "DEFAULT_RULES",
+    "NULL",
+    "NULL_TIMELINE",
+    "AlertRecord",
+    "Annotation",
+    "BurnRateRule",
     "ControlRoundRecord",
     "Counter",
     "DecisionLog",
@@ -133,16 +171,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
-    "NULL",
     "ObsRecord",
     "Observability",
+    "P2Quantile",
     "PhaseProfiler",
     "PhaseStats",
+    "QuantileSketch",
+    "SLOMonitor",
+    "SLOSpec",
     "ScaleEventRecord",
+    "SeriesBuffer",
     "TargetDecision",
+    "Timeline",
+    "annotations_from_log",
     "configure_logging",
+    "parse_openmetrics",
     "quiet",
     "record_from_dict",
+    "render_dashboard_html",
     "render_html",
+    "render_openmetrics",
+    "render_sparklines",
     "render_text",
 ]

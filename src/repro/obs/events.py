@@ -58,6 +58,12 @@ class TargetDecision:
         max_concurrency: highest observed concurrency in the window
             (evidence ceiling for the recommendation).
         growth_can_help: the §3.2 growth-gate verdict, when evaluated.
+        fit_r2: coefficient of determination of the accepted
+            polynomial fit over the aggregated scatter (1.0 = perfect;
+            knee-confidence diagnostic).
+        knee_prominence: normalized Kneedle difference-curve height at
+            the accepted knee (larger = sharper knee; knee-confidence
+            diagnostic).
         curve: optional downsampled ``[concurrency, rate]`` snapshot of
             the fitted curve, for knee plots in the report.
     """
@@ -78,6 +84,8 @@ class TargetDecision:
     samples: int | None = None
     max_concurrency: float | None = None
     growth_can_help: bool | None = None
+    fit_r2: float | None = None
+    knee_prominence: float | None = None
     curve: tuple[tuple[float, float], ...] | None = None
 
     def to_dict(self) -> dict:
@@ -92,7 +100,8 @@ class TargetDecision:
         }
         for key in ("threshold", "method", "knee_concurrency",
                     "knee_rate", "poly_degree", "samples",
-                    "max_concurrency", "growth_can_help"):
+                    "max_concurrency", "growth_can_help",
+                    "fit_r2", "knee_prominence"):
             value = getattr(self, key)
             if value is not None:
                 payload[key] = value
@@ -118,6 +127,8 @@ class TargetDecision:
             samples=payload.get("samples"),
             max_concurrency=payload.get("max_concurrency"),
             growth_can_help=payload.get("growth_can_help"),
+            fit_r2=payload.get("fit_r2"),
+            knee_prominence=payload.get("knee_prominence"),
             curve=(tuple((q, r) for q, r in curve)
                    if curve is not None else None),
         )
@@ -276,13 +287,68 @@ class FaultRecord:
                    detail=dict(payload.get("detail", {})))
 
 
+@dataclass(frozen=True)
+class AlertRecord:
+    """An SLO burn-rate alert transition (see :mod:`repro.obs.slo`).
+
+    Attributes:
+        time: simulated time of the transition.
+        slo: name of the SLO the rule guards.
+        rule: alert rule name ("fast-burn", "slow-burn", ...).
+        phase: "fire" on the rising edge, "clear" on the falling edge.
+        severity: "page" or "ticket" (SRE-workbook convention).
+        burn_long: long-window burn rate at the transition.
+        burn_short: short-window burn rate at the transition.
+        factor: the rule's burn-rate threshold.
+        budget_remaining: fraction of the sliding-window error budget
+            still unspent at the transition (may be negative).
+    """
+
+    kind: _t.ClassVar[str] = "alert"
+
+    time: float
+    slo: str
+    rule: str
+    phase: str
+    severity: str
+    burn_long: float
+    burn_short: float
+    factor: float
+    budget_remaining: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "slo": self.slo,
+            "rule": self.rule,
+            "phase": self.phase,
+            "severity": self.severity,
+            "burn_long": round(self.burn_long, 4),
+            "burn_short": round(self.burn_short, 4),
+            "factor": self.factor,
+            "budget_remaining": round(self.budget_remaining, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AlertRecord":
+        return cls(time=payload["time"], slo=payload["slo"],
+                   rule=payload["rule"], phase=payload["phase"],
+                   severity=payload["severity"],
+                   burn_long=payload["burn_long"],
+                   burn_short=payload["burn_short"],
+                   factor=payload["factor"],
+                   budget_remaining=payload["budget_remaining"])
+
+
 ObsRecord = _t.Union[ControlRoundRecord, TargetDecision,
-                     ScaleEventRecord, DriftRecord, FaultRecord]
+                     ScaleEventRecord, DriftRecord, FaultRecord,
+                     AlertRecord]
 
 _RECORD_TYPES: dict[str, type] = {
     cls.kind: cls
     for cls in (ControlRoundRecord, TargetDecision, ScaleEventRecord,
-                DriftRecord, FaultRecord)
+                DriftRecord, FaultRecord, AlertRecord)
 }
 
 
@@ -346,6 +412,10 @@ class DecisionLog:
     def fault_events(self) -> list[FaultRecord]:
         return _t.cast("list[FaultRecord]",
                        self.records(FaultRecord.kind))
+
+    def alerts(self) -> list[AlertRecord]:
+        return _t.cast("list[AlertRecord]",
+                       self.records(AlertRecord.kind))
 
     def __len__(self) -> int:
         return len(self._records)

@@ -1,0 +1,228 @@
+"""OpenMetrics text exposition of a run's final telemetry state.
+
+Renders the metrics registry and the final SLO/burn-rate state in the
+OpenMetrics text format (the Prometheus exposition format with typed
+metric families and a terminating ``# EOF``), so a persisted run can be
+scraped into any Prometheus-compatible tooling:
+
+- registry ``Counter`` → OpenMetrics ``counter`` (``_total`` sample);
+- registry ``Gauge`` → ``gauge``;
+- registry ``Histogram`` → ``summary`` (quantile-labelled samples plus
+  ``_count``/``_sum``);
+- SLO state → ``repro_slo_*`` families (good/bad totals, compliance,
+  budget remaining, per-rule burn rates and firing flags).
+
+Dotted registry names are sanitized to the metric-name grammar
+(``sora.adaptations.applied`` → ``repro_sora_adaptations_applied``).
+:func:`parse_openmetrics` is the inverse used by the round-trip sanity
+test — a small, strict parser for exactly the dialect rendered here.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.slo import SLOMonitor
+
+__all__ = ["parse_openmetrics", "render_openmetrics"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(raw: str, prefix: str = "repro_") -> str:
+    name = _NAME_OK.sub("_", raw.replace(".", "_"))
+    if not name or not (name[0].isalpha() or name[0] in "_:"):
+        name = "_" + name
+    return prefix + name
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(pairs: dict[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"'
+                     for key, value in pairs.items())
+    return "{" + inner + "}"
+
+
+def _slo_lines(slo: "SLOMonitor", now: float | None) -> list[str]:
+    if now is None:
+        buckets = slo._buckets
+        now = (buckets[-1][0] + slo.bucket_width if buckets else 0.0)
+    name = slo.spec.name
+    lines = [
+        "# TYPE repro_slo_requests counter",
+        "# HELP repro_slo_requests Requests classified against the SLO.",
+        f'repro_slo_requests_total{_labels({"slo": name, "verdict": "good"})}'
+        f" {_fmt(slo.good_total)}",
+        f'repro_slo_requests_total{_labels({"slo": name, "verdict": "bad"})}'
+        f" {_fmt(slo.bad_total)}",
+        "# TYPE repro_slo_objective gauge",
+        f'repro_slo_objective{_labels({"slo": name})} '
+        f"{_fmt(slo.spec.objective)}",
+        "# TYPE repro_slo_latency_threshold_seconds gauge",
+        f'repro_slo_latency_threshold_seconds{_labels({"slo": name})} '
+        f"{_fmt(slo.spec.latency_threshold)}",
+        "# TYPE repro_slo_compliance gauge",
+        "# HELP repro_slo_compliance Lifetime good fraction.",
+        f'repro_slo_compliance{_labels({"slo": name})} '
+        f"{_fmt(slo.compliance())}",
+        "# TYPE repro_slo_budget_remaining gauge",
+        f'repro_slo_budget_remaining{_labels({"slo": name})} '
+        f"{_fmt(slo.budget_remaining(now))}",
+        "# TYPE repro_slo_alerts_fired counter",
+        f'repro_slo_alerts_fired_total{_labels({"slo": name})} '
+        f"{_fmt(slo.alerts_fired)}",
+    ]
+    lines.append("# TYPE repro_slo_burn_rate gauge")
+    lines.append("# HELP repro_slo_burn_rate Error-budget burn rate "
+                 "per rule window.")
+    active = set(slo.active_alerts())
+    firing_lines = ["# TYPE repro_slo_alert_firing gauge"]
+    for rule in slo.rules:
+        for window_name, window in (("long", rule.long_window),
+                                    ("short", rule.short_window)):
+            labels = _labels({"slo": name, "rule": rule.name,
+                              "window": window_name})
+            lines.append(f"repro_slo_burn_rate{labels} "
+                         f"{_fmt(slo.burn_rate(now, window))}")
+        firing = _labels({"slo": name, "rule": rule.name})
+        firing_lines.append(
+            f"repro_slo_alert_firing{firing} "
+            f"{_fmt(1.0 if rule.name in active else 0.0)}")
+    return lines + firing_lines
+
+
+def render_openmetrics(obs: "Observability",
+                       now: float | None = None) -> str:
+    """OpenMetrics text exposition of ``obs``'s final state.
+
+    Args:
+        obs: the run's observability scope.
+        now: simulated time for window-relative SLO gauges; defaults
+            to the end of the monitor's last bucket.
+    """
+    lines: list[str] = []
+    # A live run exposes its registry; a persisted run restored by
+    # repro.experiments.persistence exposes the archived snapshot.
+    metrics = (obs.registry.snapshot()
+               or getattr(obs, "restored_metrics", {}))
+    for raw_name, snap in metrics.items():
+        kind = snap["type"]
+        name = _metric_name(raw_name)
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {_fmt(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            value = snap["value"]
+            lines.append(
+                f"{name} {_fmt(value if value is not None else float('nan'))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} summary")
+            count = snap.get("count", 0)
+            if count:
+                for q, key in ((0.5, "p50"), (0.95, "p95")):
+                    lines.append(
+                        f'{name}{_labels({"quantile": _fmt(q)})} '
+                        f"{_fmt(snap[key])}")
+                mean = snap.get("mean", float("nan"))
+                lines.append(f"{name}_sum {_fmt(mean * count)}")
+            lines.append(f"{name}_count {_fmt(count)}")
+    if obs.slo is not None:
+        lines.extend(_slo_lines(obs.slo, now))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class Sample(_t.NamedTuple):
+    """One parsed exposition sample."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>'
+                    r'(?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse exposition text produced by :func:`render_openmetrics`.
+
+    Returns ``family -> {"type": str, "samples": [Sample, ...]}``,
+    where counter/summary suffixes (``_total``, ``_count``, ``_sum``)
+    stay on the sample names. Raises ``ValueError`` on malformed lines
+    or a missing ``# EOF`` terminator.
+    """
+    families: dict[str, dict] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "EOF":
+                saw_eof = True
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                families[parts[2]] = {"type": parts[3],
+                                      "samples": []}
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                continue
+            else:
+                raise ValueError(f"line {lineno}: bad comment {line!r}")
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _LABEL.finditer(raw_labels):
+                labels[pair.group("key")] = _unescape_label(
+                    pair.group("value"))
+        family = name
+        for suffix in ("_total", "_count", "_sum"):
+            if family.endswith(suffix) and family[:-len(suffix)] in families:
+                family = family[:-len(suffix)]
+                break
+        entry = families.get(family)
+        if entry is None:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} without # TYPE")
+        entry["samples"].append(
+            Sample(name, labels, float(match.group("value"))))
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return families

@@ -27,6 +27,16 @@ def _fmt_opt(value: float | None, spec: str = ".1f") -> str:
     return "-" if value is None else format(value, spec)
 
 
+def _confidence(decision: TargetDecision) -> str:
+    """Compact knee-confidence cell: samples / fit R² / prominence."""
+    if (decision.samples is None and decision.fit_r2 is None
+            and decision.knee_prominence is None):
+        return "-"
+    return (f"n={decision.samples if decision.samples is not None else '-'}"
+            f" R²={_fmt_opt(decision.fit_r2, '.3f')}"
+            f" prom={_fmt_opt(decision.knee_prominence, '.3f')}")
+
+
 def _decision_rows(log: DecisionLog) -> list[list[str]]:
     rows = []
     for when, decision in log.applied():
@@ -40,12 +50,14 @@ def _decision_rows(log: DecisionLog) -> list[list[str]]:
             _fmt_opt(decision.knee_concurrency),
             _fmt_opt(float(decision.poly_degree), ".0f")
             if decision.poly_degree is not None else "-",
+            _confidence(decision),
         ])
     return rows
 
 
 _DECISION_HEADERS = ["t[s]", "target", "allocation", "reason",
-                     "trigger", "threshold[ms]", "knee Q", "degree"]
+                     "trigger", "threshold[ms]", "knee Q", "degree",
+                     "confidence"]
 
 
 def _hold_counts(log: DecisionLog) -> dict[str, int]:
@@ -92,6 +104,17 @@ def _fault_rows(log: DecisionLog) -> list[list[str]]:
 _FAULT_HEADERS = ["t[s]", "fault", "phase", "where", "detail"]
 
 
+def _alert_rows(log: DecisionLog) -> list[list[str]]:
+    return [[f"{r.time:.1f}", r.slo, r.rule, r.phase, r.severity,
+             f"{r.burn_long:.1f}x/{r.burn_short:.1f}x (>= {r.factor:g}x)",
+             f"{r.budget_remaining * 100:.0f}%"]
+            for r in log.alerts()]
+
+
+_ALERT_HEADERS = ["t[s]", "slo", "rule", "phase", "severity",
+                  "burn long/short", "budget left"]
+
+
 def _localization_rows(log: DecisionLog,
                        limit: int = 8) -> list[list[str]]:
     rows = []
@@ -128,7 +151,8 @@ def render_text(obs: "Observability", *, title: str = "run") -> str:
                  f"{len(applied)} adaptations applied, "
                  f"{len(log.scale_events())} hardware scale events, "
                  f"{len(_drift_rows(log))} drift detections, "
-                 f"{len(log.fault_events())} fault transitions "
+                 f"{len(log.fault_events())} fault transitions, "
+                 f"{len(log.alerts())} SLO alert transitions "
                  f"({log.total_recorded} records total)")
     lines.append("")
 
@@ -137,6 +161,13 @@ def render_text(obs: "Observability", *, title: str = "run") -> str:
         lines.append(ascii_table(
             _FAULT_HEADERS, fault_rows,
             title="Injected faults (what the plan did to the system)"))
+        lines.append("")
+
+    alert_rows = _alert_rows(log)
+    if alert_rows:
+        lines.append(ascii_table(
+            _ALERT_HEADERS, alert_rows,
+            title="SLO burn-rate alerts (fire/clear transitions)"))
         lines.append("")
 
     if applied:
@@ -306,6 +337,7 @@ def render_html(obs: "Observability", *, title: str = "run") -> str:
         f"{len(log.scale_events())} hardware scale events · "
         f"{len(_drift_rows(log))} drift detections · "
         f"{len(log.fault_events())} fault transitions · "
+        f"{len(log.alerts())} SLO alert transitions · "
         f"{log.total_recorded} records total</p>",
     ]
 
@@ -313,6 +345,11 @@ def render_html(obs: "Observability", *, title: str = "run") -> str:
     if fault_rows:
         parts.append("<h2>Injected faults</h2>")
         parts.append(_html_table(_FAULT_HEADERS, fault_rows))
+
+    alert_rows = _alert_rows(log)
+    if alert_rows:
+        parts.append("<h2>SLO burn-rate alerts</h2>")
+        parts.append(_html_table(_ALERT_HEADERS, alert_rows))
 
     rows = _decision_rows(log)
     parts.append("<h2>Adaptation timeline</h2>")

@@ -1,0 +1,331 @@
+"""SLO specs, sliding-window error budgets, and burn-rate alerting.
+
+An :class:`SLOSpec` states the latency objective in Sora's own terms:
+a request is *good* when it completes successfully inside the SLO's
+latency threshold (the same deadline the controller's goodput
+definition uses), and the objective is the fraction of requests that
+must be good (e.g. 99%). The *error budget* is the tolerated bad
+fraction, ``1 - objective``.
+
+:class:`SLOMonitor` does the SRE-workbook accounting inside simulation
+time. Observations land in coarse time buckets (bounded memory); the
+*burn rate* over a window is::
+
+    burn = bad_fraction(window) / error_budget
+
+so burn 1.0 spends the budget exactly at the sustainable pace and burn
+10 spends it ten times too fast. Each :class:`BurnRateRule` is a
+multi-window rule à la Google SRE workbook ch. 5: it fires only when
+**both** its long window (evidence of a real problem) and its short
+window (the problem is still happening) burn at or above ``factor``,
+which makes alerts fast on real incidents and self-clearing after
+recovery. Transitions are emitted as typed
+:class:`~repro.obs.events.AlertRecord`s ("fire"/"clear") into the
+:class:`~repro.obs.events.DecisionLog`, so alerts line up with
+decisions, faults, and drift on the dashboard's single time axis.
+
+Window lengths default to simulation-scale analogues of the workbook's
+1h/5m and 6h/30m pairs — minutes-long runs need seconds-long windows.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.events import AlertRecord, DecisionLog
+
+__all__ = [
+    "DEFAULT_RULES",
+    "BurnRateRule",
+    "SLOMonitor",
+    "SLOSpec",
+]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A latency SLO: fraction of requests under a deadline.
+
+    Attributes:
+        name: label used in alert records and exports.
+        latency_threshold: seconds; a slower (or failed) request is
+            *bad*.
+        objective: required good fraction in (0, 1), e.g. ``0.99``.
+    """
+
+    name: str
+    latency_threshold: float
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.latency_threshold <= 0.0:
+            raise ValueError(
+                f"latency_threshold must be > 0, got "
+                f"{self.latency_threshold}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}")
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated bad fraction, ``1 - objective``."""
+        return 1.0 - self.objective
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "latency_threshold": self.latency_threshold,
+                "objective": self.objective}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SLOSpec":
+        return cls(name=payload["name"],
+                   latency_threshold=payload["latency_threshold"],
+                   objective=payload.get("objective", 0.99))
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window multi-burn-rate alert rule.
+
+    Fires when burn over **both** windows is at or above ``factor``;
+    clears when either drops below.
+
+    Attributes:
+        name: rule label ("fast-burn", "slow-burn").
+        factor: burn-rate threshold (1.0 = budget spent exactly at the
+            sustainable pace).
+        long_window: seconds of evidence required (the primary
+            condition).
+        short_window: seconds confirming the problem is ongoing.
+        severity: "page" or "ticket" (SRE-workbook convention).
+    """
+
+    name: str
+    factor: float
+    long_window: float
+    short_window: float
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0.0:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+        if not 0.0 < self.short_window <= self.long_window:
+            raise ValueError(
+                f"need 0 < short_window <= long_window, got "
+                f"{self.short_window}/{self.long_window}")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "factor": self.factor,
+                "long_window": self.long_window,
+                "short_window": self.short_window,
+                "severity": self.severity}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BurnRateRule":
+        return cls(name=payload["name"], factor=payload["factor"],
+                   long_window=payload["long_window"],
+                   short_window=payload["short_window"],
+                   severity=payload.get("severity", "page"))
+
+
+#: Simulation-scale analogue of the SRE workbook's recommended pairs:
+#: a paging fast-burn rule (minutes of runway) and a ticket slow-burn
+#: rule (sustained over-spend).
+DEFAULT_RULES: tuple[BurnRateRule, ...] = (
+    BurnRateRule(name="fast-burn", factor=8.0,
+                 long_window=60.0, short_window=10.0, severity="page"),
+    BurnRateRule(name="slow-burn", factor=2.0,
+                 long_window=180.0, short_window=30.0,
+                 severity="ticket"),
+)
+
+
+class SLOMonitor:
+    """Sliding-window error-budget accounting + burn-rate alerting.
+
+    Feed request outcomes with :meth:`observe` (monotone simulated
+    time), then call :meth:`evaluate` at each telemetry tick; it
+    returns — and optionally logs — the alert transitions since the
+    previous tick. Memory is bounded: observations aggregate into
+    ``bucket_width``-second buckets retained only over the longest
+    rule window (plus the budget window).
+
+    Args:
+        spec: the latency SLO under guard.
+        rules: burn-rate alert rules (default :data:`DEFAULT_RULES`).
+        bucket_width: aggregation granularity in seconds.
+        budget_window: horizon for :meth:`budget_remaining`; defaults
+            to the longest rule window.
+    """
+
+    def __init__(self, spec: SLOSpec,
+                 rules: _t.Sequence[BurnRateRule] = DEFAULT_RULES,
+                 bucket_width: float = 1.0,
+                 budget_window: float | None = None) -> None:
+        if bucket_width <= 0.0:
+            raise ValueError(
+                f"bucket_width must be > 0, got {bucket_width}")
+        if not rules:
+            raise ValueError("need at least one alert rule")
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {names}")
+        self.spec = spec
+        self.rules = tuple(rules)
+        self.bucket_width = bucket_width
+        longest = max(rule.long_window for rule in self.rules)
+        self.budget_window = (budget_window if budget_window is not None
+                              else longest)
+        horizon = max(longest, self.budget_window)
+        max_buckets = int(math.ceil(horizon / bucket_width)) + 2
+        #: (bucket_start, good, bad) triples, oldest first.
+        self._buckets: deque[list[float]] = deque(maxlen=max_buckets)
+        self.good_total = 0
+        self.bad_total = 0
+        self._active: set[str] = set()
+        self.alerts_fired = 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def observe(self, time: float, latency: float,
+                ok: bool = True) -> bool:
+        """Record one request outcome; returns whether it was *good*.
+
+        A request is good iff it succeeded (``ok``) and finished
+        within the SLO's latency threshold.
+        """
+        good = bool(ok) and latency <= self.spec.latency_threshold
+        self.observe_counts(time, int(good), int(not good))
+        return good
+
+    def observe_counts(self, time: float, good: int, bad: int) -> None:
+        """Record pre-aggregated good/bad counts at ``time``."""
+        if good == 0 and bad == 0:
+            return
+        start = math.floor(time / self.bucket_width) * self.bucket_width
+        buckets = self._buckets
+        if buckets and buckets[-1][0] == start:
+            buckets[-1][1] += good
+            buckets[-1][2] += bad
+        else:
+            buckets.append([start, float(good), float(bad)])
+        self.good_total += good
+        self.bad_total += bad
+
+    def window_counts(self, now: float,
+                      window: float) -> tuple[float, float]:
+        """``(good, bad)`` over the trailing ``window`` seconds."""
+        cutoff = now - window
+        good = bad = 0.0
+        for start, g, b in reversed(self._buckets):
+            if start + self.bucket_width <= cutoff:
+                break
+            good += g
+            bad += b
+        return good, bad
+
+    def bad_fraction(self, now: float, window: float) -> float:
+        """Bad fraction over the window (0.0 when no traffic)."""
+        good, bad = self.window_counts(now, window)
+        total = good + bad
+        return bad / total if total else 0.0
+
+    def burn_rate(self, now: float, window: float) -> float:
+        """Error-budget burn rate over the trailing window."""
+        return self.bad_fraction(now, window) / self.spec.error_budget
+
+    def budget_remaining(self, now: float) -> float:
+        """Unspent fraction of the budget over ``budget_window``.
+
+        1.0 = untouched, 0.0 = exactly spent, negative = overspent.
+        """
+        burn = self.burn_rate(now, self.budget_window)
+        return 1.0 - burn
+
+    @property
+    def total(self) -> int:
+        """Requests observed over the monitor's lifetime."""
+        return self.good_total + self.bad_total
+
+    def compliance(self) -> float:
+        """Lifetime good fraction (NaN before any observation)."""
+        total = self.total
+        return self.good_total / total if total else float("nan")
+
+    # ------------------------------------------------------------------
+    # Alerting
+    # ------------------------------------------------------------------
+    def active_alerts(self) -> list[str]:
+        """Names of currently-firing rules, sorted."""
+        return sorted(self._active)
+
+    def evaluate(self, now: float,
+                 log: DecisionLog | None = None) -> list[AlertRecord]:
+        """Evaluate every rule at ``now``; emit fire/clear edges.
+
+        Returns the transitions (empty when nothing changed); each is
+        also appended to ``log`` when one is given.
+        """
+        transitions: list[AlertRecord] = []
+        for rule in self.rules:
+            burn_long = self.burn_rate(now, rule.long_window)
+            burn_short = self.burn_rate(now, rule.short_window)
+            firing = (burn_long >= rule.factor and
+                      burn_short >= rule.factor)
+            was_firing = rule.name in self._active
+            if firing == was_firing:
+                continue
+            if firing:
+                self._active.add(rule.name)
+                self.alerts_fired += 1
+            else:
+                self._active.discard(rule.name)
+            transitions.append(AlertRecord(
+                time=now, slo=self.spec.name, rule=rule.name,
+                phase="fire" if firing else "clear",
+                severity=rule.severity, burn_long=burn_long,
+                burn_short=burn_short, factor=rule.factor,
+                budget_remaining=self.budget_remaining(now)))
+        if log is not None:
+            for record in transitions:
+                log.append(record)
+        return transitions
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot (spec, rules, buckets, alert state)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "rules": [rule.to_dict() for rule in self.rules],
+            "bucket_width": self.bucket_width,
+            "budget_window": self.budget_window,
+            "buckets": [[start, good, bad]
+                        for start, good, bad in self._buckets],
+            "good_total": self.good_total,
+            "bad_total": self.bad_total,
+            "active": sorted(self._active),
+            "alerts_fired": self.alerts_fired,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "SLOMonitor":
+        """Rebuild a monitor from its :meth:`state_dict` snapshot."""
+        monitor = cls(
+            spec=SLOSpec.from_dict(payload["spec"]),
+            rules=tuple(BurnRateRule.from_dict(rule)
+                        for rule in payload["rules"]),
+            bucket_width=payload.get("bucket_width", 1.0),
+            budget_window=payload.get("budget_window"))
+        for start, good, bad in payload.get("buckets", ()):
+            monitor._buckets.append([start, float(good), float(bad)])
+        monitor.good_total = int(payload.get("good_total", 0))
+        monitor.bad_total = int(payload.get("bad_total", 0))
+        monitor._active = set(payload.get("active", ()))
+        monitor.alerts_fired = int(payload.get("alerts_fired", 0))
+        return monitor

@@ -1,0 +1,290 @@
+"""Simulation-time telemetry timeline: bounded named series + annotations.
+
+The :class:`Timeline` is the streaming half of ``repro.obs``: while a
+run unfolds, emission hooks (the harness telemetry pump, the monitoring
+module, the controllers, the SLO monitor) record named series — goodput,
+latency percentiles, pool size, CPU utilization, breaker state, burn
+rate — into bounded :class:`SeriesBuffer`s. Decision/fault/drift/alert
+*annotations* are not stored here: they already live in the
+:class:`~repro.obs.events.DecisionLog`, and
+:func:`annotations_from_log` projects them onto the time axis at render
+time so the dashboard shows series and causes on one axis.
+
+Memory is bounded by construction: a full buffer is decimated in place
+(every other retained sample dropped, recording stride doubled), so an
+arbitrarily long run converges to ``capacity`` points spanning the whole
+run at progressively coarser resolution — the classic "zoomable flight
+recorder" compromise.
+
+Like the PR-3 registry, a disabled timeline is a shared no-op singleton
+(:data:`NULL_TIMELINE`): hot call sites guard with ``if timeline:`` and
+pay one truthiness check, which preserves the PR-2 fast paths and keeps
+default (telemetry-off) runs byte-identical at the event-stream level.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.obs.events import DecisionLog
+
+__all__ = [
+    "Annotation",
+    "NULL_TIMELINE",
+    "SeriesBuffer",
+    "Timeline",
+    "annotations_from_log",
+]
+
+
+class SeriesBuffer:
+    """One bounded, decimating time series.
+
+    Args:
+        name: series label (dashboard axis title).
+        capacity: maximum retained points (>= 8). On overflow the
+            buffer halves itself by dropping every other point and
+            doubles its recording stride.
+    """
+
+    __slots__ = ("name", "_times", "_values", "_size", "_stride",
+                 "_pending", "total_appended")
+
+    def __init__(self, name: str, capacity: int = 720) -> None:
+        if capacity < 8:
+            raise ValueError(f"capacity must be >= 8, got {capacity}")
+        self.name = name
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+        self._stride = 1
+        self._pending = 0
+        #: Observations offered over the series' lifetime (recorded or
+        #: skipped by the stride) — the memory-bound proof reads this.
+        self.total_appended = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained points."""
+        return int(self._times.shape[0])
+
+    @property
+    def stride(self) -> int:
+        """Current decimation stride (1 = every append recorded)."""
+        return self._stride
+
+    def append(self, time: float, value: float) -> None:
+        """Offer one sample; recorded every ``stride``-th call."""
+        self.total_appended += 1
+        self._pending += 1
+        if self._pending < self._stride:
+            return
+        self._pending = 0
+        size = self._size
+        if size == self._times.shape[0]:
+            self._decimate()
+            size = self._size
+        self._times[size] = time
+        self._values[size] = value
+        self._size = size + 1
+
+    def _decimate(self) -> None:
+        """Drop every other retained point and double the stride."""
+        size = self._size
+        kept = (size + 1) // 2
+        self._times[:kept] = self._times[0:size:2]
+        self._values[:kept] = self._values[0:size:2]
+        self._size = kept
+        self._stride *= 2
+
+    def data(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` of the retained points (read-only views)."""
+        return self._times[:self._size], self._values[:self._size]
+
+    def latest(self) -> tuple[float, float]:
+        """The most recent retained ``(time, value)``."""
+        if self._size == 0:
+            raise ValueError(f"series {self.name!r} is empty")
+        return (float(self._times[self._size - 1]),
+                float(self._values[self._size - 1]))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the retained points."""
+        times, values = self.data()
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "stride": self._stride,
+            "total_appended": self.total_appended,
+            "times": [round(float(t), 6) for t in times],
+            "values": [_json_float(v) for v in values],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SeriesBuffer":
+        """Rebuild a buffer from its :meth:`to_dict` payload."""
+        buffer = cls(payload["name"],
+                     capacity=payload.get("capacity", 720))
+        times = payload.get("times", ())
+        values = payload.get("values", ())
+        size = min(len(times), len(values), buffer.capacity)
+        buffer._times[:size] = np.asarray(times[:size], dtype=np.float64)
+        raw = [float("nan") if v is None else float(v)
+               for v in values[:size]]
+        buffer._values[:size] = np.asarray(raw, dtype=np.float64)
+        buffer._size = size
+        buffer._stride = int(payload.get("stride", 1))
+        buffer.total_appended = int(payload.get("total_appended", size))
+        return buffer
+
+
+def _json_float(value: float) -> float | None:
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    return round(value, 6)
+
+
+class _NullSeries:
+    """Shared inert series handed out by a disabled timeline."""
+
+    __slots__ = ()
+    name = "null"
+    capacity = 0
+    stride = 1
+    total_appended = 0
+
+    def append(self, time: float, value: float) -> None:
+        """No-op."""
+
+    def data(self) -> tuple[np.ndarray, np.ndarray]:
+        """Always empty."""
+        return _EMPTY, _EMPTY
+
+    def __len__(self) -> int:
+        return 0
+
+
+_EMPTY = np.empty(0, dtype=np.float64)
+NULL_SERIES = _NullSeries()
+
+
+class Timeline:
+    """Run-scoped set of named bounded series.
+
+    ``series()`` creates on first use; a disabled timeline returns the
+    shared no-op series and records nothing. Truthiness mirrors
+    ``enabled`` so hot paths guard with ``if timeline:``.
+
+    Args:
+        enabled: master switch.
+        capacity: per-series retained-point bound.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int = 720) -> None:
+        if capacity < 8:
+            raise ValueError(f"capacity must be >= 8, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._series: dict[str, SeriesBuffer] = {}
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def series(self, name: str) -> SeriesBuffer:
+        """The named series, created on first use (no-op when disabled)."""
+        if not self.enabled:
+            return _t.cast(SeriesBuffer, NULL_SERIES)
+        buffer = self._series.get(name)
+        if buffer is None:
+            buffer = SeriesBuffer(name, capacity=self.capacity)
+            self._series[name] = buffer
+        return buffer
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the named series (no-op when disabled)."""
+        if self.enabled:
+            self.series(name).append(time, value)
+
+    def names(self) -> list[str]:
+        """Recorded series names, sorted."""
+        return sorted(self._series)
+
+    def items(self) -> list[tuple[str, SeriesBuffer]]:
+        """``(name, buffer)`` pairs, sorted by name."""
+        return sorted(self._series.items())
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every series."""
+        return {
+            "capacity": self.capacity,
+            "series": {name: buffer.to_dict()
+                       for name, buffer in sorted(self._series.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Timeline":
+        """Rebuild a timeline from its :meth:`to_dict` payload."""
+        timeline = cls(enabled=True,
+                       capacity=payload.get("capacity", 720))
+        for name, series in payload.get("series", {}).items():
+            timeline._series[name] = SeriesBuffer.from_dict(series)
+        return timeline
+
+
+#: Shared disabled instance — the default for every emission hook.
+NULL_TIMELINE = Timeline(enabled=False)
+
+
+@_t.final
+class Annotation(_t.NamedTuple):
+    """One time-axis marker projected from the decision log."""
+
+    time: float
+    #: "decision" | "drift" | "fault" | "alert" | "scale".
+    kind: str
+    #: Short human label ("cart.threads 5→12", "fast-burn fire", ...).
+    label: str
+
+
+def annotations_from_log(log: DecisionLog) -> list[Annotation]:
+    """Project decision-log records onto the dashboard's time axis.
+
+    Applied allocation changes, drift detections, fault transitions,
+    hardware scale events, and SLO alerts each become one
+    :class:`Annotation`, sorted by time.
+    """
+    annotations: list[Annotation] = []
+    for when, decision in log.applied():
+        annotations.append(Annotation(
+            when, "decision",
+            f"{decision.target} {decision.before}→{decision.after} "
+            f"({decision.reason})"))
+    for record in log.records("drift"):
+        annotations.append(Annotation(
+            record.time, "drift", f"drift: {record.target}"))
+    for record in log.fault_events():
+        where = record.service or record.edge or ""
+        annotations.append(Annotation(
+            record.time, "fault",
+            f"{record.fault} {record.phase} {where}".strip()))
+    for record in log.scale_events():
+        annotations.append(Annotation(
+            record.time, "scale",
+            f"{record.service} {record.scale_kind} "
+            f"{record.before:g}→{record.after:g}"))
+    for record in log.records("alert"):
+        annotations.append(Annotation(
+            record.time, "alert",
+            f"{record.rule} {record.phase} "
+            f"(burn {record.burn_long:.1f}x)"))
+    annotations.sort(key=lambda a: (a.time, a.kind, a.label))
+    return annotations

@@ -38,6 +38,7 @@ class Environment:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._eid = count()
+        self._span_ids = count(1)
         self._active_process: Process | None = None
         self._monitors: list[StepMonitor] = []
 
@@ -59,6 +60,15 @@ class Environment:
         """Scheduled-but-unprocessed events currently on the heap
         (observability probe; see :mod:`repro.obs.profiling`)."""
         return len(self._heap)
+
+    def next_span_id(self) -> int:
+        """Allocate the next tracing span id for this run.
+
+        Ids are scoped to the environment (starting at 1), so two
+        identically seeded runs — even in the same process — produce
+        identical span ids (see :mod:`repro.tracing.span`).
+        """
+        return next(self._span_ids)
 
     # ------------------------------------------------------------------
     # Event factories

@@ -6,6 +6,12 @@ via Jaeger/Zipkin). A :class:`Span` is one service's share of one
 request: it carries the queueing/arrival timestamp, the processing-start
 timestamp (token granted), the departure timestamp, and parent/child
 links forming the request's call tree.
+
+Span ids are deterministic **per run**: the simulation allocates them
+from :meth:`repro.sim.engine.Environment.next_span_id`, so two
+identically seeded runs in the same process export identical ids (the
+module-global counter below only backs spans constructed outside any
+environment, e.g. hand-built trees in tests or Jaeger imports).
 """
 
 from __future__ import annotations
@@ -27,8 +33,9 @@ class Span:
 
     def __init__(self, trace_id: int, service: str, operation: str,
                  arrival: float, parent: "Span | None" = None,
-                 replica: str | None = None) -> None:
-        self.span_id = next(_span_ids)
+                 replica: str | None = None,
+                 span_id: int | None = None) -> None:
+        self.span_id = span_id if span_id is not None else next(_span_ids)
         #: Memoized critical path when this span is a finished trace
         #: root (see :func:`repro.tracing.extract_critical_path`).
         self._critical_path = None

@@ -98,6 +98,52 @@ class TestCommands:
         assert html.read_text().startswith("<!DOCTYPE html>")
         assert jsonl.exists()
 
+    def test_obs_dashboard_live_run_saves_and_renders(self, capsys,
+                                                      tmp_path):
+        html = tmp_path / "dash.html"
+        saved = tmp_path / "run.json"
+        code = main(["obs", "dashboard", "--scenario", "cart",
+                     "--trace", "big_spike", "--controller", "sora",
+                     "--autoscaler", "none", "--duration", "30",
+                     "--peak-users", "60", "--min-users", "20",
+                     "--html", str(html), "--save", str(saved)])
+        assert code == 0
+        content = html.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "goodput" in content
+        assert "http://" not in content and "https://" not in content
+        assert saved.exists()
+
+        # The persisted run renders without re-simulating, in both
+        # text (sparkline) and OpenMetrics form.
+        capsys.readouterr()
+        assert main(["obs", "dashboard", "--input", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        exported = tmp_path / "metrics.om"
+        assert main(["obs", "export", "--input", str(saved),
+                     "--output", str(exported)]) == 0
+        assert exported.read_text().rstrip().endswith("# EOF")
+
+    def test_obs_export_requires_telemetry_free_input_gracefully(
+            self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        code = main(["obs", "dashboard", "--input", str(missing)])
+        assert code == 2
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_obs_dashboard_defaults(self):
+        args = build_parser().parse_args(["obs", "dashboard"])
+        assert args.obs_command == "dashboard"
+        assert args.slo_objective == 0.99
+        assert args.html is None
+        assert args.input is None
+
+    def test_obs_export_defaults(self):
+        args = build_parser().parse_args(["obs", "export"])
+        assert args.obs_command == "export"
+        assert args.format == "openmetrics"
+
 
 class TestValidateCommands:
     def test_conformance_smoke(self, capsys):

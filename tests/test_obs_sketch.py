@@ -1,0 +1,189 @@
+"""Property tests for the P² streaming quantile sketch.
+
+The sketch must track ``np.percentile`` on well-behaved streams,
+stay inside the observed ``[min, max]`` envelope *unconditionally*
+(including adversarial sorted streams where the P² estimate is known
+to lag), and be exact before five observations arrive.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import P2Quantile, QuantileSketch
+
+SUPPRESS = (HealthCheck.too_slow,)
+
+#: Absolute tolerance expressed in quantile *rank*: the estimate must
+#: sit between the empirical quantiles at rank q ± RANK_TOL.
+RANK_TOL = 0.035
+
+
+def _rank_bounds(data: np.ndarray, q: float) -> tuple[float, float]:
+    lo = np.percentile(data, max(0.0, (q - RANK_TOL)) * 100)
+    hi = np.percentile(data, min(1.0, (q + RANK_TOL)) * 100)
+    return float(lo), float(hi)
+
+
+def _assert_tracks(data: np.ndarray, q: float) -> None:
+    est = P2Quantile(q)
+    for value in data:
+        est.observe(value)
+    lo, hi = _rank_bounds(data, q)
+    span = float(data.max() - data.min()) or 1.0
+    slack = 0.02 * span  # for plateaus where rank bounds collapse
+    assert lo - slack <= est.value() <= hi + slack, (
+        f"q={q}: estimate {est.value()} outside rank band "
+        f"[{lo}, {hi}] (n={data.size})")
+
+
+class TestAgainstNumpy:
+    """Accuracy on shuffled draws from assorted distributions."""
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize("dist", [
+        "uniform", "normal", "lognormal", "exponential", "bimodal",
+    ])
+    def test_rank_error_is_small(self, dist, q):
+        rng = np.random.default_rng(hash((dist, q)) % (2 ** 31))
+        n = 20_000
+        if dist == "uniform":
+            data = rng.uniform(0.0, 10.0, n)
+        elif dist == "normal":
+            data = rng.normal(5.0, 2.0, n)
+        elif dist == "lognormal":
+            data = rng.lognormal(0.0, 1.0, n)
+        elif dist == "exponential":
+            data = rng.exponential(0.3, n)
+        else:  # bimodal: fast hits + slow tail, like a breaker flapping
+            data = np.where(rng.random(n) < 0.8,
+                            rng.normal(0.05, 0.01, n),
+                            rng.normal(2.0, 0.3, n))
+        _assert_tracks(data, q)
+
+    def test_matches_percentile_closely_on_lognormal_p99(self):
+        rng = np.random.default_rng(7)
+        data = rng.lognormal(0.0, 1.0, 50_000)
+        est = P2Quantile(0.99)
+        for value in data:
+            est.observe(value)
+        truth = float(np.percentile(data, 99))
+        assert abs(est.value() - truth) / truth < 0.05
+
+
+class TestAdversarial:
+    """Sorted / constant / spike streams: bounded, never out of range."""
+
+    @pytest.mark.parametrize("order", ["ascending", "descending"])
+    def test_sorted_stream_stays_in_envelope(self, order):
+        data = np.linspace(0.0, 1.0, 5_000)
+        if order == "descending":
+            data = data[::-1]
+        est = P2Quantile(0.99)
+        for value in data:
+            est.observe(value)
+        assert 0.0 <= est.value() <= 1.0
+
+    def test_constant_stream_is_exact(self):
+        est = P2Quantile(0.5)
+        for _ in range(1_000):
+            est.observe(3.25)
+        assert est.value() == 3.25
+
+    def test_single_spike_does_not_hijack_median(self):
+        rng = np.random.default_rng(11)
+        est = P2Quantile(0.5)
+        for value in rng.normal(1.0, 0.1, 10_000):
+            est.observe(value)
+        est.observe(1e9)
+        assert est.value() < 2.0
+
+
+class TestSmallSampleExactness:
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exact_below_five(self, n):
+        rng = np.random.default_rng(n)
+        data = rng.uniform(0.0, 1.0, n)
+        for q in (0.25, 0.5, 0.99):
+            est = P2Quantile(q)
+            for value in data:
+                est.observe(value)
+            assert est.value() == pytest.approx(
+                float(np.percentile(data, q * 100)))
+
+    def test_rejects_degenerate_quantile(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="quantile"):
+                P2Quantile(bad)
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=SUPPRESS)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=300),
+    q=st.sampled_from([0.1, 0.5, 0.9, 0.99]),
+)
+def test_estimate_always_inside_observed_envelope(values, q):
+    est = P2Quantile(q)
+    for value in values:
+        est.observe(value)
+    assert min(values) <= est.value() <= max(values)
+    assert est.count == len(values)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+@given(values=st.lists(st.floats(0.0, 1e3, allow_nan=False,
+                                 allow_infinity=False),
+                       min_size=6, max_size=200))
+def test_marker_heights_stay_sorted(values):
+    est = P2Quantile(0.9)
+    for value in values:
+        est.observe(value)
+        heights = est._heights
+        assert all(a <= b for a, b in zip(heights, heights[1:]))
+
+
+class TestQuantileSketch:
+    def test_bundles_quantiles_and_aggregates(self):
+        sketch = QuantileSketch(quantiles=(0.5, 0.99))
+        rng = np.random.default_rng(3)
+        data = rng.exponential(1.0, 8_000)
+        sketch.observe_many(data)
+        assert sketch.count == data.size
+        assert sketch.minimum == data.min()
+        assert sketch.maximum == data.max()
+        assert sketch.mean == pytest.approx(float(data.mean()))
+        assert sketch.quantiles() == (0.5, 0.99)
+        lo, hi = _rank_bounds(data, 0.99)
+        assert lo * 0.95 <= sketch.quantile(0.99) <= hi * 1.05
+
+    def test_untracked_quantile_raises(self):
+        sketch = QuantileSketch(quantiles=(0.5,))
+        sketch.observe(1.0)
+        with pytest.raises(KeyError, match="not tracked"):
+            sketch.quantile(0.75)
+
+    def test_empty_snapshot_and_nan(self):
+        sketch = QuantileSketch()
+        assert sketch.snapshot() == {"count": 0}
+        assert math.isnan(sketch.quantile(0.5))
+        assert math.isnan(sketch.mean)
+
+    def test_snapshot_round_trips_json_keys(self):
+        sketch = QuantileSketch(quantiles=(0.5, 0.95))
+        sketch.observe_many([0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+        snap = sketch.snapshot()
+        assert snap["count"] == 6
+        assert set(snap["quantiles"]) == {"0.5", "0.95"}
+
+    def test_rejects_empty_quantiles(self):
+        with pytest.raises(ValueError, match="at least one"):
+            QuantileSketch(quantiles=())

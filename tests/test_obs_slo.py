@@ -1,0 +1,177 @@
+"""Tests for SLO specs, error-budget accounting, and burn-rate alerts."""
+
+import math
+
+import pytest
+
+from repro.obs import DecisionLog
+from repro.obs.slo import DEFAULT_RULES, BurnRateRule, SLOMonitor, SLOSpec
+
+
+def _monitor(objective=0.99, threshold=0.4, **kwargs) -> SLOMonitor:
+    return SLOMonitor(SLOSpec("test", threshold, objective), **kwargs)
+
+
+def _feed(monitor, start, end, rate, bad_fraction, step=0.25):
+    """Deterministic traffic: ``rate`` req/s, a fixed bad share."""
+    t = start
+    bad_accum = 0.0
+    while t < end:
+        count = int(rate * step)
+        bad_accum += count * bad_fraction
+        bad = int(bad_accum)
+        bad_accum -= bad
+        monitor.observe_counts(t, count - bad, bad)
+        t += step
+
+
+class TestSpecValidation:
+    def test_error_budget(self):
+        assert SLOSpec("s", 0.4, 0.99).error_budget == pytest.approx(0.01)
+
+    def test_rejects_bad_objective(self):
+        for objective in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="objective"):
+                SLOSpec("s", 0.4, objective)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="latency_threshold"):
+            SLOSpec("s", 0.0)
+
+    def test_rule_rejects_inverted_windows(self):
+        with pytest.raises(ValueError, match="short_window"):
+            BurnRateRule("r", 2.0, long_window=10.0, short_window=60.0)
+
+    def test_monitor_rejects_duplicate_rules(self):
+        rules = (BurnRateRule("r", 2.0, 60.0, 10.0),
+                 BurnRateRule("r", 4.0, 60.0, 10.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            _monitor(rules=rules)
+
+    def test_spec_round_trip(self):
+        spec = SLOSpec("cart-rt", 0.4, 0.999)
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestAccounting:
+    def test_observe_classifies_by_threshold_and_ok(self):
+        monitor = _monitor(threshold=0.4)
+        assert monitor.observe(1.0, 0.39) is True
+        assert monitor.observe(1.1, 0.41) is False
+        # Failure is bad regardless of latency.
+        assert monitor.observe(1.2, 0.01, ok=False) is False
+        assert monitor.good_total == 1
+        assert monitor.bad_total == 2
+        assert monitor.compliance() == pytest.approx(1 / 3)
+
+    def test_compliance_nan_before_traffic(self):
+        assert math.isnan(_monitor().compliance())
+
+    def test_window_counts_exclude_old_buckets(self):
+        monitor = _monitor(bucket_width=1.0)
+        monitor.observe_counts(0.5, 10, 0)
+        monitor.observe_counts(50.5, 0, 10)
+        good, bad = monitor.window_counts(now=60.0, window=10.0)
+        assert (good, bad) == (0.0, 10.0)
+        good, bad = monitor.window_counts(now=60.0, window=120.0)
+        assert (good, bad) == (10.0, 10.0)
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        monitor = _monitor(objective=0.99)
+        # 5% bad over the window = 5x the 1% budget.
+        monitor.observe_counts(10.0, 95, 5)
+        assert monitor.burn_rate(now=10.0, window=60.0) == pytest.approx(5.0)
+        # All traffic sits inside the budget window too: 5x burn means
+        # the budget is overspent fourfold.
+        assert monitor.budget_remaining(now=10.0) == pytest.approx(-4.0)
+
+    def test_memory_is_bounded(self):
+        monitor = _monitor(bucket_width=1.0)
+        for t in range(100_000):
+            monitor.observe_counts(float(t), 1, 0)
+        assert len(monitor._buckets) <= monitor._buckets.maxlen
+        assert monitor.good_total == 100_000
+
+    def test_no_traffic_burns_nothing(self):
+        monitor = _monitor()
+        assert monitor.burn_rate(0.0, 60.0) == 0.0
+        assert monitor.budget_remaining(0.0) == 1.0
+
+
+class TestAlerting:
+    def test_fast_burn_fires_and_clears(self):
+        # Fast-burn rule alone: a hard outage would legitimately trip
+        # the slow-burn rule too, which is not under test here.
+        monitor = _monitor(objective=0.99, rules=DEFAULT_RULES[:1])
+        log = DecisionLog()
+        # Healthy traffic for the long window, then a hard outage.
+        _feed(monitor, 0.0, 100.0, rate=40, bad_fraction=0.0)
+        assert monitor.evaluate(100.0, log) == []
+        _feed(monitor, 100.0, 115.0, rate=40, bad_fraction=0.5)
+        fired = monitor.evaluate(115.0, log)
+        assert [r.rule for r in fired] == ["fast-burn"]
+        assert fired[0].phase == "fire"
+        assert fired[0].severity == "page"
+        assert fired[0].burn_short >= 8.0
+        assert monitor.active_alerts() == ["fast-burn"]
+        # Steady-state firing produces no duplicate edges.
+        assert monitor.evaluate(115.5, log) == []
+        # Recovery: the short window drains first and clears the alert.
+        _feed(monitor, 115.0, 140.0, rate=40, bad_fraction=0.0)
+        cleared = monitor.evaluate(140.0, log)
+        assert [(r.rule, r.phase) for r in cleared] == [
+            ("fast-burn", "clear")]
+        assert monitor.active_alerts() == []
+        assert monitor.alerts_fired == 1
+        assert [r.phase for r in log.records("alert")] == ["fire", "clear"]
+
+    def test_slow_burn_needs_sustained_overspend(self):
+        monitor = _monitor(objective=0.99)
+        # 3% bad = 3x burn: above slow-burn's 2x, below fast-burn's 8x.
+        _feed(monitor, 0.0, 200.0, rate=40, bad_fraction=0.03)
+        fired = monitor.evaluate(200.0)
+        assert [r.rule for r in fired] == ["slow-burn"]
+        assert fired[0].severity == "ticket"
+
+    def test_short_window_gates_stale_incidents(self):
+        # A burst that saturates the long window but ended long ago
+        # must not fire: the short window says it is over.
+        monitor = _monitor(objective=0.99)
+        _feed(monitor, 0.0, 10.0, rate=40, bad_fraction=1.0)
+        _feed(monitor, 10.0, 55.0, rate=40, bad_fraction=0.0)
+        burn_long = monitor.burn_rate(55.0, 60.0)
+        assert burn_long >= 8.0  # evidence present in the long window
+        assert monitor.evaluate(55.0) == []  # but nothing fires
+
+    def test_alert_record_round_trips_through_log(self):
+        monitor = _monitor(rules=DEFAULT_RULES[:1])
+        _feed(monitor, 0.0, 20.0, rate=40, bad_fraction=1.0)
+        (record,) = monitor.evaluate(20.0)
+        from repro.obs import record_from_dict
+        clone = record_from_dict(record.to_dict())
+        assert clone.rule == record.rule
+        assert clone.phase == "fire"
+        assert clone.kind == "alert"
+
+
+class TestPersistence:
+    def test_state_round_trip_preserves_windows_and_alerts(self):
+        monitor = _monitor(objective=0.995, bucket_width=0.5)
+        _feed(monitor, 0.0, 120.0, rate=20, bad_fraction=0.04)
+        monitor.evaluate(120.0)
+        clone = SLOMonitor.from_state_dict(monitor.state_dict())
+        assert clone.spec == monitor.spec
+        assert clone.rules == monitor.rules
+        assert clone.good_total == monitor.good_total
+        assert clone.bad_total == monitor.bad_total
+        assert clone.active_alerts() == monitor.active_alerts()
+        assert clone.alerts_fired == monitor.alerts_fired
+        for window in (10.0, 30.0, 60.0, 180.0):
+            assert clone.burn_rate(120.0, window) == pytest.approx(
+                monitor.burn_rate(120.0, window))
+
+    def test_default_rules_are_the_workbook_pair(self):
+        names = {rule.name: rule for rule in DEFAULT_RULES}
+        assert names["fast-burn"].factor > names["slow-burn"].factor
+        assert names["fast-burn"].severity == "page"
+        assert names["slow-burn"].severity == "ticket"

@@ -1,0 +1,155 @@
+"""Tests for the bounded telemetry timeline and log-projected annotations."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    AlertRecord,
+    Annotation,
+    ControlRoundRecord,
+    DecisionLog,
+    DriftRecord,
+    FaultRecord,
+    ScaleEventRecord,
+    SeriesBuffer,
+    TargetDecision,
+    Timeline,
+    annotations_from_log,
+)
+from repro.obs.timeline import NULL_SERIES, NULL_TIMELINE
+
+
+class TestSeriesBuffer:
+    def test_records_in_order(self):
+        buf = SeriesBuffer("goodput", capacity=16)
+        for t in range(10):
+            buf.append(float(t), float(t) * 2.0)
+        times, values = buf.data()
+        assert list(times) == [float(t) for t in range(10)]
+        assert list(values) == [float(t) * 2.0 for t in range(10)]
+        assert buf.latest() == (9.0, 18.0)
+        assert buf.stride == 1
+
+    def test_memory_bound_under_unbounded_appends(self):
+        capacity = 16
+        buf = SeriesBuffer("s", capacity=capacity)
+        for t in range(100_000):
+            buf.append(float(t), 1.0)
+        assert len(buf) <= capacity
+        assert buf.total_appended == 100_000
+        # Stride grew to cover the run; retained points still span it.
+        assert buf.stride >= 100_000 // capacity
+        times, _ = buf.data()
+        assert times[0] < 100.0
+        assert times[-1] > 50_000.0
+
+    def test_decimation_keeps_whole_run_coverage(self):
+        buf = SeriesBuffer("s", capacity=8)
+        for t in range(64):
+            buf.append(float(t), float(t))
+        times, values = buf.data()
+        # Times stay sorted and values stay consistent with times.
+        assert list(times) == sorted(times)
+        assert list(times) == list(values)
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError, match=">= 8"):
+            SeriesBuffer("s", capacity=4)
+
+    def test_empty_latest_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SeriesBuffer("s").latest()
+
+    def test_round_trip_preserves_points_and_stride(self):
+        buf = SeriesBuffer("latency.p99", capacity=8)
+        for t in range(40):
+            buf.append(float(t), 0.1 * t)
+        buf.append(40.0, float("nan"))  # NaN survives as None in JSON
+        clone = SeriesBuffer.from_dict(buf.to_dict())
+        assert clone.name == buf.name
+        assert clone.capacity == buf.capacity
+        assert clone.stride == buf.stride
+        assert clone.total_appended == buf.total_appended
+        times, values = buf.data()
+        ctimes, cvalues = clone.data()
+        np.testing.assert_allclose(ctimes, times, atol=1e-6)
+        np.testing.assert_allclose(cvalues, values, atol=1e-6)
+
+
+class TestTimeline:
+    def test_series_created_on_first_use(self):
+        timeline = Timeline(capacity=8)
+        timeline.record("goodput", 1.0, 100.0)
+        timeline.record("goodput", 2.0, 90.0)
+        timeline.record("cpu.cart", 1.0, 0.5)
+        assert timeline.names() == ["cpu.cart", "goodput"]
+        assert len(timeline) == 2
+        assert timeline.series("goodput").latest() == (2.0, 90.0)
+
+    def test_disabled_timeline_is_falsy_noop(self):
+        assert not NULL_TIMELINE
+        NULL_TIMELINE.record("x", 1.0, 2.0)
+        assert len(NULL_TIMELINE) == 0
+        series = NULL_TIMELINE.series("x")
+        assert series is NULL_SERIES
+        series.append(1.0, 2.0)
+        assert len(series) == 0
+        times, values = series.data()
+        assert times.size == values.size == 0
+
+    def test_enabled_timeline_is_truthy(self):
+        assert Timeline()
+
+    def test_round_trip(self):
+        timeline = Timeline(capacity=8)
+        for t in range(20):
+            timeline.record("a", float(t), float(t))
+            timeline.record("b", float(t), -float(t))
+        clone = Timeline.from_dict(timeline.to_dict())
+        assert clone.names() == timeline.names()
+        for name in timeline.names():
+            np.testing.assert_allclose(
+                clone.series(name).data()[1],
+                timeline.series(name).data()[1], atol=1e-6)
+
+
+class TestAnnotations:
+    def test_projects_every_record_kind_sorted(self):
+        log = DecisionLog()
+        log.append(ControlRoundRecord(
+            time=30.0, controller="sora", trigger="periodic",
+            decisions=(TargetDecision(
+                target="cart.threads", trigger="periodic",
+                outcome="applied", reason="knee", before=5, after=12),)))
+        log.append(DriftRecord(time=10.0, target="cart.threads"))
+        log.append(FaultRecord(time=20.0, fault="cpu-interference",
+                               phase="inject", service="cart"))
+        log.append(ScaleEventRecord(time=25.0, service="cart",
+                                    scale_kind="out", before=2, after=3))
+        log.append(AlertRecord(time=40.0, slo="cart-rt", rule="fast-burn",
+                               phase="fire", severity="page",
+                               burn_long=12.0, burn_short=50.0,
+                               factor=8.0, budget_remaining=-1.0))
+        annotations = annotations_from_log(log)
+        assert [a.kind for a in annotations] == [
+            "drift", "fault", "scale", "decision", "alert"]
+        assert [a.time for a in annotations] == [
+            10.0, 20.0, 25.0, 30.0, 40.0]
+        decision = annotations[3]
+        assert "cart.threads" in decision.label
+        assert "5→12" in decision.label
+        alert = annotations[4]
+        assert "fast-burn fire" in alert.label
+
+    def test_unapplied_decisions_are_not_annotated(self):
+        log = DecisionLog()
+        log.append(ControlRoundRecord(
+            time=5.0, controller="sora", trigger="periodic",
+            decisions=(TargetDecision(
+                target="cart.threads", trigger="periodic",
+                outcome="hold", reason="unchanged", before=5, after=5),)))
+        assert annotations_from_log(log) == []
+
+    def test_annotation_is_a_named_tuple(self):
+        a = Annotation(1.0, "fault", "boom")
+        assert a.time == 1.0 and a.kind == "fault" and a.label == "boom"

@@ -6,9 +6,15 @@ and bare ``path:line`` code references in the docs must point at real
 files. External ``http(s)``/``mailto`` links are only syntax-checked,
 never fetched — CI must not depend on the network.
 
+``--html`` switches to self-containment mode for rendered HTML
+artifacts (the obs report and the telemetry dashboard): the files must
+work from a ``file://`` open with no network — no ``http(s)`` fetches,
+no external stylesheets, scripts, images, or ``@import``s.
+
 Run:
     python tools/check_links.py            # check the whole repo
     python tools/check_links.py README.md  # check specific files
+    python tools/check_links.py --html dashboard.html
 
 Exits non-zero listing every broken link, one per line.
 """
@@ -52,17 +58,60 @@ def check_file(md: Path) -> list[str]:
             continue
         if kind == "code-ref" and "/" not in path:
             continue  # bare filename mentions, not paths
-        # Docs refer to modules three ways: relative to the file,
-        # repo-rooted, or package-rooted (`sim/engine.py` meaning
-        # `src/repro/sim/engine.py`).
-        bases = (md.parent, REPO, REPO / "src" / "repro")
+        # Docs refer to modules four ways: relative to the file,
+        # repo-rooted, import-path-rooted (`repro/tracing/span.py`
+        # meaning `src/repro/tracing/span.py`), or package-rooted
+        # (`sim/engine.py` meaning `src/repro/sim/engine.py`).
+        bases = (md.parent, REPO, REPO / "src", REPO / "src" / "repro")
         if not any((base / path).exists() for base in bases):
             errors.append(f"{md.relative_to(REPO)}: broken {kind} "
                           f"-> {target}")
     return errors
 
 
+#: Anything that would make a browser leave the file: external
+#: fetches via attributes, stylesheet links, or CSS imports.
+_HTML_EXTERNAL = (
+    re.compile(r"""(?:src|href)\s*=\s*["'](?!#|data:)([^"']+)["']""",
+               re.IGNORECASE),
+)
+_HTML_FORBIDDEN = (
+    (re.compile(r"<link\b", re.IGNORECASE), "<link> element"),
+    (re.compile(r"@import\b", re.IGNORECASE), "CSS @import"),
+    (re.compile(r"https?://"), "absolute http(s) URL"),
+)
+
+
+def check_html_self_contained(path: Path) -> list[str]:
+    """Errors for every way ``path`` could trigger a network fetch."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for pattern in _HTML_EXTERNAL:
+        for match in pattern.finditer(text):
+            errors.append(f"{path}: external resource reference "
+                          f"-> {match.group(1)}")
+    for pattern, label in _HTML_FORBIDDEN:
+        if pattern.search(text):
+            errors.append(f"{path}: not self-contained ({label})")
+    return errors
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--html":
+        html_files = [Path(p) for p in argv[1:]]
+        if not html_files:
+            print("usage: check_links.py --html FILE [FILE ...]",
+                  file=sys.stderr)
+            return 2
+        errors = []
+        for path in html_files:
+            errors.extend(check_html_self_contained(path))
+        for error in errors:
+            print(error, file=sys.stderr)
+        if not errors:
+            print(f"OK: {len(html_files)} HTML file(s), fully "
+                  "self-contained.")
+        return 1 if errors else 0
     files = iter_markdown_files(argv)
     errors = []
     for md in files:
