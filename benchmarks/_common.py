@@ -21,17 +21,21 @@ import pathlib
 #: Global duration multiplier (REPRO_BENCH_SCALE env var).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
+#: CI-sized run requested via the examples/matrix smoke convention.
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+
 #: Committed full-scale artifacts live here.
 _FULL_SCALE_RESULTS = pathlib.Path(__file__).resolve().parent / "results"
 
 #: Where rendered tables/figures land. ``REPRO_BENCH_RESULTS_DIR``
-#: overrides explicitly; otherwise any reduced-scale run (SCALE < 1.0)
-#: is routed to ``results/smoke/`` so a quick local or CI smoke can
-#: never clobber the committed full-scale artifacts.
+#: overrides explicitly; otherwise any reduced-scale run (SCALE < 1.0,
+#: or a ``REPRO_EXAMPLE_SMOKE=1`` mini-matrix) is routed to
+#: ``results/smoke/`` so a quick local or CI smoke can never clobber
+#: the committed full-scale artifacts.
 _env_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
 if _env_dir:
     RESULTS_DIR = pathlib.Path(_env_dir)
-elif SCALE < 1.0:
+elif SCALE < 1.0 or SMOKE:
     RESULTS_DIR = _FULL_SCALE_RESULTS / "smoke"
 else:
     RESULTS_DIR = _FULL_SCALE_RESULTS

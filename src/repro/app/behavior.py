@@ -9,8 +9,21 @@ An :class:`Operation` is a sequence of steps executed by a replica:
 - :class:`Parallel` — a fan-out of calls issued concurrently and joined
   before the next step (e.g. the front-end querying Cart and Catalogue).
 
-Topology builders compose these into the Sock Shop / Social Network call
-graphs.
+Tail-at-scale steps (used by the scenario zoo,
+:mod:`repro.scenarios.zoo`) change the *shape* of the call graph per
+request, not just its timing:
+
+- :class:`Quorum` — issue n calls concurrently, proceed once k have
+  succeeded and abandon the stragglers (k-of-n read semantics);
+- :class:`Hedge` — issue a call, and if it has not returned within a
+  hedge delay issue a duplicate; the first response wins and the loser
+  is cancelled;
+- :class:`Choice` — pick one branch of steps by weight (cache hit vs.
+  miss fallthrough, hot-key shard routing), with an optional scheduled
+  weight override window (an invalidation storm).
+
+Topology builders compose these into the Sock Shop / Social Network /
+generated-zoo call graphs.
 """
 
 from __future__ import annotations
@@ -70,6 +83,139 @@ class Parallel(Step):
         object.__setattr__(self, "calls", tuple(calls))
 
 
+@dataclass(frozen=True)
+class Quorum(Step):
+    """Issue ``calls`` concurrently and proceed once ``k`` succeed.
+
+    The remaining in-flight calls (stragglers) are cancelled as soon as
+    the quorum is met — their subtrees are truncated in the trace, so a
+    degraded (slow or failing) member changes the *shape* of the call
+    graph, not just its timing. The quorum fails (raising the last
+    member failure) only when more than ``n - k`` members fail.
+    """
+
+    calls: tuple[Call, ...]
+    k: int
+
+    def __init__(self, calls: _t.Sequence[Call], k: int) -> None:
+        if not calls:
+            raise ValueError("Quorum requires at least one call")
+        if not all(isinstance(c, Call) for c in calls):
+            raise TypeError("Quorum accepts only Call steps")
+        if not 1 <= k <= len(calls):
+            raise ValueError(
+                f"need 1 <= k <= {len(calls)} members, got k={k}")
+        object.__setattr__(self, "calls", tuple(calls))
+        object.__setattr__(self, "k", int(k))
+
+
+@dataclass(frozen=True)
+class Hedge(Step):
+    """Issue ``call``; after ``after`` seconds without a response issue
+    an identical hedge request and take whichever finishes first.
+
+    The load balancer routes the duplicate independently (typically to
+    another replica), reproducing the tail-at-scale hedged-request
+    pattern: fast responses produce one subtree, slow ones produce two
+    with the loser cancelled mid-flight.
+    """
+
+    call: Call
+    after: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.call, Call):
+            raise TypeError("Hedge requires a Call step")
+        if self.after <= 0:
+            raise ValueError(
+                f"hedge delay must be positive, got {self.after}")
+
+
+@dataclass(frozen=True)
+class ChoiceWindow:
+    """A scheduled override of a :class:`Choice`'s branch weights.
+
+    During ``[at, at + duration)`` the choice draws from ``weights``
+    instead of its base weights — e.g. a cache invalidation storm that
+    turns a 90% hit ratio into a 95% miss ratio for thirty seconds.
+    """
+
+    at: float
+    duration: float
+    weights: tuple[float, ...]
+
+    def __init__(self, at: float, duration: float,
+                 weights: _t.Sequence[float]) -> None:
+        if at < 0:
+            raise ValueError(f"at must be >= 0, got {at}")
+        if duration <= 0:
+            raise ValueError(
+                f"duration must be positive, got {duration}")
+        object.__setattr__(self, "at", float(at))
+        object.__setattr__(self, "duration", float(duration))
+        object.__setattr__(self, "weights",
+                           _checked_weights(weights))
+
+    def active(self, now: float) -> bool:
+        """Whether the override applies at simulated time ``now``."""
+        return self.at <= now < self.at + self.duration
+
+
+@dataclass(frozen=True)
+class Choice(Step):
+    """Execute exactly one branch of steps, picked by weight.
+
+    The draw comes from the owning service's dedicated random stream,
+    so runs stay deterministic per seed. Branches may be empty (the
+    "nothing extra happens" arm of a cache hit); a non-trivial branch
+    changes the request's call-graph shape — the cache-miss
+    fallthrough to the database, or the shard a hot key hashes to.
+    """
+
+    branches: tuple[tuple[Step, ...], ...]
+    weights: tuple[float, ...]
+    window: ChoiceWindow | None = None
+
+    def __init__(self, branches: _t.Sequence[_t.Sequence[Step]],
+                 weights: _t.Sequence[float],
+                 window: ChoiceWindow | None = None) -> None:
+        if not branches:
+            raise ValueError("Choice requires at least one branch")
+        frozen = []
+        for branch in branches:
+            steps = tuple(branch)
+            if not all(isinstance(s, Step) for s in steps):
+                raise TypeError("Choice branches accept only Steps")
+            frozen.append(steps)
+        checked = _checked_weights(weights)
+        if len(checked) != len(frozen):
+            raise ValueError(
+                f"{len(frozen)} branches need {len(frozen)} weights, "
+                f"got {len(checked)}")
+        if window is not None and len(window.weights) != len(frozen):
+            raise ValueError(
+                f"window weights must match {len(frozen)} branches, "
+                f"got {len(window.weights)}")
+        object.__setattr__(self, "branches", tuple(frozen))
+        object.__setattr__(self, "weights", checked)
+        object.__setattr__(self, "window", window)
+
+    def weights_at(self, now: float) -> tuple[float, ...]:
+        """Effective branch weights at simulated time ``now``."""
+        if self.window is not None and self.window.active(now):
+            return self.window.weights
+        return self.weights
+
+
+def _checked_weights(weights: _t.Sequence[float]) -> tuple[float, ...]:
+    checked = tuple(float(w) for w in weights)
+    if not checked:
+        raise ValueError("need at least one weight")
+    if any(w < 0 for w in checked) or sum(checked) <= 0:
+        raise ValueError(f"invalid weights {list(checked)}")
+    return checked
+
+
 @dataclass
 class Operation:
     """A named behavior of a service: an ordered list of steps."""
@@ -84,14 +230,34 @@ class Operation:
 
     def compute_steps(self) -> list[Compute]:
         """All CPU steps (used by demand-scaling helpers)."""
-        return [s for s in self.steps if isinstance(s, Compute)]
+        return _flatten(self.steps, Compute)
 
     def downstream_calls(self) -> list[Call]:
-        """All calls, flattened out of Parallel groups."""
-        calls: list[Call] = []
-        for step in self.steps:
-            if isinstance(step, Call):
-                calls.append(step)
-            elif isinstance(step, Parallel):
-                calls.extend(step.calls)
-        return calls
+        """All calls, flattened out of composite steps.
+
+        Covers :class:`Parallel`, :class:`Quorum`, :class:`Hedge` and
+        every :class:`Choice` branch, so the static call graph and
+        application validation see every edge a request *could* take.
+        """
+        return _flatten(self.steps, Call)
+
+
+_StepT = _t.TypeVar("_StepT", bound=Step)
+
+
+def _flatten(steps: _t.Iterable[Step],
+             kind: type[_StepT]) -> list[_StepT]:
+    """All steps of ``kind`` reachable through composite steps."""
+    found: list[_StepT] = []
+    for step in steps:
+        if isinstance(step, kind):
+            found.append(step)
+        if isinstance(step, (Parallel, Quorum)):
+            found.extend(c for c in step.calls if isinstance(c, kind))
+        elif isinstance(step, Hedge):
+            if isinstance(step.call, kind):
+                found.append(step.call)
+        elif isinstance(step, Choice):
+            for branch in step.branches:
+                found.extend(_flatten(branch, kind))
+    return found

@@ -25,7 +25,16 @@ import typing as _t
 
 import numpy as np
 
-from repro.app.behavior import Call, Compute, Operation, Parallel, Step
+from repro.app.behavior import (
+    Call,
+    Choice,
+    Compute,
+    Hedge,
+    Operation,
+    Parallel,
+    Quorum,
+    Step,
+)
 from repro.app.loadbalancer import LoadBalancer, RoundRobin
 from repro.app.request import Request
 from repro.faults.resilience import (
@@ -563,8 +572,135 @@ class Microservice:
                 for call in step.calls
             ]
             yield self.env.all_of(branches)
+        elif isinstance(step, Quorum):
+            yield from self._quorum(step, request, span)
+        elif isinstance(step, Hedge):
+            yield from self._hedge(step, request, span)
+        elif isinstance(step, Choice):
+            weights = step.weights_at(self.env._now)
+            total = sum(weights)
+            draw = self._rng.random() * total
+            cumulative = 0.0
+            branch = step.branches[-1]
+            for steps, weight in zip(step.branches, weights):
+                cumulative += weight
+                if draw < cumulative:
+                    branch = steps
+                    break
+            for sub in branch:
+                yield from self._execute(replica, sub, request, span)
         else:  # pragma: no cover - Operation validates step types
             raise TypeError(f"unknown step {step!r}")
+
+    def _attempt(self, call: Call, request: Request, span: Span):
+        """One cancellable branch of a Quorum/Hedge step.
+
+        Runs as its own process; application-layer failures (including
+        cancellation interrupts from the coordinator) are converted to
+        an ``(ok, payload)`` value so the coordinating step can count
+        successes without the process ever dying unconsumed.
+        """
+        try:
+            result = yield from self._invoke(call, request, span)
+        except CallError as error:
+            return (False, error)
+        except Interrupt as interrupt:
+            if isinstance(interrupt.cause, CallError):
+                return (False, interrupt.cause)
+            raise
+        return (True, result)
+
+    def _quorum(self, step: Quorum, request: Request, span: Span):
+        """Run a k-of-n quorum: spawn every member, wait for ``k``
+        successes, then cancel the stragglers (their subtrees are
+        truncated). Fails with the last member error once more than
+        ``n - k`` members have failed."""
+        env = self.env
+        branches = [
+            env.process(self._attempt(call, request, span),
+                        name=f"{self.name}->{call.service}")
+            for call in step.calls
+        ]
+        pending = list(branches)
+        successes = 0
+        last_error: CallError | None = None
+        try:
+            # Stop as soon as the quorum is met, or can no longer be
+            # met even if every still-pending member succeeds.
+            while successes < step.k and \
+                    successes + len(pending) >= step.k:
+                yield env.any_of(pending)
+                still = []
+                for proc in pending:
+                    if proc.processed:
+                        ok, payload = _t.cast(tuple, proc.value)
+                        if ok:
+                            successes += 1
+                        else:
+                            last_error = payload
+                    else:
+                        still.append(proc)
+                pending = still
+        finally:
+            cause = CallError(self.name, "quorum resolved")
+            for proc in pending:
+                if proc.is_alive:
+                    proc.interrupt(cause=cause)
+        if successes < step.k:
+            if last_error is None:  # pragma: no cover - defensive
+                last_error = CallError(self.name, "quorum not met")
+            raise last_error
+
+    def _hedge(self, step: Hedge, request: Request, span: Span):
+        """Run a hedged call: fire the primary, and if it is still in
+        flight after the hedge delay fire an identical duplicate; the
+        first success wins and the loser is cancelled."""
+        env = self.env
+        call = step.call
+        procs = [env.process(self._attempt(call, request, span),
+                             name=f"{self.name}->{call.service}")]
+        try:
+            yield env.any_of((procs[0], env.timeout(step.after)))
+            if not procs[0].processed:
+                procs.append(env.process(
+                    self._attempt(call, request, span),
+                    name=f"{self.name}->{call.service}#hedge"))
+            winner: object = None
+            won = False
+            last_error: CallError | None = None
+            pending = []
+            for proc in procs:
+                if proc.processed:
+                    ok, payload = _t.cast(tuple, proc.value)
+                    if ok:
+                        winner, won = payload, True
+                    else:
+                        last_error = payload
+                else:
+                    pending.append(proc)
+            while not won and pending:
+                yield env.any_of(pending)
+                still = []
+                for proc in pending:
+                    if proc.processed:
+                        ok, payload = _t.cast(tuple, proc.value)
+                        if ok and not won:
+                            winner, won = payload, True
+                        elif not ok:
+                            last_error = payload
+                    else:
+                        still.append(proc)
+                pending = still
+            if not won:
+                if last_error is None:  # pragma: no cover - defensive
+                    last_error = CallError(call.service, "hedge failed")
+                raise last_error
+            return winner
+        finally:
+            cause = CallError(self.name, "hedge resolved")
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt(cause=cause)
 
     def _invoke(self, call: Call, request: Request, span: Span):
         if self.app is None:
@@ -586,7 +722,12 @@ class Microservice:
             except BaseException:
                 if pool_request.granted_at is None:
                     pool.cancel(pool_request)
-                    pool_request = None
+                else:
+                    # Interrupted in the same tick the grant landed
+                    # (quorum/hedge cancellation): the token is ours
+                    # and nothing downstream will release it.
+                    pool.release()
+                pool_request = None
                 raise
         # Application.route() inlined: one less generator frame per hop.
         target = self.app.services.get(call.service)

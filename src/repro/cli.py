@@ -17,6 +17,10 @@ Examples::
     python -m repro.cli faults example > plan.json
     python -m repro.cli faults run --plan plan.json --scenario drift \\
         --controller sora --autoscaler hpa --report
+    python -m repro.cli zoo list
+    python -m repro.cli zoo show --archetype quorum_reads
+    python -m repro.cli matrix run --out results/matrix --parallel \\
+        --rerun-check
 """
 
 from __future__ import annotations
@@ -318,6 +322,108 @@ def cmd_faults_run(args) -> int:
     return 0
 
 
+def cmd_zoo_list(_args) -> int:
+    from repro.scenarios import ARCHETYPES, ZooParams, bottleneck_service
+
+    rows = []
+    for archetype in ARCHETYPES:
+        params = ZooParams(archetype=archetype)
+        rows.append([archetype, params.label,
+                     bottleneck_service(params)])
+    print(ascii_table(["archetype", "default label", "bottleneck"],
+                      rows, title="Scenario zoo archetypes"))
+    return 0
+
+
+def cmd_zoo_show(args) -> int:
+    import json as _json
+
+    from repro.scenarios import (
+        ZooParams,
+        build_topology,
+        topology_fingerprint,
+        topology_to_dict,
+    )
+    from repro.sim import Environment, RandomStreams
+
+    params = ZooParams(archetype=args.archetype, shards=args.shards,
+                       storm_at=args.storm_at)
+    env = Environment()
+    topology = build_topology(env, RandomStreams(args.seed), params)
+    print(_json.dumps(topology_to_dict(topology.app), indent=2,
+                      sort_keys=True))
+    print(f"# structural fingerprint: "
+          f"{topology_fingerprint(topology.app)}", file=sys.stderr)
+    return 0
+
+
+def cmd_matrix_run(args) -> int:
+    import os
+
+    from repro.experiments.matrix import default_matrix, run_matrix
+    from repro.scenarios import ZOO_FAULT_KINDS
+
+    smoke = os.environ.get("REPRO_EXAMPLE_SMOKE", "") == "1"
+    archetypes = (args.archetypes.split(",") if args.archetypes
+                  else ["fanout_slow_shard", "cache_aside",
+                        "quorum_reads"])
+    traces = (args.traces.split(",") if args.traces
+              else ["slowly_varying", "big_spike"])
+    faults = (args.faults.split(",") if args.faults
+              else ["none", "interference"])
+    controllers = (args.controllers.split(",") if args.controllers
+                   else ["none", "sora"])
+    for fault in faults:
+        if fault not in ZOO_FAULT_KINDS:
+            print(f"error: unknown fault kind {fault!r} "
+                  f"(have: {', '.join(ZOO_FAULT_KINDS)})",
+                  file=sys.stderr)
+            return 2
+    if smoke:
+        # CI mini-matrix: 2x2x1, short runs, under results/smoke/.
+        archetypes = archetypes[:2]
+        traces = traces[:2]
+        faults = faults[:1]
+        controllers = controllers[:1]
+        duration, peak_users, min_users = 20.0, 30, 10
+    else:
+        duration, peak_users, min_users = (args.duration,
+                                           args.peak_users,
+                                           args.min_users)
+    out_dir = args.out
+    if out_dir is None:
+        base = os.path.join("benchmarks", "results")
+        out_dir = (os.path.join(base, "smoke", "matrix") if smoke
+                   else os.path.join(base, "matrix"))
+    try:
+        cells = default_matrix(
+            archetypes=archetypes, traces=traces, faults=faults,
+            controllers=controllers, autoscaler=args.autoscaler,
+            duration=duration, peak_users=peak_users,
+            min_users=min_users, seed=args.seed, sla=args.sla)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"running {len(cells)} cells "
+          f"({len(archetypes)} topologies x {len(traces)} traces x "
+          f"{len(faults)} faults x {len(controllers)} controllers) "
+          f"-> {out_dir}", file=sys.stderr)
+    matrix = run_matrix(cells, out_dir, parallel=args.parallel,
+                        max_workers=args.workers,
+                        rerun_check=args.rerun_check)
+    print(matrix.summary_table())
+    print(f"index: {os.path.join(out_dir, 'index.html')}")
+    if args.rerun_check:
+        failures = matrix.replay_failures
+        if failures:
+            print(f"replay FAILED for {len(failures)} cells: "
+                  f"{', '.join(failures)}", file=sys.stderr)
+            return 1
+        print(f"replay OK: all {len(matrix)} cells reproduced "
+              "byte-identical fingerprints")
+    return 0
+
+
 def cmd_validate_conformance(args) -> int:
     from repro.validation import (
         generate_scenarios,
@@ -503,6 +609,61 @@ def build_parser() -> argparse.ArgumentParser:
         "example",
         help="print a sample fault plan covering every fault kind")
 
+    zoo = sub.add_parser(
+        "zoo",
+        help="generated scenario archetypes (repro.scenarios.zoo)")
+    zoo_sub = zoo.add_subparsers(dest="zoo_command", required=True)
+    zoo_sub.add_parser("list", help="list the generator archetypes")
+    zoo_show = zoo_sub.add_parser(
+        "show",
+        help="print one generated topology's canonical structural "
+             "JSON (the golden-snapshot form)")
+    zoo_show.add_argument("--archetype", required=True,
+                          help="archetype name (see 'zoo list')")
+    zoo_show.add_argument("--shards", type=int, default=4)
+    zoo_show.add_argument("--storm-at", type=float, default=None,
+                          help="cache_aside invalidation-storm start")
+    zoo_show.add_argument("--seed", type=int, default=42)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="matrix runner: topology x workload x fault x controller "
+             "grids over generated scenarios")
+    matrix_sub = matrix.add_subparsers(dest="matrix_command",
+                                       required=True)
+    matrix_run = matrix_sub.add_parser(
+        "run",
+        help="run a cell grid, persist per-cell JSONs, and write a "
+             "queryable index (REPRO_EXAMPLE_SMOKE=1 shrinks to a "
+             "CI mini-matrix)")
+    matrix_run.add_argument("--out", default=None, metavar="DIR",
+                            help="results directory (default: "
+                                 "benchmarks/results/matrix, or "
+                                 ".../smoke/matrix under "
+                                 "REPRO_EXAMPLE_SMOKE=1)")
+    matrix_run.add_argument("--archetypes", default=None,
+                            help="comma-separated archetype names")
+    matrix_run.add_argument("--traces", default=None,
+                            help="comma-separated trace names")
+    matrix_run.add_argument("--faults", default=None,
+                            help="comma-separated zoo fault kinds")
+    matrix_run.add_argument("--controllers", default=None,
+                            help="comma-separated controller kinds")
+    matrix_run.add_argument("--autoscaler",
+                            choices=("firm", "vpa", "hpa", "none"),
+                            default="hpa")
+    matrix_run.add_argument("--duration", type=float, default=90.0)
+    matrix_run.add_argument("--peak-users", type=int, default=100)
+    matrix_run.add_argument("--min-users", type=int, default=25)
+    matrix_run.add_argument("--sla", type=float, default=0.4)
+    matrix_run.add_argument("--seed", type=int, default=42)
+    matrix_run.add_argument("--parallel", action="store_true",
+                            help="fan cells out over worker processes")
+    matrix_run.add_argument("--workers", type=int, default=None)
+    matrix_run.add_argument("--rerun-check", action="store_true",
+                            help="re-run every cell and verify "
+                                 "byte-identical replay fingerprints")
+
     validate = sub.add_parser(
         "validate",
         help="validation subsystem: theory conformance and replay")
@@ -559,6 +720,14 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_faults_run(args)
         if args.faults_command == "example":
             return cmd_faults_example(args)
+    if args.command == "zoo":
+        if args.zoo_command == "list":
+            return cmd_zoo_list(args)
+        if args.zoo_command == "show":
+            return cmd_zoo_show(args)
+    if args.command == "matrix":
+        if args.matrix_command == "run":
+            return cmd_matrix_run(args)
     if args.command == "validate":
         if args.validate_command == "conformance":
             return cmd_validate_conformance(args)

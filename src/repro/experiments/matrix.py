@@ -1,0 +1,385 @@
+"""Matrix runner: topology × workload × fault × controller grids.
+
+One :class:`CellSpec` names a fully-determined experiment — a zoo
+archetype (:mod:`repro.scenarios.zoo`), a workload shape, a fault plan
+kind, and a controller/autoscaler pairing — and :func:`run_cell` runs
+it with a replay fingerprint armed, so every cell is independently
+reproducible byte-for-byte. :func:`run_matrix` drives a grid of cells
+(serially or over the PR-2 process pool), persists each cell's full
+:class:`~repro.experiments.harness.ScenarioResult` as JSON, and writes
+a queryable ``index.json`` plus a human ``index.html`` into the
+results directory.
+
+Cells are picklable by construction (specs are plain dataclasses of
+primitives), which is what lets the grid fan out over spawned worker
+processes with results identical to the serial loop.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import os
+import typing as _t
+from dataclasses import dataclass, field, fields
+
+import repro.obs as obs_mod
+from repro.experiments.harness import run_scenario
+from repro.experiments.persistence import save_result
+from repro.experiments.reporting import ascii_table
+from repro.scenarios.zoo import (
+    ZooParams,
+    zoo_fault_plan,
+    zoo_scenario,
+)
+from repro.validation.fingerprint import RunRecorder
+from repro.workloads import WorkloadTrace, build_trace
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload shape with laptop-scale defaults."""
+
+    trace: str
+    duration: float = 120.0
+    peak_users: int = 120
+    min_users: int = 25
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration}")
+        if not 0 < self.min_users <= self.peak_users:
+            raise ValueError(
+                f"need 0 < min_users <= peak_users, got "
+                f"{self.min_users}/{self.peak_users}")
+
+    def build(self) -> WorkloadTrace:
+        """Materialize the trace."""
+        return build_trace(self.trace, duration=self.duration,
+                           peak_users=self.peak_users,
+                           min_users=self.min_users)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-determined matrix cell.
+
+    Attributes:
+        params: the generated topology's parameters.
+        workload: workload shape and scale.
+        fault: zoo fault-plan kind (see
+            :data:`repro.scenarios.zoo.ZOO_FAULT_KINDS`); the fault
+            window covers the middle third of the run.
+        controller / autoscaler: adaptation pairing.
+        sla: end-to-end SLA for goodput accounting.
+        seed: master seed for the cell's random streams.
+        obs_enabled: capture a per-cell decision log (an enabled,
+            telemetry-off :class:`~repro.obs.Observability`), persisted
+            with the cell result.
+    """
+
+    params: ZooParams
+    workload: WorkloadSpec
+    fault: str = "none"
+    controller: str = "none"
+    autoscaler: str = "none"
+    sla: float = 0.4
+    seed: int = 42
+    obs_enabled: bool = True
+
+    @property
+    def cell_id(self) -> str:
+        """Filesystem-safe unique identity within a matrix."""
+        return (f"{self.params.archetype}-{self.workload.trace}"
+                f"-{self.fault}-{self.controller}+{self.autoscaler}"
+                f"-s{self.seed}")
+
+    def to_dict(self) -> dict:
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["params"] = self.params.to_dict()
+        payload["workload"] = self.workload.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellSpec":
+        data = dict(payload)
+        data["params"] = ZooParams.from_dict(data["params"])
+        data["workload"] = WorkloadSpec.from_dict(data["workload"])
+        return cls(**data)
+
+
+@dataclass
+class CellResult:
+    """The queryable summary of one completed cell."""
+
+    cell: CellSpec
+    fingerprint: str
+    requests: int
+    submitted: int
+    failed: int
+    goodput_rps: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    adaptation_actions: int
+    scale_events: int
+    #: Path of the full persisted ScenarioResult, relative to the
+    #: matrix results directory ("" when the cell was not persisted).
+    path: str = ""
+    #: Fingerprint of the verification re-run ("" when not checked).
+    rerun_fingerprint: str = ""
+
+    @property
+    def replay_ok(self) -> bool:
+        """Whether the re-run reproduced the fingerprint (vacuously
+        true when no re-run was requested)."""
+        return (not self.rerun_fingerprint
+                or self.rerun_fingerprint == self.fingerprint)
+
+    def to_dict(self) -> dict:
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["cell"] = self.cell.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellResult":
+        data = dict(payload)
+        data["cell"] = CellSpec.from_dict(data["cell"])
+        return cls(**data)
+
+    def summary_row(self) -> dict:
+        """A flat dict for the index table."""
+        return {
+            "cell": self.cell.cell_id,
+            "requests": self.requests,
+            "failed": self.failed,
+            "goodput_rps": round(self.goodput_rps, 1),
+            "p95_ms": round(self.p95_ms, 1),
+            "p99_ms": round(self.p99_ms, 1),
+            "actions": self.adaptation_actions,
+            "fingerprint": self.fingerprint[:12],
+        }
+
+
+def run_cell(cell: CellSpec, out_dir: str | None = None) -> CellResult:
+    """Run one cell with a replay fingerprint armed.
+
+    A module-level function of picklable arguments, so matrix grids
+    can fan out over :func:`repro.experiments.parallel.parallel_map`.
+    When ``out_dir`` is given the full result JSON lands at
+    ``<out_dir>/<cell_id>.json``.
+    """
+    fault_at = cell.workload.duration / 3.0
+    plan = zoo_fault_plan(cell.params, cell.fault, at=fault_at,
+                          duration=fault_at)
+    obs = (obs_mod.Observability(enabled=True, telemetry=False)
+           if cell.obs_enabled else obs_mod.NULL)
+    scenario = zoo_scenario(
+        cell.params, trace=cell.workload.build(), sla=cell.sla,
+        controller=cell.controller, autoscaler=cell.autoscaler,
+        seed=cell.seed, obs=obs, fault_plan=plan,
+        name=cell.cell_id)
+    recorder = RunRecorder(scenario.env, keep_events=False)
+    result = run_scenario(scenario, duration=cell.workload.duration)
+    fingerprint = recorder.finish(scenario.app)
+    path = ""
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{cell.cell_id}.json")
+        save_result(path, result)
+        path = os.path.relpath(path, os.path.dirname(out_dir))
+    summary = result.summary_row()
+    return CellResult(
+        cell=cell,
+        fingerprint=fingerprint.digest,
+        requests=int(summary["requests"]),
+        submitted=result.total_submitted,
+        failed=result.failed_total,
+        goodput_rps=summary["goodput_rps"],
+        throughput_rps=summary["throughput_rps"],
+        p50_ms=summary["p50_ms"],
+        p95_ms=summary["p95_ms"],
+        p99_ms=summary["p99_ms"],
+        adaptation_actions=len(result.adaptation_actions),
+        scale_events=len(result.scale_events),
+        path=path,
+    )
+
+
+def _rerun_fingerprint(cell: CellSpec) -> str:
+    """Fingerprint of a fresh, non-persisting run of ``cell``."""
+    return run_cell(cell, out_dir=None).fingerprint
+
+
+@dataclass
+class MatrixResult:
+    """All cell results of one matrix run, with persistence."""
+
+    cells: list[CellResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def replay_failures(self) -> list[str]:
+        """Cell ids whose verification re-run diverged."""
+        return [r.cell.cell_id for r in self.cells if not r.replay_ok]
+
+    def to_dict(self) -> dict:
+        return {"version": FORMAT_VERSION,
+                "cells": [r.to_dict() for r in self.cells]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MatrixResult":
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported matrix format version {version!r}")
+        return cls(cells=[CellResult.from_dict(r)
+                          for r in payload["cells"]])
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "MatrixResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def summary_table(self) -> str:
+        """A text table of all cells (sorted by cell id)."""
+        rows = [r.summary_row()
+                for r in sorted(self.cells,
+                                key=lambda r: r.cell.cell_id)]
+        if not rows:
+            return "(empty matrix)"
+        return ascii_table(list(rows[0]), [list(row.values())
+                                           for row in rows])
+
+    def to_html_index(self) -> str:
+        """A self-contained HTML index of the matrix."""
+        rows = sorted(self.cells, key=lambda r: r.cell.cell_id)
+        head = ("cell", "requests", "failed", "goodput rps", "p95 ms",
+                "p99 ms", "actions", "fingerprint", "result")
+        body = []
+        for result in rows:
+            summary = result.summary_row()
+            link = (f'<a href="{_html.escape(result.path)}">json</a>'
+                    if result.path else "—")
+            cells = [summary["cell"], summary["requests"],
+                     summary["failed"], summary["goodput_rps"],
+                     summary["p95_ms"], summary["p99_ms"],
+                     summary["actions"], summary["fingerprint"], link]
+            body.append(
+                "<tr>" + "".join(
+                    f"<td>{value if value == link else _html.escape(str(value))}</td>"
+                    for value in cells) + "</tr>")
+        return (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            "<title>matrix results</title><style>"
+            "body{font-family:monospace;margin:2em}"
+            "table{border-collapse:collapse}"
+            "td,th{border:1px solid #999;padding:4px 8px;"
+            "text-align:right}th{background:#eee}"
+            "td:first-child,th:first-child{text-align:left}"
+            "</style></head><body>"
+            f"<h1>matrix: {len(rows)} cells</h1><table><tr>"
+            + "".join(f"<th>{h}</th>" for h in head) + "</tr>"
+            + "".join(body) + "</table></body></html>")
+
+
+def run_matrix(cells: _t.Sequence[CellSpec], out_dir: str, *,
+               parallel: bool = False,
+               max_workers: int | None = None,
+               rerun_check: bool = False) -> MatrixResult:
+    """Run every cell, persist results, and write the index.
+
+    Args:
+        cells: the grid (cell ids must be unique).
+        out_dir: results directory; per-cell JSONs land in
+            ``<out_dir>/cells/``, the index at ``<out_dir>/index.json``
+            and ``<out_dir>/index.html``.
+        parallel: fan cells out over spawned worker processes (results
+            are bit-identical to the serial loop — each cell seeds its
+            own streams).
+        max_workers: process-pool size when parallel.
+        rerun_check: run every cell a second time and record the
+            re-run fingerprint, proving byte-identical replay
+            (doubles the cost; see :attr:`MatrixResult.replay_failures`).
+    """
+    ids = [cell.cell_id for cell in cells]
+    duplicates = {i for i in ids if ids.count(i) > 1}
+    if duplicates:
+        raise ValueError(f"duplicate cell ids {sorted(duplicates)}")
+    cells_dir = os.path.join(out_dir, "cells")
+    os.makedirs(cells_dir, exist_ok=True)
+    if parallel:
+        from functools import partial
+
+        from repro.experiments.parallel import parallel_map
+        results = parallel_map(partial(run_cell, out_dir=cells_dir),
+                               list(cells), max_workers=max_workers)
+        if rerun_check:
+            reruns = parallel_map(_rerun_fingerprint, list(cells),
+                                  max_workers=max_workers)
+            for result, rerun in zip(results, reruns):
+                result.rerun_fingerprint = rerun
+    else:
+        results = []
+        for cell in cells:
+            result = run_cell(cell, out_dir=cells_dir)
+            if rerun_check:
+                result.rerun_fingerprint = _rerun_fingerprint(cell)
+            results.append(result)
+    matrix = MatrixResult(cells=list(results))
+    matrix.save(os.path.join(out_dir, "index.json"))
+    with open(os.path.join(out_dir, "index.html"), "w",
+              encoding="utf-8") as handle:
+        handle.write(matrix.to_html_index())
+    return matrix
+
+
+def default_matrix(*, archetypes: _t.Sequence[str] = (
+                       "fanout_slow_shard", "cache_aside",
+                       "quorum_reads"),
+                   traces: _t.Sequence[str] = ("slowly_varying",
+                                               "big_spike"),
+                   faults: _t.Sequence[str] = ("none", "interference"),
+                   controllers: _t.Sequence[str] = ("none", "sora"),
+                   autoscaler: str = "hpa",
+                   duration: float = 90.0, peak_users: int = 100,
+                   min_users: int = 25, seed: int = 42,
+                   sla: float = 0.4) -> list[CellSpec]:
+    """The stock ≥24-cell grid (3 topologies × 2 × 2 × 2).
+
+    Cache-aside cells get an invalidation storm aligned with the
+    fault window, so shape drift and the injected fault compound.
+    """
+    cells = []
+    for archetype in archetypes:
+        storm_at = duration / 2.0 if archetype == "cache_aside" else None
+        params = ZooParams(archetype=archetype, storm_at=storm_at,
+                           storm_duration=duration / 6.0)
+        for trace in traces:
+            workload = WorkloadSpec(trace=trace, duration=duration,
+                                    peak_users=peak_users,
+                                    min_users=min_users)
+            for fault in faults:
+                for controller in controllers:
+                    cells.append(CellSpec(
+                        params=params, workload=workload, fault=fault,
+                        controller=controller, autoscaler=autoscaler,
+                        sla=sla, seed=seed))
+    return cells

@@ -47,7 +47,7 @@ ControllerKind = _t.Literal["sora", "conscale", "none"]
 AutoscalerKind = _t.Literal["firm", "vpa", "hpa", "none"]
 
 
-def _build_faults(fault_plan, env, app, streams, obs):
+def build_faults(fault_plan, env, app, streams, obs):
     """Wrap a plan (or ``None``) into a started-at-run injector."""
     if fault_plan is None or not fault_plan:
         return None
@@ -80,17 +80,17 @@ def sock_shop_cart_scenario(
     target = ThreadPoolTarget(cart)
 
     obs = obs if obs is not None else obs_mod.NULL
-    scaler = _build_autoscaler(autoscaler, env, app, monitoring, cart,
+    scaler = build_autoscaler(autoscaler, env, app, monitoring, cart,
                                sla=sla, max_cores=max_cores,
                                request_type="cart", obs=obs)
-    ctrl = _build_controller(controller, env, app, monitoring, [target],
+    ctrl = build_controller(controller, env, app, monitoring, [target],
                              sla=sla, autoscaler=scaler, obs=obs)
     return Scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="cart", sla=sla,
         controller=ctrl, autoscaler=scaler, target=target, obs=obs,
-        faults=_build_faults(fault_plan, env, app, streams, obs))
+        faults=build_faults(fault_plan, env, app, streams, obs))
 
 
 def sock_shop_catalogue_scenario(
@@ -121,18 +121,18 @@ def sock_shop_catalogue_scenario(
     target = ClientPoolTarget(catalogue, "db", catalogue_db)
 
     obs = obs if obs is not None else obs_mod.NULL
-    scaler = _build_autoscaler(autoscaler, env, app, monitoring,
+    scaler = build_autoscaler(autoscaler, env, app, monitoring,
                                catalogue, sla=sla,
                                max_replicas=max_replicas,
                                request_type="catalogue", obs=obs)
-    ctrl = _build_controller(controller, env, app, monitoring, [target],
+    ctrl = build_controller(controller, env, app, monitoring, [target],
                              sla=sla, autoscaler=scaler, obs=obs)
     return Scenario(
         name=name or f"{trace.name}/{controller}+{autoscaler}/catalogue",
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="catalogue", sla=sla,
         controller=ctrl, autoscaler=scaler, target=target, obs=obs,
-        faults=_build_faults(fault_plan, env, app, streams, obs),
+        faults=build_faults(fault_plan, env, app, streams, obs),
         extra_probes={
             "catalogue.busy_cores": lambda: monitoring.busy_cores_over(
                 "catalogue", 1.0),
@@ -170,11 +170,11 @@ def social_network_drift_scenario(
     target = ClientPoolTarget(home_timeline, "poststorage", post_storage)
 
     obs = obs if obs is not None else obs_mod.NULL
-    scaler = _build_autoscaler(autoscaler, env, app, monitoring,
+    scaler = build_autoscaler(autoscaler, env, app, monitoring,
                                post_storage, sla=sla,
                                max_replicas=max_replicas,
                                request_type="read_home_timeline", obs=obs)
-    ctrl = _build_controller(controller, env, app, monitoring, [target],
+    ctrl = build_controller(controller, env, app, monitoring, [target],
                              sla=sla, autoscaler=scaler, obs=obs)
 
     if drift_at is not None:
@@ -188,10 +188,10 @@ def social_network_drift_scenario(
         env=env, streams=streams, app=app, monitoring=monitoring,
         drivers=[driver], request_type="read_home_timeline", sla=sla,
         controller=ctrl, autoscaler=scaler, target=target, obs=obs,
-        faults=_build_faults(fault_plan, env, app, streams, obs))
+        faults=build_faults(fault_plan, env, app, streams, obs))
 
 
-def _build_autoscaler(kind: AutoscalerKind, env, app, monitoring,
+def build_autoscaler(kind: AutoscalerKind, env, app, monitoring,
                       service, *, sla: float, request_type: str,
                       max_cores: float = 4.0, max_replicas: int = 4,
                       obs: obs_mod.Observability | None = None):
@@ -214,7 +214,7 @@ def _build_autoscaler(kind: AutoscalerKind, env, app, monitoring,
     return scaler
 
 
-def _build_controller(kind: ControllerKind, env, app, monitoring,
+def build_controller(kind: ControllerKind, env, app, monitoring,
                       targets, *, sla: float, autoscaler,
                       obs: obs_mod.Observability | None = None):
     if kind == "sora":

@@ -62,6 +62,36 @@ class SweepResult(_t.Generic[Value]):
         return {value: metric / peak
                 for value, metric in self.metric_by_value.items()}
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload.
+
+        Grid points are stored as ``[value, metric]`` pairs (not dict
+        keys) so integer/float grid values survive the round trip
+        without string coercion; an infinite margin is stored as the
+        string ``"inf"`` to stay strict-JSON clean.
+        """
+        return {
+            "metric_by_value": [[value, metric] for value, metric
+                                in self.metric_by_value.items()],
+            "best": self.best,
+            "margin": ("inf" if self.margin == float("inf")
+                       else self.margin),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        margin = payload["margin"]
+        return cls(
+            metric_by_value={value: float(metric) for value, metric
+                             in payload["metric_by_value"]},
+            best=payload["best"],
+            margin=float("inf") if margin == "inf" else float(margin),
+        )
+
 
 def sweep(grid: _t.Sequence[Value],
           measure: _t.Callable[[Value], float], *,

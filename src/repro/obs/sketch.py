@@ -146,7 +146,10 @@ class P2Quantile:
             low = int(math.floor(rank))
             high = min(low + 1, count - 1)
             frac = rank - low
-            return heights[low] * (1.0 - frac) + heights[high] * frac
+            # a + f*(b-a) clamped: the weighted-sum form can round a
+            # hair past the envelope when a == b (observed at 1 ulp).
+            estimate = heights[low] + frac * (heights[high] - heights[low])
+            return min(max(estimate, heights[low]), heights[high])
         return heights[2]
 
 

@@ -1,0 +1,37 @@
+"""``repro.scenarios``: generated scenario families beyond the paper.
+
+The hand-built Sock Shop / Social Network topologies (in
+:mod:`repro.app.topologies`) reproduce the paper's two benchmarks; this
+package *generates* scenario families from seeded parameters so the
+localization → propagation → SCG loop can be validated across many
+call-graph shapes. :mod:`repro.scenarios.zoo` holds the archetype
+generators; :mod:`repro.experiments.matrix` drives grids of them.
+"""
+
+from repro.scenarios.zoo import (
+    ARCHETYPES,
+    ZOO_FAULT_KINDS,
+    GeneratedTopology,
+    ZooParams,
+    bottleneck_service,
+    build_topology,
+    structural_diff,
+    topology_fingerprint,
+    topology_to_dict,
+    zoo_fault_plan,
+    zoo_scenario,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "GeneratedTopology",
+    "ZOO_FAULT_KINDS",
+    "ZooParams",
+    "bottleneck_service",
+    "build_topology",
+    "structural_diff",
+    "topology_fingerprint",
+    "topology_to_dict",
+    "zoo_fault_plan",
+    "zoo_scenario",
+]

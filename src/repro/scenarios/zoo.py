@@ -1,0 +1,679 @@
+"""The scenario zoo: seeded, parameterized topology generation.
+
+Each archetype reproduces one tail-at-scale pattern in which *degraded
+responses change the shape of the call graph*, not just its timing —
+the regime where soft-resource knees move and the paper's two
+hand-built benchmarks stop being representative:
+
+- ``fanout_slow_shard`` — a gateway fans out to ``shards`` shards in
+  parallel; one shard is ``slow_factor`` slower and its edge carries a
+  timeout-plus-degrade policy, so overloads *truncate* that subtree;
+- ``quorum_reads`` — k-of-n reads over replicated stores; once ``k``
+  members answer, the stragglers are cancelled mid-flight;
+- ``hedged_requests`` — a hedge duplicate is issued when the primary
+  call is slower than ``hedge_after``; the loser is cancelled;
+- ``cache_aside`` — a weighted hit/miss choice; misses fall through to
+  the database, and a scheduled invalidation storm flips the ratio;
+- ``hot_shard_db`` — key-hash routing over ``shards`` database shards
+  with one hot key taking a ``hot_weight`` share of the traffic.
+
+Every generator is a pure function of a :class:`ZooParams` (itself
+JSON-round-trippable) plus the run seed, and yields a standard
+:class:`~repro.experiments.harness.Scenario`, so the whole experiment
+harness — controllers, autoscalers, fault plans, observability, replay
+fingerprints — applies unchanged. :func:`topology_to_dict` gives a
+canonical structural serialization used by golden-snapshot tests and
+:func:`topology_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import typing as _t
+from dataclasses import dataclass, fields
+
+import repro.obs as obs_mod
+from repro.app.application import Application
+from repro.app.behavior import (
+    Call,
+    Choice,
+    ChoiceWindow,
+    Compute,
+    Hedge,
+    Operation,
+    Parallel,
+    Quorum,
+    Step,
+)
+from repro.app.service import Microservice
+from repro.core import ClientPoolTarget, MonitoringModule
+from repro.experiments.harness import Scenario
+from repro.experiments.scenarios import (
+    AutoscalerKind,
+    ControllerKind,
+    build_autoscaler,
+    build_controller,
+    build_faults,
+)
+from repro.faults import FaultPlan
+from repro.faults.plan import (
+    BlackoutFault,
+    CrashFault,
+    EdgeFailureFault,
+    EdgeLatencyFault,
+    InterferenceFault,
+)
+from repro.faults.resilience import CallPolicy
+from repro.sim import Environment, RandomStreams
+from repro.sim.distributions import LogNormal
+from repro.workloads import ClosedLoopDriver, WorkloadTrace
+
+#: Archetype registry, in canonical (sorted) order.
+ARCHETYPES = (
+    "cache_aside",
+    "fanout_slow_shard",
+    "hedged_requests",
+    "hot_shard_db",
+    "quorum_reads",
+)
+
+#: Fault-plan kinds :func:`zoo_fault_plan` resolves per archetype.
+ZOO_FAULT_KINDS = (
+    "none",
+    "interference",
+    "edge_latency",
+    "edge_failure",
+    "blackout",
+    "crash",
+)
+
+#: Entry service name shared by every archetype.
+ENTRY = "gateway"
+
+#: Request type registered for every generated topology.
+REQUEST_TYPE = "zoo"
+
+
+@dataclass(frozen=True)
+class ZooParams:
+    """Parameters of one generated topology (JSON-round-trippable).
+
+    A superset of per-archetype knobs; each archetype reads the subset
+    it needs and validates it at construction time, so an invalid draw
+    fails fast instead of producing a silently-degenerate topology.
+
+    Attributes:
+        archetype: one of :data:`ARCHETYPES`.
+        shards: fan-out width / quorum group size / shard count.
+        quorum_k: successes required by ``quorum_reads``.
+        slow_factor: demand multiplier of the slow member.
+        hedge_after: hedge delay in seconds (``hedged_requests``).
+        hit_ratio: cache hit probability (``cache_aside``).
+        storm_at / storm_duration / storm_miss: invalidation-storm
+            window — while active the miss probability becomes
+            ``storm_miss`` (``storm_at=None`` disables the storm).
+        hot_weight: traffic share of the hot shard (``hot_shard_db``).
+        demand_ms: mean leaf CPU demand per request, milliseconds.
+        demand_cv: coefficient of variation of all demand draws.
+        entry_threads: gateway server thread pool size.
+        connections: capacity of the gateway's shared client pool —
+            the adapted soft resource in every archetype.
+        replicas: replicas per backend service.
+        degrade_timeout: slow-shard call deadline after which the
+            fan-out degrades (skips) that subtree; ``None`` disables
+            the policy (``fanout_slow_shard``).
+    """
+
+    archetype: str
+    shards: int = 4
+    quorum_k: int = 2
+    slow_factor: float = 4.0
+    hedge_after: float = 0.03
+    hit_ratio: float = 0.9
+    storm_at: float | None = None
+    storm_duration: float = 30.0
+    storm_miss: float = 0.9
+    hot_weight: float = 0.6
+    demand_ms: float = 4.0
+    demand_cv: float = 0.8
+    entry_threads: int = 30
+    connections: int = 24
+    replicas: int = 2
+    degrade_timeout: float | None = 0.25
+
+    def __post_init__(self) -> None:
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(
+                f"unknown archetype {self.archetype!r} "
+                f"(have: {', '.join(ARCHETYPES)})")
+        if self.shards < 2:
+            raise ValueError(f"need >= 2 shards, got {self.shards}")
+        if not 1 <= self.quorum_k <= self.shards:
+            raise ValueError(
+                f"need 1 <= quorum_k <= {self.shards}, "
+                f"got {self.quorum_k}")
+        if self.slow_factor < 1.0:
+            raise ValueError(
+                f"slow_factor must be >= 1, got {self.slow_factor}")
+        if self.hedge_after <= 0:
+            raise ValueError(
+                f"hedge_after must be positive, got {self.hedge_after}")
+        if not 0.0 < self.hit_ratio < 1.0:
+            raise ValueError(
+                f"hit_ratio must be in (0, 1), got {self.hit_ratio}")
+        if self.storm_at is not None and self.storm_at < 0:
+            raise ValueError(
+                f"storm_at must be >= 0, got {self.storm_at}")
+        if self.storm_duration <= 0:
+            raise ValueError(f"storm_duration must be positive, "
+                             f"got {self.storm_duration}")
+        if not 0.0 < self.storm_miss <= 1.0:
+            raise ValueError(
+                f"storm_miss must be in (0, 1], got {self.storm_miss}")
+        if not 0.0 < self.hot_weight < 1.0:
+            raise ValueError(
+                f"hot_weight must be in (0, 1), got {self.hot_weight}")
+        if self.demand_ms <= 0:
+            raise ValueError(
+                f"demand_ms must be positive, got {self.demand_ms}")
+        if self.demand_cv <= 0:
+            raise ValueError(
+                f"demand_cv must be positive, got {self.demand_cv}")
+        if self.entry_threads < 1:
+            raise ValueError(
+                f"entry_threads must be >= 1, got {self.entry_threads}")
+        if self.connections < 1:
+            raise ValueError(
+                f"connections must be >= 1, got {self.connections}")
+        if self.replicas < 1:
+            raise ValueError(
+                f"replicas must be >= 1, got {self.replicas}")
+        if self.degrade_timeout is not None and self.degrade_timeout <= 0:
+            raise ValueError(f"degrade_timeout must be positive, "
+                             f"got {self.degrade_timeout}")
+
+    @property
+    def label(self) -> str:
+        """Compact identity, e.g. ``quorum_reads[n=4,k=2]``."""
+        extra = {
+            "cache_aside": f"hit={self.hit_ratio:g}",
+            "fanout_slow_shard": f"n={self.shards}",
+            "hedged_requests": f"after={self.hedge_after:g}",
+            "hot_shard_db": f"n={self.shards},hot={self.hot_weight:g}",
+            "quorum_reads": f"n={self.shards},k={self.quorum_k}",
+        }[self.archetype]
+        return f"{self.archetype}[{extra}]"
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (all fields, ``None`` included)."""
+        return {field.name: getattr(self, field.name)
+                for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ZooParams":
+        """Rebuild params from :meth:`to_dict` output."""
+        allowed = {field.name for field in fields(cls)}
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown ZooParams field(s) {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass
+class GeneratedTopology:
+    """A generated application plus the wiring metadata scenarios need.
+
+    Attributes:
+        app: the validated application.
+        params: the generating parameters.
+        bottleneck: the service whose processing the adapted pool
+            gates (fault plans and autoscalers aim here).
+        pool_name: name of the gateway client pool adapted as the
+            soft resource.
+        critical_edge: the ``(caller, callee)`` edge that degrades
+            first under load (fault plans inject here).
+    """
+
+    app: Application
+    params: ZooParams
+    bottleneck: str
+    pool_name: str
+    critical_edge: tuple[str, str]
+
+
+def bottleneck_service(params: ZooParams) -> str:
+    """The critical downstream service name, without building the app.
+
+    Deterministic per archetype so fault plans can be declared before
+    (and independently of) topology construction.
+    """
+    return {
+        "cache_aside": "db",
+        "fanout_slow_shard": "shard-0",
+        "hedged_requests": "backend",
+        "hot_shard_db": "shard-0",
+        "quorum_reads": "replica-0",
+    }[params.archetype]
+
+
+# ----------------------------------------------------------------------
+# Archetype builders
+# ----------------------------------------------------------------------
+def _demand(params: ZooParams, mean_ms: float) -> LogNormal:
+    return LogNormal(mean=mean_ms / 1000.0, cv=params.demand_cv)
+
+
+def _gateway(env: Environment, streams: RandomStreams, app: Application,
+             params: ZooParams) -> Microservice:
+    gateway = Microservice(env, ENTRY, streams.stream(f"{ENTRY}.demand"),
+                           cores=4.0, cpu_overhead=0.015,
+                           thread_pool_size=params.entry_threads)
+    return app.add_service(gateway)
+
+
+def _backend(env: Environment, streams: RandomStreams, app: Application,
+             params: ZooParams, name: str, mean_ms: float,
+             cores: float = 2.0) -> Microservice:
+    service = Microservice(env, name, streams.stream(f"{name}.demand"),
+                           cores=cores, cpu_overhead=0.015,
+                           replicas=params.replicas)
+    service.add_operation(Operation("default", [
+        Compute(_demand(params, mean_ms))]))
+    return app.add_service(service)
+
+
+def _build_fanout_slow_shard(env: Environment, streams: RandomStreams,
+                             params: ZooParams) -> GeneratedTopology:
+    """Parallel fan-out where shard-0 is the slow straggler.
+
+    The gateway's shared ``shards`` pool gates all shard calls; the
+    slow edge optionally carries a timeout-plus-degrade policy, so a
+    saturated slow shard yields partial responses (skipped subtree)
+    instead of dragging the whole fan-out past the SLA.
+    """
+    app = Application(env)
+    gateway = _gateway(env, streams, app, params)
+    for index in range(params.shards):
+        mean = params.demand_ms * (params.slow_factor if index == 0
+                                   else 1.0)
+        _backend(env, streams, app, params, f"shard-{index}", mean)
+    gateway.add_client_pool("shards", params.connections)
+    gateway.add_operation(Operation(REQUEST_TYPE, [
+        Compute(_demand(params, 0.5)),
+        Parallel([Call(f"shard-{i}", via_pool="shards")
+                  for i in range(params.shards)]),
+        Compute(_demand(params, 0.3)),
+    ]))
+    if params.degrade_timeout is not None:
+        gateway.set_call_policy(
+            "shard-0",
+            CallPolicy(timeout=params.degrade_timeout, degrade=True))
+    app.set_entrypoint(REQUEST_TYPE, ENTRY, REQUEST_TYPE)
+    app.validate()
+    return GeneratedTopology(app=app, params=params,
+                             bottleneck="shard-0", pool_name="shards",
+                             critical_edge=(ENTRY, "shard-0"))
+
+
+def _build_quorum_reads(env: Environment, streams: RandomStreams,
+                        params: ZooParams) -> GeneratedTopology:
+    """k-of-n reads over ``shards`` replicas, replica-0 slow.
+
+    The quorum masks the slow member's latency but not its pool
+    pressure: every member call holds a token from the shared
+    ``replicas`` pool until it completes or is cancelled, so straggler
+    cancellation is what keeps the pool from saturating.
+    """
+    app = Application(env)
+    gateway = _gateway(env, streams, app, params)
+    for index in range(params.shards):
+        mean = params.demand_ms * (params.slow_factor if index == 0
+                                   else 1.0)
+        _backend(env, streams, app, params, f"replica-{index}", mean)
+    gateway.add_client_pool("replicas", params.connections)
+    gateway.add_operation(Operation(REQUEST_TYPE, [
+        Compute(_demand(params, 0.5)),
+        Quorum([Call(f"replica-{i}", via_pool="replicas")
+                for i in range(params.shards)], k=params.quorum_k),
+        Compute(_demand(params, 0.3)),
+    ]))
+    app.set_entrypoint(REQUEST_TYPE, ENTRY, REQUEST_TYPE)
+    app.validate()
+    return GeneratedTopology(app=app, params=params,
+                             bottleneck="replica-0",
+                             pool_name="replicas",
+                             critical_edge=(ENTRY, "replica-0"))
+
+
+def _build_hedged_requests(env: Environment, streams: RandomStreams,
+                           params: ZooParams) -> GeneratedTopology:
+    """A heavy-tailed backend guarded by hedged requests.
+
+    Hedge duplicates double the pool/backend load of slow requests, so
+    the goodput-optimal ``backend`` pool size shifts with the hedge
+    delay — exactly the coupling a static allocation misses.
+    """
+    app = Application(env)
+    gateway = _gateway(env, streams, app, params)
+    backend = Microservice(env, "backend",
+                           streams.stream("backend.demand"),
+                           cores=2.0, cpu_overhead=0.015,
+                           replicas=max(2, params.replicas))
+    backend.add_operation(Operation("default", [
+        Compute(_demand(params, params.demand_ms)),
+        Call("backend-db"),
+    ]))
+    app.add_service(backend)
+    _backend(env, streams, app, params, "backend-db",
+             params.demand_ms / 2.0)
+    gateway.add_client_pool("backend", params.connections)
+    gateway.add_operation(Operation(REQUEST_TYPE, [
+        Compute(_demand(params, 0.5)),
+        Hedge(Call("backend", via_pool="backend"),
+              after=params.hedge_after),
+        Compute(_demand(params, 0.3)),
+    ]))
+    app.set_entrypoint(REQUEST_TYPE, ENTRY, REQUEST_TYPE)
+    app.validate()
+    return GeneratedTopology(app=app, params=params,
+                             bottleneck="backend", pool_name="backend",
+                             critical_edge=(ENTRY, "backend"))
+
+
+def _build_cache_aside(env: Environment, streams: RandomStreams,
+                       params: ZooParams) -> GeneratedTopology:
+    """Cache-aside reads with an optional invalidation storm.
+
+    A hit touches only the cache; a miss falls through to the database
+    and pays a fill. The storm window flips the hit ratio, multiplying
+    db pressure mid-run — the system-state drift of §2.3, expressed as
+    call-graph shape instead of demand scale.
+    """
+    app = Application(env)
+    gateway = _gateway(env, streams, app, params)
+    _backend(env, streams, app, params, "cache", 0.3)
+    _backend(env, streams, app, params, "db", params.demand_ms * 2.0)
+    gateway.add_client_pool("db", params.connections)
+    window = None
+    if params.storm_at is not None:
+        window = ChoiceWindow(params.storm_at, params.storm_duration,
+                              (1.0 - params.storm_miss,
+                               params.storm_miss))
+    gateway.add_operation(Operation(REQUEST_TYPE, [
+        Compute(_demand(params, 0.5)),
+        Choice(
+            branches=[
+                (Call("cache"),),
+                (Call("cache"), Call("db", via_pool="db"),
+                 Compute(_demand(params, 0.5))),
+            ],
+            weights=(params.hit_ratio, 1.0 - params.hit_ratio),
+            window=window),
+        Compute(_demand(params, 0.3)),
+    ]))
+    app.set_entrypoint(REQUEST_TYPE, ENTRY, REQUEST_TYPE)
+    app.validate()
+    return GeneratedTopology(app=app, params=params, bottleneck="db",
+                             pool_name="db",
+                             critical_edge=(ENTRY, "db"))
+
+
+def _build_hot_shard_db(env: Environment, streams: RandomStreams,
+                        params: ZooParams) -> GeneratedTopology:
+    """Key-hash routing over ``shards`` DB shards with one hot key.
+
+    shard-0 receives a ``hot_weight`` share of the traffic through the
+    shared ``shards`` pool; the cold shards idle while the hot shard's
+    queue (and the pool occupancy it induces) grows.
+    """
+    app = Application(env)
+    gateway = _gateway(env, streams, app, params)
+    for index in range(params.shards):
+        _backend(env, streams, app, params, f"shard-{index}",
+                 params.demand_ms)
+    gateway.add_client_pool("shards", params.connections)
+    cold = (1.0 - params.hot_weight) / (params.shards - 1)
+    weights = tuple(params.hot_weight if i == 0 else cold
+                    for i in range(params.shards))
+    gateway.add_operation(Operation(REQUEST_TYPE, [
+        Compute(_demand(params, 0.5)),
+        Choice(
+            branches=[(Call(f"shard-{i}", via_pool="shards"),)
+                      for i in range(params.shards)],
+            weights=weights),
+        Compute(_demand(params, 0.3)),
+    ]))
+    app.set_entrypoint(REQUEST_TYPE, ENTRY, REQUEST_TYPE)
+    app.validate()
+    return GeneratedTopology(app=app, params=params,
+                             bottleneck="shard-0", pool_name="shards",
+                             critical_edge=(ENTRY, "shard-0"))
+
+
+_BUILDERS: dict[str, _t.Callable[[Environment, RandomStreams, ZooParams],
+                                 GeneratedTopology]] = {
+    "cache_aside": _build_cache_aside,
+    "fanout_slow_shard": _build_fanout_slow_shard,
+    "hedged_requests": _build_hedged_requests,
+    "hot_shard_db": _build_hot_shard_db,
+    "quorum_reads": _build_quorum_reads,
+}
+
+
+def build_topology(env: Environment, streams: RandomStreams,
+                   params: ZooParams) -> GeneratedTopology:
+    """Generate the archetype's application on ``env``.
+
+    A pure function of ``(streams.seed, params)``: the same inputs
+    always produce a structurally identical application (see
+    :func:`topology_fingerprint`).
+    """
+    return _BUILDERS[params.archetype](env, streams, params)
+
+
+# ----------------------------------------------------------------------
+# Scenario assembly
+# ----------------------------------------------------------------------
+def zoo_scenario(params: ZooParams, *, trace: WorkloadTrace,
+                 sla: float = 0.4,
+                 controller: ControllerKind = "none",
+                 autoscaler: AutoscalerKind = "none",
+                 seed: int = 42, name: str | None = None,
+                 obs: obs_mod.Observability | None = None,
+                 fault_plan: FaultPlan | None = None) -> Scenario:
+    """Assemble a runnable scenario around a generated topology.
+
+    The adapted soft resource is always the gateway's shared client
+    pool to the archetype's bottleneck service; the autoscaler (if
+    any) scales the bottleneck. Everything else matches the hand-built
+    scenario factories in :mod:`repro.experiments.scenarios`.
+    """
+    env = Environment()
+    streams = RandomStreams(seed)
+    topology = build_topology(env, streams, params)
+    app = topology.app
+    gateway = app.service(ENTRY)
+    bottleneck = app.service(topology.bottleneck)
+    monitoring = MonitoringModule(env, app)
+    driver = ClosedLoopDriver(env, app, REQUEST_TYPE, trace,
+                              streams.stream("driver"), ramp_up=10.0)
+    target = ClientPoolTarget(gateway, topology.pool_name, bottleneck)
+
+    obs = obs if obs is not None else obs_mod.NULL
+    if fault_plan is not None:
+        fault_plan.validate(app)
+    scaler = build_autoscaler(autoscaler, env, app, monitoring,
+                              bottleneck, sla=sla,
+                              request_type=REQUEST_TYPE, obs=obs)
+    ctrl = build_controller(controller, env, app, monitoring, [target],
+                            sla=sla, autoscaler=scaler, obs=obs)
+    return Scenario(
+        name=name or (f"zoo/{params.label}/{trace.name}/"
+                      f"{controller}+{autoscaler}"),
+        env=env, streams=streams, app=app, monitoring=monitoring,
+        drivers=[driver], request_type=REQUEST_TYPE, sla=sla,
+        controller=ctrl, autoscaler=scaler, target=target, obs=obs,
+        faults=build_faults(fault_plan, env, app, streams, obs))
+
+
+def zoo_fault_plan(params: ZooParams, kind: str, *, at: float = 60.0,
+                   duration: float = 60.0) -> FaultPlan:
+    """A one-fault plan aimed at the archetype's critical path.
+
+    ``kind`` picks the failure mode (:data:`ZOO_FAULT_KINDS`); the
+    target service/edge is resolved from the archetype so matrix axes
+    can say "interference" without knowing service names.
+    """
+    service = bottleneck_service(params)
+    if kind == "none":
+        return FaultPlan()
+    if kind == "interference":
+        spec = InterferenceFault(service=service, at=at,
+                                 duration=duration, demand_factor=2.0,
+                                 core_steal=0.25)
+    elif kind == "edge_latency":
+        spec = EdgeLatencyFault(caller=ENTRY, callee=service, at=at,
+                                duration=duration, delay=0.04,
+                                jitter=0.5)
+    elif kind == "edge_failure":
+        spec = EdgeFailureFault(caller=ENTRY, callee=service, at=at,
+                                duration=duration, probability=0.1)
+    elif kind == "blackout":
+        if params.replicas < 2:
+            raise ValueError(
+                "blackout needs >= 2 replicas on the bottleneck "
+                f"service, params have {params.replicas}")
+        spec = BlackoutFault(service=service, at=at, duration=duration,
+                             replicas=1)
+    elif kind == "crash":
+        spec = CrashFault(service=service, at=at, mode="drain",
+                          restart_after=duration)
+    else:
+        raise ValueError(f"unknown zoo fault kind {kind!r} "
+                         f"(have: {', '.join(ZOO_FAULT_KINDS)})")
+    return FaultPlan(faults=(spec,))
+
+
+# ----------------------------------------------------------------------
+# Structural serialization (golden snapshots, fingerprints)
+# ----------------------------------------------------------------------
+def _step_to_dict(step: Step) -> dict:
+    if isinstance(step, Compute):
+        return {"compute": repr(step.demand)}
+    if isinstance(step, Call):
+        payload: dict[str, _t.Any] = {"call": step.service,
+                                      "operation": step.operation}
+        if step.via_pool is not None:
+            payload["via_pool"] = step.via_pool
+        return payload
+    if isinstance(step, Parallel):
+        return {"parallel": [_step_to_dict(c) for c in step.calls]}
+    if isinstance(step, Quorum):
+        return {"quorum": [_step_to_dict(c) for c in step.calls],
+                "k": step.k}
+    if isinstance(step, Hedge):
+        return {"hedge": _step_to_dict(step.call), "after": step.after}
+    if isinstance(step, Choice):
+        payload = {
+            "choice": [[_step_to_dict(s) for s in branch]
+                       for branch in step.branches],
+            "weights": list(step.weights),
+        }
+        if step.window is not None:
+            payload["window"] = {
+                "at": step.window.at,
+                "duration": step.window.duration,
+                "weights": list(step.window.weights),
+            }
+        return payload
+    raise TypeError(f"unserializable step {step!r}")
+
+
+def topology_to_dict(app: Application) -> dict:
+    """Canonical structural serialization of an application.
+
+    Captures everything that defines the call graph's *shape* —
+    services (sorted), per-service resources, operations with their
+    full step trees (distributions by repr), call policies, and
+    entrypoints — and nothing runtime-dependent, so two builds from
+    the same params are dict-identical.
+    """
+    services: dict[str, dict] = {}
+    for name in sorted(app.services):
+        service = app.services[name]
+        entry: dict[str, _t.Any] = {
+            "cores": service.cores_per_replica,
+            "replicas": service.replica_count,
+            "threads": service.thread_pool_size,
+            "client_pools": {
+                pool_name: service.client_pools[pool_name].capacity
+                for pool_name in sorted(service.client_pools)
+            },
+            "operations": {
+                op_name: [_step_to_dict(step)
+                          for step in service.operations[op_name].steps]
+                for op_name in sorted(service.operations)
+            },
+        }
+        policies = getattr(service, "_call_policies", {})
+        if policies:
+            entry["call_policies"] = {
+                callee: {
+                    "timeout": policies[callee].policy.timeout,
+                    "degrade": policies[callee].policy.degrade,
+                    "attempts": policies[callee].policy.max_attempts,
+                }
+                for callee in sorted(policies)
+            }
+        services[name] = entry
+    return {
+        "services": services,
+        "entrypoints": {
+            request_type: list(app.entrypoints[request_type])
+            for request_type in sorted(app.entrypoints)
+        },
+    }
+
+
+def topology_fingerprint(app: Application) -> str:
+    """Digest of :func:`topology_to_dict`'s canonical JSON form."""
+    canonical = json.dumps(topology_to_dict(app), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def structural_diff(expected: _t.Any, actual: _t.Any,
+                    path: str = "$") -> list[str]:
+    """Human-readable differences between two topology dicts.
+
+    Returns one ``path: expected != actual`` line per divergence (an
+    empty list means structurally identical) — golden tests assert on
+    this instead of a giant JSON equality blob.
+    """
+    if type(expected) is not type(actual):
+        return [f"{path}: type {type(expected).__name__} != "
+                f"{type(actual).__name__}"]
+    if isinstance(expected, dict):
+        lines: list[str] = []
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                lines.append(f"{path}.{key}: unexpected key")
+            elif key not in actual:
+                lines.append(f"{path}.{key}: missing key")
+            else:
+                lines.extend(structural_diff(expected[key], actual[key],
+                                             f"{path}.{key}"))
+        return lines
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} != {len(actual)}"]
+        lines = []
+        for index, (a, b) in enumerate(zip(expected, actual)):
+            lines.extend(structural_diff(a, b, f"{path}[{index}]"))
+        return lines
+    if expected != actual:
+        return [f"{path}: {expected!r} != {actual!r}"]
+    return []

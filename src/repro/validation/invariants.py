@@ -6,8 +6,10 @@ on every processed event, the conservation laws the kernel and resource
 layer must never violate:
 
 - **Clock monotonicity** — simulated time never runs backwards.
-- **Request conservation** — submitted = completed + in-flight, and
-  in-flight is never negative.
+- **Request conservation** — submitted = completed + failed +
+  in-flight, and in-flight is never negative (failed counts requests
+  abandoned past their resilience policies, so the law holds under
+  fault plans too).
 - **Pool occupancy** — tokens in use never exceed capacity, except
   transiently after a lazy shrink, during which the overage must only
   drain (never grow).
@@ -112,12 +114,13 @@ class InvariantChecker:
         if app.in_flight < 0:
             self._fail(when, f"negative in-flight count {app.in_flight}")
         completed = sum(log.total for log in app.latency.values())
-        if completed + app.in_flight != app.total_submitted:
+        failed = getattr(app, "failed_total", 0)
+        if completed + failed + app.in_flight != app.total_submitted:
             self._fail(
                 when,
                 f"request conservation broken: submitted "
                 f"{app.total_submitted} != completed {completed} + "
-                f"in-flight {app.in_flight}")
+                f"failed {failed} + in-flight {app.in_flight}")
         for service in app.services.values():
             for replica in service.replicas:
                 if replica.active_requests < 0:
@@ -144,9 +147,10 @@ class InvariantChecker:
             self._fail(now, f"{app.in_flight} requests still in flight "
                             "after the run drained")
         completed = sum(log.total for log in app.latency.values())
-        if completed != app.total_submitted:
-            self._fail(now, f"completed {completed} != submitted "
-                            f"{app.total_submitted}")
+        failed = getattr(app, "failed_total", 0)
+        if completed + failed != app.total_submitted:
+            self._fail(now, f"completed {completed} + failed {failed} "
+                            f"!= submitted {app.total_submitted}")
         for service in app.services.values():
             for replica in service.replicas:
                 pool = replica.server_pool

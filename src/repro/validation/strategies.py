@@ -169,3 +169,44 @@ def linear_trace(self_times: _t.Sequence[float],
         parent = span
         cursor = arrival + self_time / 2.0
     return spans[0]
+
+
+# ----------------------------------------------------------------------
+# Scenario-zoo parameters
+# ----------------------------------------------------------------------
+@st.composite
+def zoo_params(draw: st.DrawFn,
+               archetypes: _t.Sequence[str] | None = None,
+               max_shards: int = 6):
+    """Valid :class:`~repro.scenarios.zoo.ZooParams` draws.
+
+    Covers every archetype with bounded widths/demands (so property
+    tests that *run* the generated scenarios stay fast) while hitting
+    the interesting corners: minimum/maximum quorum sizes, storms on
+    and off, degrade policies on and off, skewed hot shards.
+    """
+    from repro.scenarios.zoo import ARCHETYPES, ZooParams
+
+    archetype = draw(st.sampled_from(
+        tuple(archetypes) if archetypes else ARCHETYPES))
+    shards = draw(st.integers(2, max_shards))
+    storm_at = draw(st.one_of(st.none(), st.floats(0.0, 60.0)))
+    degrade = draw(st.one_of(st.none(), st.floats(0.05, 0.5)))
+    return ZooParams(
+        archetype=archetype,
+        shards=shards,
+        quorum_k=draw(st.integers(1, shards)),
+        slow_factor=draw(st.floats(1.0, 8.0)),
+        hedge_after=draw(st.floats(0.005, 0.1)),
+        hit_ratio=draw(st.floats(0.05, 0.95)),
+        storm_at=storm_at,
+        storm_duration=draw(st.floats(1.0, 60.0)),
+        storm_miss=draw(st.floats(0.1, 1.0)),
+        hot_weight=draw(st.floats(0.05, 0.95)),
+        demand_ms=draw(st.floats(0.5, 8.0)),
+        demand_cv=draw(st.floats(0.1, 1.5)),
+        entry_threads=draw(st.integers(4, 48)),
+        connections=draw(st.integers(2, 48)),
+        replicas=draw(st.integers(1, 3)),
+        degrade_timeout=degrade,
+    )

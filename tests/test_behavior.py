@@ -4,7 +4,16 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.app.behavior import Call, Compute, Operation, Parallel
+from repro.app.behavior import (
+    Call,
+    Choice,
+    ChoiceWindow,
+    Compute,
+    Hedge,
+    Operation,
+    Parallel,
+    Quorum,
+)
 from repro.sim import Constant
 from repro.tracing import Span, extract_critical_path
 
@@ -43,6 +52,77 @@ class TestBehaviorValidation:
         call = Call("svc")
         assert call.operation == "default"
         assert call.via_pool is None
+
+
+class TestTailAtScaleSteps:
+    def test_quorum_validates_k(self):
+        calls = [Call("a"), Call("b"), Call("c")]
+        assert Quorum(calls, k=2).k == 2
+        with pytest.raises(ValueError):
+            Quorum(calls, k=0)
+        with pytest.raises(ValueError):
+            Quorum(calls, k=4)
+        with pytest.raises(ValueError):
+            Quorum([], k=1)
+        with pytest.raises(TypeError):
+            Quorum([Compute(Constant(0.1))], k=1)
+
+    def test_hedge_validates(self):
+        assert Hedge(Call("a"), after=0.01).after == 0.01
+        with pytest.raises(ValueError):
+            Hedge(Call("a"), after=0.0)
+        with pytest.raises(TypeError):
+            Hedge(Compute(Constant(0.1)), after=0.01)
+
+    def test_choice_validates_weights(self):
+        branches = [(Call("a"),), (Call("b"),)]
+        choice = Choice(branches, weights=(0.9, 0.1))
+        assert choice.weights == (0.9, 0.1)
+        with pytest.raises(ValueError):
+            Choice(branches, weights=(0.9,))  # arity mismatch
+        with pytest.raises(ValueError):
+            Choice(branches, weights=(-1.0, 2.0))
+        with pytest.raises(ValueError):
+            Choice(branches, weights=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            Choice([], weights=())
+
+    def test_choice_window_overrides_weights_in_interval(self):
+        window = ChoiceWindow(10.0, 5.0, (0.1, 0.9))
+        choice = Choice([(Call("a"),), (Call("b"),)],
+                        weights=(0.9, 0.1), window=window)
+        assert choice.weights_at(9.99) == (0.9, 0.1)
+        assert choice.weights_at(10.0) == (0.1, 0.9)
+        assert choice.weights_at(14.99) == (0.1, 0.9)
+        assert choice.weights_at(15.0) == (0.9, 0.1)
+
+    def test_choice_window_arity_checked(self):
+        with pytest.raises(ValueError):
+            Choice([(Call("a"),), (Call("b"),)], weights=(0.5, 0.5),
+                   window=ChoiceWindow(0.0, 1.0, (1.0,)))
+
+    def test_empty_choice_branch_allowed(self):
+        choice = Choice([(), (Call("db"),)], weights=(0.9, 0.1))
+        assert choice.branches[0] == ()
+
+    def test_downstream_calls_flattens_composites(self):
+        operation = Operation("op", [
+            Quorum([Call("r0"), Call("r1")], k=1),
+            Hedge(Call("backend"), after=0.01),
+            Choice([(Call("cache"),),
+                    (Call("cache"), Call("db"))],
+                   weights=(0.5, 0.5)),
+        ])
+        services = [c.service for c in operation.downstream_calls()]
+        assert services == ["r0", "r1", "backend", "cache", "cache",
+                            "db"]
+
+    def test_compute_steps_reach_choice_branches(self):
+        operation = Operation("op", [
+            Choice([(Compute(Constant(0.1)),), ()],
+                   weights=(0.5, 0.5)),
+        ])
+        assert len(operation.compute_steps()) == 1
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,151 @@
+"""Tests for the matrix runner and sweep/matrix persistence.
+
+Covers the spec/result round trips, a real (tiny) matrix run with the
+byte-identical re-run check, the results-directory layout with its
+queryable index, and the ``SweepResult`` JSON round trip including the
+degenerate all-zero case fixed in PR 2.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.matrix import (
+    CellResult,
+    CellSpec,
+    MatrixResult,
+    WorkloadSpec,
+    default_matrix,
+    run_cell,
+    run_matrix,
+)
+from repro.experiments.persistence import load_result
+from repro.experiments.sweep import SweepResult, sweep
+from repro.scenarios import ZooParams
+
+TINY = WorkloadSpec(trace="slowly_varying", duration=12.0,
+                    peak_users=15, min_users=5)
+
+
+def tiny_cell(**overrides) -> CellSpec:
+    defaults = dict(params=ZooParams(archetype="cache_aside"),
+                    workload=TINY, fault="none", controller="none",
+                    autoscaler="none", seed=3)
+    defaults.update(overrides)
+    return CellSpec(**defaults)
+
+
+class TestSpecs:
+    def test_workload_spec_validates(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(trace="slowly_varying", duration=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(trace="slowly_varying", min_users=50,
+                         peak_users=10)
+
+    def test_cell_spec_round_trip(self):
+        cell = tiny_cell(fault="interference", controller="sora")
+        rebuilt = CellSpec.from_dict(
+            json.loads(json.dumps(cell.to_dict())))
+        assert rebuilt == cell
+        assert rebuilt.cell_id == cell.cell_id
+
+    def test_cell_ids_encode_the_axes(self):
+        cell = tiny_cell(fault="crash", controller="sora",
+                         autoscaler="hpa", seed=7)
+        assert cell.cell_id == \
+            "cache_aside-slowly_varying-crash-sora+hpa-s7"
+
+    def test_default_matrix_dimensions(self):
+        cells = default_matrix()
+        assert len(cells) == 24  # 3 x 2 x 2 x 2
+        assert len({c.cell_id for c in cells}) == 24
+
+
+class TestRunCell:
+    def test_cell_runs_and_persists(self, tmp_path):
+        out = str(tmp_path / "cells")
+        result = run_cell(tiny_cell(), out_dir=out)
+        assert result.submitted > 0
+        assert result.requests + result.failed <= result.submitted
+        assert len(result.fingerprint) == 32
+        full = load_result(os.path.join(str(tmp_path), result.path))
+        assert full.total_submitted == result.submitted
+        # The per-cell decision log rides along with the result.
+        assert full.obs is not None
+
+    def test_cell_result_round_trip(self, tmp_path):
+        result = run_cell(tiny_cell())
+        rebuilt = CellResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.replay_ok
+
+
+class TestRunMatrix:
+    def test_matrix_run_persists_queryable_results(self, tmp_path):
+        out = str(tmp_path / "matrix")
+        cells = [tiny_cell(controller=c, fault=f)
+                 for c in ("none", "sora")
+                 for f in ("none", "interference")]
+        matrix = run_matrix(cells, out, rerun_check=True)
+        assert len(matrix) == 4
+        assert matrix.replay_failures == []
+        assert all(r.rerun_fingerprint == r.fingerprint
+                   for r in matrix.cells)
+        # Queryable layout: per-cell JSONs + JSON/HTML index.
+        assert sorted(os.listdir(out)) == ["cells", "index.html",
+                                           "index.json"]
+        assert len(os.listdir(os.path.join(out, "cells"))) == 4
+        html = open(os.path.join(out, "index.html")).read()
+        for cell in cells:
+            assert cell.cell_id in html
+
+    def test_matrix_round_trip_identical_summary(self, tmp_path):
+        out = str(tmp_path / "matrix")
+        matrix = run_matrix([tiny_cell()], out)
+        reloaded = MatrixResult.load(os.path.join(out, "index.json"))
+        assert reloaded.to_dict() == matrix.to_dict()
+        assert reloaded.summary_table() == matrix.summary_table()
+
+    def test_duplicate_cells_rejected(self, tmp_path):
+        cell = tiny_cell()
+        with pytest.raises(ValueError, match="duplicate"):
+            run_matrix([cell, cell], str(tmp_path))
+
+    def test_distinct_seeds_distinct_fingerprints(self):
+        first = run_cell(tiny_cell(seed=1))
+        second = run_cell(tiny_cell(seed=2))
+        assert first.fingerprint != second.fingerprint
+
+
+class TestSweepPersistence:
+    def test_round_trip_identical_summary(self):
+        result = sweep([2, 4, 8], lambda v: float(v * v))
+        rebuilt = SweepResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.metric_by_value == result.metric_by_value
+        assert rebuilt.best == result.best
+        assert rebuilt.margin == result.margin
+        assert rebuilt.normalized() == result.normalized()
+
+    def test_degenerate_all_zero_round_trip(self):
+        # The PR-2 degenerate case: every grid point measured 0.0.
+        result = sweep([1, 2, 3], lambda v: 0.0)
+        assert result.degenerate
+        rebuilt = SweepResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.degenerate
+        assert rebuilt.normalized() == {1: 0.0, 2: 0.0, 3: 0.0}
+        assert rebuilt.margin == 1.0
+        assert rebuilt.is_tie
+
+    def test_infinite_margin_survives_json(self):
+        # Only one point above zero => margin inf, stored strict-JSON.
+        result = sweep([1, 2], lambda v: 1.0 if v == 1 else 0.0)
+        assert result.margin == float("inf")
+        payload = json.dumps(result.to_dict())
+        assert "Infinity" not in payload  # strict JSON stays loadable
+        rebuilt = SweepResult.from_dict(json.loads(payload))
+        assert rebuilt.margin == float("inf")

@@ -1,0 +1,279 @@
+"""Unit tests for the scenario zoo: archetype semantics and wiring.
+
+Each archetype must (a) build a valid, deterministic topology and
+(b) actually exhibit its tail-at-scale shape change — hedge duplicates,
+quorum straggler truncation, cache-miss fallthrough, degraded fan-out
+subtrees — under a short open-loop run.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.experiments import run_scenario
+from repro.faults.plan import FaultPlan
+from repro.scenarios import (
+    ARCHETYPES,
+    ZOO_FAULT_KINDS,
+    ZooParams,
+    bottleneck_service,
+    build_topology,
+    structural_diff,
+    topology_fingerprint,
+    topology_to_dict,
+    zoo_fault_plan,
+    zoo_scenario,
+)
+from repro.sim import Environment, RandomStreams
+from repro.workloads import OpenLoopDriver, build_trace
+
+
+def span_counts(app, until=1e9):
+    """Per-service span counts across all recorded traces."""
+    counts = {}
+
+    def walk(span):
+        counts[span.service] = counts.get(span.service, 0) + 1
+        for child in span.children:
+            walk(child)
+
+    for root in app.warehouse.traces(0.0, until):
+        walk(root)
+    return counts
+
+
+def run_open_loop(params, seed=1, rate=50.0, duration=4.0):
+    """Drive a generated topology open-loop and drain it."""
+    env = Environment()
+    streams = RandomStreams(seed)
+    topology = build_topology(env, streams, params)
+    driver = OpenLoopDriver(env, topology.app, "zoo", rate,
+                            streams.stream("driver"), duration=duration)
+    driver.start()
+    env.run(until=duration + 5.0)
+    return topology
+
+
+class TestZooParams:
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(ValueError):
+            ZooParams(archetype="ring")
+
+    @pytest.mark.parametrize("field,value", [
+        ("shards", 1),
+        ("quorum_k", 0),
+        ("quorum_k", 9),
+        ("slow_factor", 0.5),
+        ("hedge_after", 0.0),
+        ("hit_ratio", 1.0),
+        ("storm_at", -1.0),
+        ("storm_duration", 0.0),
+        ("storm_miss", 0.0),
+        ("hot_weight", 1.0),
+        ("demand_ms", 0.0),
+        ("entry_threads", 0),
+        ("connections", 0),
+        ("replicas", 0),
+        ("degrade_timeout", 0.0),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ZooParams(archetype="quorum_reads", **{field: value})
+
+    def test_round_trip(self):
+        params = ZooParams(archetype="cache_aside", hit_ratio=0.8,
+                           storm_at=30.0, storm_miss=0.95)
+        rebuilt = ZooParams.from_dict(params.to_dict())
+        assert rebuilt == params
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ZooParams.from_dict({"archetype": "cache_aside",
+                                 "bogus": 1})
+
+    def test_labels_are_distinct(self):
+        labels = {ZooParams(archetype=a).label for a in ARCHETYPES}
+        assert len(labels) == len(ARCHETYPES)
+
+
+class TestTopologyGeneration:
+    @pytest.mark.parametrize("archetype", ARCHETYPES)
+    def test_builds_valid_dag(self, archetype):
+        env = Environment()
+        topology = build_topology(env, RandomStreams(0),
+                                  ZooParams(archetype=archetype))
+        app = topology.app
+        app.validate()
+        graph = app.call_graph()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert "gateway" in app.services
+        assert topology.bottleneck in app.services
+        assert topology.pool_name in app.service("gateway").client_pools
+        assert graph.has_edge(*topology.critical_edge)
+
+    @pytest.mark.parametrize("archetype", ARCHETYPES)
+    def test_same_params_identical_structure(self, archetype):
+        params = ZooParams(archetype=archetype,
+                           storm_at=20.0 if archetype == "cache_aside"
+                           else None)
+        first = build_topology(Environment(), RandomStreams(5), params)
+        second = build_topology(Environment(), RandomStreams(5), params)
+        assert structural_diff(topology_to_dict(first.app),
+                               topology_to_dict(second.app)) == []
+        assert (topology_fingerprint(first.app)
+                == topology_fingerprint(second.app))
+
+    def test_different_params_different_fingerprint(self):
+        base = ZooParams(archetype="quorum_reads")
+        wider = ZooParams(archetype="quorum_reads", shards=5)
+        fp = topology_fingerprint(
+            build_topology(Environment(), RandomStreams(0), base).app)
+        fp_wider = topology_fingerprint(
+            build_topology(Environment(), RandomStreams(0), wider).app)
+        assert fp != fp_wider
+
+    def test_bottleneck_matches_built_topology(self):
+        for archetype in ARCHETYPES:
+            params = ZooParams(archetype=archetype)
+            topology = build_topology(Environment(), RandomStreams(0),
+                                      params)
+            assert bottleneck_service(params) == topology.bottleneck
+
+    def test_structural_diff_localizes_changes(self):
+        params = ZooParams(archetype="hot_shard_db")
+        payload = topology_to_dict(
+            build_topology(Environment(), RandomStreams(0), params).app)
+        other = topology_to_dict(
+            build_topology(Environment(), RandomStreams(0), params).app)
+        other["services"]["gateway"]["client_pools"]["shards"] = 99
+        lines = structural_diff(payload, other)
+        assert len(lines) == 1
+        assert "$.services.gateway.client_pools.shards" in lines[0]
+
+
+class TestArchetypeSemantics:
+    def test_hedge_issues_duplicates(self):
+        # A hedge delay far below the demand mean forces duplicates:
+        # the backend sees strictly more spans than completed requests.
+        params = ZooParams(archetype="hedged_requests",
+                           hedge_after=0.002, demand_ms=5.0)
+        topology = run_open_loop(params)
+        app = topology.app
+        counts = span_counts(app)
+        completed = app.latency["zoo"].total
+        assert completed > 0
+        assert counts["backend"] > completed
+        assert app.in_flight == 0
+
+    def test_quorum_spawns_all_members_and_conserves(self):
+        params = ZooParams(archetype="quorum_reads", shards=3,
+                           quorum_k=2, slow_factor=8.0)
+        topology = run_open_loop(params)
+        app = topology.app
+        counts = span_counts(app)
+        completed = app.latency["zoo"].total
+        assert completed == app.total_submitted
+        # Every member is attempted; the slow one is routinely
+        # cancelled after the quorum resolves, but its span exists.
+        for index in range(3):
+            assert counts[f"replica-{index}"] == completed
+        # Stragglers were actually truncated: gateway pool is drained.
+        assert app.service("gateway").client_pools["replicas"].in_use \
+            == 0
+
+    def test_cache_storm_flips_miss_ratio(self):
+        params = ZooParams(archetype="cache_aside", hit_ratio=0.9,
+                           storm_at=1.0, storm_duration=2.0,
+                           storm_miss=1.0)
+        topology = run_open_loop(params, duration=6.0)
+        app = topology.app
+
+        in_storm = out_storm = 0
+        storm_requests = other_requests = 0
+
+        def db_hits(span):
+            return (span.service == "db") + sum(
+                db_hits(c) for c in span.children)
+
+        for root in app.warehouse.traces(0.0, 1e9):
+            if 1.0 <= root.arrival < 3.0:
+                storm_requests += 1
+                in_storm += db_hits(root)
+            else:
+                other_requests += 1
+                out_storm += db_hits(root)
+        assert storm_requests > 0 and other_requests > 0
+        # storm_miss=1.0: every storm-window request falls through.
+        assert in_storm == storm_requests
+        # At hit_ratio=0.9 the off-storm fallthrough is rare.
+        assert out_storm / other_requests < 0.5
+
+    def test_fanout_degrades_slow_shard(self):
+        params = ZooParams(archetype="fanout_slow_shard",
+                           slow_factor=50.0, degrade_timeout=0.01,
+                           demand_ms=4.0)
+        topology = run_open_loop(params, rate=20.0)
+        app = topology.app
+        stats = app.service("gateway").call_policy_stats("shard-0")
+        assert stats["degraded"] > 0
+        # Degraded fan-outs still complete: nothing lost, nothing stuck.
+        assert app.latency["zoo"].total == app.total_submitted
+        assert app.in_flight == 0
+
+    def test_hot_shard_receives_hot_share(self):
+        params = ZooParams(archetype="hot_shard_db", shards=4,
+                           hot_weight=0.7)
+        topology = run_open_loop(params)
+        counts = span_counts(topology.app)
+        hot = counts.get("shard-0", 0)
+        cold = sum(counts.get(f"shard-{i}", 0) for i in range(1, 4))
+        assert hot > cold  # 70% vs 30% split, wide margin
+
+
+class TestZooFaultPlans:
+    @pytest.mark.parametrize("kind", ZOO_FAULT_KINDS)
+    def test_plans_validate_against_built_app(self, kind):
+        params = ZooParams(archetype="cache_aside")
+        plan = zoo_fault_plan(params, kind)
+        assert isinstance(plan, FaultPlan)
+        app = build_topology(Environment(), RandomStreams(0),
+                             params).app
+        plan.validate(app)
+        if kind == "none":
+            assert not plan
+        else:
+            assert len(plan) == 1
+            # Round-trips like any hand-written plan.
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown zoo fault"):
+            zoo_fault_plan(ZooParams(archetype="cache_aside"), "fire")
+
+    def test_blackout_needs_replicas(self):
+        with pytest.raises(ValueError, match="blackout"):
+            zoo_fault_plan(ZooParams(archetype="cache_aside",
+                                     replicas=1), "blackout")
+
+
+class TestZooScenario:
+    def test_scenario_assembles_and_runs(self):
+        trace = build_trace("slowly_varying", duration=15.0,
+                            peak_users=20, min_users=5)
+        scenario = zoo_scenario(
+            ZooParams(archetype="fanout_slow_shard"), trace=trace,
+            controller="none", autoscaler="hpa", seed=9)
+        assert scenario.request_type == "zoo"
+        assert scenario.target is not None
+        result = run_scenario(scenario, duration=15.0)
+        assert result.total_submitted > 0
+        assert result.response_times.size + result.failed_total \
+            <= result.total_submitted
+
+    def test_fault_plan_validated_at_assembly(self):
+        trace = build_trace("slowly_varying", duration=10.0,
+                            peak_users=10, min_users=5)
+        plan = FaultPlan.from_dict({"faults": [
+            {"kind": "crash", "service": "no-such-svc", "at": 1.0}]})
+        with pytest.raises(ValueError, match="unknown service"):
+            zoo_scenario(ZooParams(archetype="cache_aside"),
+                         trace=trace, fault_plan=plan)

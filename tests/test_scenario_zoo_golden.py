@@ -1,0 +1,68 @@
+"""Golden-snapshot tests: generator refactors can't silently reshape
+scenarios.
+
+One committed canonical JSON per archetype (built with default params
+plus a storm for ``cache_aside``, seed 42). A structural change to a
+generator shows up as a precise path diff here; deliberate reshapes
+regenerate the snapshots with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_scenario_zoo_golden.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.scenarios import (
+    ARCHETYPES,
+    ZooParams,
+    build_topology,
+    structural_diff,
+    topology_to_dict,
+)
+from repro.sim import Environment, RandomStreams
+
+GOLDEN_DIR = (pathlib.Path(__file__).resolve().parent / "golden"
+              / "scenario_zoo")
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") == "1"
+
+
+def golden_params(archetype: str) -> ZooParams:
+    """The canonical parameterization snapshotted per archetype."""
+    return ZooParams(
+        archetype=archetype,
+        storm_at=45.0 if archetype == "cache_aside" else None)
+
+
+def build_canonical(archetype: str) -> dict:
+    topology = build_topology(Environment(), RandomStreams(42),
+                              golden_params(archetype))
+    return topology_to_dict(topology.app)
+
+
+@pytest.mark.parametrize("archetype", ARCHETYPES)
+def test_archetype_matches_golden_snapshot(archetype):
+    path = GOLDEN_DIR / f"{archetype}.json"
+    actual = build_canonical(archetype)
+    if REGEN:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1")
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    diff = structural_diff(expected, actual)
+    assert diff == [], (
+        f"{archetype} topology diverged from its golden snapshot "
+        f"({len(diff)} differences):\n" + "\n".join(diff[:20])
+        + "\n(regenerate deliberately with REPRO_REGEN_GOLDEN=1)")
+
+
+def test_golden_directory_has_no_strays():
+    """Every committed snapshot corresponds to a live archetype."""
+    committed = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(ARCHETYPES)
