@@ -22,20 +22,86 @@ function** and each item (and each result) must be picklable. Closures
 and lambdas fall back to the serial path only when parallelism is
 disabled; with workers they raise a pickling error, which is the
 desired loud failure.
+
+Spawned workers cost a cold interpreter each (~0.1 s plus imports), so
+the pool is created once per process and **reused** across
+:func:`parallel_map` calls rather than torn down per call — a sweep of
+many small grids amortizes one spawn instead of paying it per grid.
+The pool grows on demand (a call wanting more workers replaces it) and
+is replaced transparently if a worker dies mid-call
+(``BrokenProcessPool``); :func:`shutdown_pool` retires it explicitly,
+and an ``atexit`` hook cleans up at interpreter exit. Reuse does not
+affect results: workers hold no task state between items (every task
+builds its own environment from its spec), so a warm pool returns
+byte-identical output to a cold one — the determinism tests run the
+same grid through both and compare fingerprints.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import multiprocessing
 import os
 import typing as _t
+from concurrent.futures.process import BrokenProcessPool
 
 Item = _t.TypeVar("Item")
 Result = _t.TypeVar("Result")
 
 #: Environment override for the default worker count.
 WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+#: Target tasks per worker per chunk: chunking batches pickling round
+#: trips for small items while keeping enough chunks in flight to
+#: balance uneven task durations.
+_CHUNK_TASKS_PER_WORKER = 4
+
+_pool: concurrent.futures.ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def _acquire_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    """The shared executor, (re)created if absent or too small."""
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        context = multiprocessing.get_context("spawn")
+        _pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Retire the shared worker pool (it respawns on next use)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def warm_pool(workers: int | None = None) -> int:
+    """Pre-spawn the pool so later calls pay no cold-start; returns the
+    pool size. Benchmarks call this before timing the parallel path."""
+    workers = default_workers() if workers is None else workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return 1
+    pool = _acquire_pool(workers)
+    # One trivial round trip per worker forces the spawns to finish.
+    list(pool.map(_identity, range(workers)))
+    return workers
+
+
+def _identity(x: int) -> int:
+    return x
 
 
 def default_workers() -> int:
@@ -60,6 +126,10 @@ def parallel_map(fn: _t.Callable[[Item], Result],
     is 1 or there are fewer than two items — the output is identical
     either way, so callers never need to branch.
 
+    The pool persists between calls (see the module docstring); small
+    grids are additionally chunked so a sweep of tiny tasks pays one
+    pickling round trip per chunk, not per item.
+
     Args:
         fn: a picklable (module-level) function of one item.
         items: the independent task specs (picklable).
@@ -72,10 +142,18 @@ def parallel_map(fn: _t.Callable[[Item], Result],
     workers = min(workers, len(items))
     if workers <= 1:
         return [fn(item) for item in items]
-    context = multiprocessing.get_context("spawn")
-    with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(fn, items))
+    chunksize = max(1, len(items) //
+                    (workers * _CHUNK_TASKS_PER_WORKER))
+    try:
+        pool = _acquire_pool(workers)
+        return list(pool.map(fn, items, chunksize=chunksize))
+    except BrokenProcessPool:
+        # A worker died (OOM-kill, hard crash). Replace the pool and
+        # retry once from scratch; tasks are stateless so a clean rerun
+        # is safe. A second break is a real failure and propagates.
+        shutdown_pool()
+        pool = _acquire_pool(workers)
+        return list(pool.map(fn, items, chunksize=chunksize))
 
 
 def parallel_starmap(fn: _t.Callable[..., Result],

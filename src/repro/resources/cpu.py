@@ -312,11 +312,16 @@ class ProcessorSharingCpu:
             # done.succeed() inlined: the done events are created in
             # submit() and triggered nowhere else, so the already-
             # triggered check cannot fire (_ok is True from __init__).
-            eid = env._eid
-            main_heap = env._heap
-            for done in completed:
+            # A multi-completion storm rides one scheduler entry via
+            # schedule_batch — same consecutive serials, same stream.
+            if len(completed) == 1:
+                done = completed[0]
                 done._value = None
-                heappush(main_heap, (now, 1, next(eid), done))
+                heappush(env._heap, (now, 1, next(env._eid), done))
+            else:
+                for done in completed:
+                    done._value = None
+                env.schedule_batch(completed)
 
     def __repr__(self) -> str:
         return (f"<ProcessorSharingCpu {self.name!r} cores={self._cores} "

@@ -185,11 +185,30 @@ class SoftResourcePool:
         request.succeed()
 
     def _grant_waiters(self) -> None:
+        granted: list[PoolRequest] | None = None
+        now = self.env._now
         while self._waiters and self._in_use < self._capacity:
             request = self._waiters.popleft()
             if request.cancelled:
                 continue
-            self._grant(request)
+            # _grant() inlined minus the succeed(): a growth resize can
+            # release a storm of waiters at one timestamp, which rides a
+            # single scheduler entry via schedule_batch below.
+            self._in_use += 1
+            request.granted_at = now
+            self.total_granted += 1
+            self.total_wait_time += now - request.enqueued_at
+            if granted is None:
+                granted = [request]
+            else:
+                granted.append(request)
+        if granted is not None:
+            if len(granted) == 1:
+                granted[0].succeed()
+            else:
+                for request in granted:
+                    request._value = None  # succeed() minus the push
+                self.env.schedule_batch(granted)
         # Trim cancelled requests at the head so queue_length stays honest.
         while self._waiters and self._waiters[0].cancelled:
             self._waiters.popleft()

@@ -118,6 +118,31 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class EventBatch:
+    """A burst of already-triggered events scheduled as one heap entry.
+
+    Created by :meth:`Environment.schedule_batch
+    <repro.sim.engine.Environment.schedule_batch>` for homogeneous
+    same-timestamp storms (CPU completion bursts, pool grant storms,
+    request-batch bootstraps): ``k`` events ride one scheduler entry
+    instead of ``k``, and the run loop applies their callbacks inline
+    in order. The batch reserves ``k`` *consecutive* event serials, so
+    the processed-event stream — what monitors and replay fingerprints
+    observe — is byte-identical to pushing the members individually.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: _t.Sequence[Event]) -> None:
+        self.events = events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<EventBatch of {len(self.events)}>"
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 

@@ -1,0 +1,456 @@
+"""Hybrid fluid/DES fast path: analytic closed-population aggregation.
+
+Discrete-event simulation pays per *event*; a million closed-loop users
+emitting a handful of kernel events per second is tens of millions of
+events per simulated minute — structurally unreachable however fast the
+scheduler is. But the steady state of the simulator's service model (a
+closed population of think-submit-wait users over processor-sharing
+stations) is a product-form queueing network, which Mean Value Analysis
+solves directly. This module aggregates the user population
+analytically: a :class:`FluidModel` is extracted from an assembled
+:class:`~repro.app.application.Application`, solved per trace sample by
+approximate MVA (:func:`~repro.analysis.queueing.solve_mva_schweitzer`,
+cost independent of the population), and swept across a workload trace
+— 1M users over a full diurnal day in well under a second.
+
+Two entry modes:
+
+- **Pure fluid** (:func:`run_fluid`): the model comes straight from
+  the topology (operation trees, declared demand distributions,
+  replica/core counts). Accurate when the topology's declared demands
+  are the truth — validated against exact MVA and the DES conformance
+  family (see ``tests/test_fluid.py``).
+- **Hybrid** (:func:`run_scenario_hybrid`): run a short DES *head
+  window* first, calibrate per-service demands and visit ratios from
+  what the replicas actually executed (``cpu.work_done`` over
+  completions — which absorbs demand drift, Choice-branch frequencies
+  and cancellation truncation the static walk can only approximate),
+  then hand the remaining horizon to the fluid tail.
+
+Approximations, stated once and tested where cheap: the fluid model is
+a *steady-state-per-sample* (quasi-static) view — it tracks the trace's
+population level but not transients between samples; pool admission
+limits are not modeled (a saturated thread pool shifts waiting from CPU
+queue to pool queue without changing throughput, but response-time
+attribution differs); ``Parallel``/``Quorum`` fan-outs count every
+member's demand (visit-correct, response-pessimistic since overlap is
+ignored); ``Hedge`` counts the primary call only (hedge fire rate is
+load-dependent — the hybrid head measures it instead); CPU context-
+switch overhead is ignored by the static walk but *included* by hybrid
+calibration head measurements of effective demand.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.queueing import (MvaResult, Station, solve_mva,
+                                     solve_mva_all,
+                                     solve_mva_schweitzer)
+from repro.app.application import Application
+from repro.app.behavior import (Call, Choice, Compute, Hedge, Parallel,
+                                Quorum, Step)
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.harness import Scenario, ScenarioResult
+    from repro.workloads.traces import WorkloadTrace
+
+#: Below this population the exact MVA recursion is cheap enough to
+#: prefer over the Schweitzer fixed point (it is also the regime where
+#: the approximation error peaks, near the saturation knee).
+EXACT_POPULATION_CUTOFF = 512
+
+#: Recursion guard for pathological (cyclic) call graphs.
+_MAX_CALL_DEPTH = 64
+
+
+@dataclass(frozen=True)
+class FluidModel:
+    """An application reduced to MVA stations plus a think time.
+
+    Attributes:
+        stations: one station per visited service (services the walk
+            never reaches contribute nothing and are omitted).
+        think_time: mean user think time ``Z`` in seconds.
+        request_type: the entrypoint the model was extracted for.
+    """
+
+    stations: tuple[Station, ...]
+    think_time: float
+    request_type: str
+
+    def solve(self, population: int) -> MvaResult:
+        """Steady state at a fixed population (exact below
+        :data:`EXACT_POPULATION_CUTOFF`, Schweitzer above)."""
+        if population <= EXACT_POPULATION_CUTOFF:
+            return solve_mva(self.stations, population, self.think_time)
+        return solve_mva_schweitzer(self.stations, population,
+                                    self.think_time)
+
+
+def _station_from(name: str, visits: float, demand_per_visit: float,
+                  capacity: float) -> Station:
+    """Map a service's aggregate capacity onto an MVA station.
+
+    ``capacity`` is the summed core limit across replicas. Integer
+    multi-core capacity maps to an exact ``c``-server station;
+    fractional capacity (CPU quotas) is rounded to the nearest server
+    count with the demand rescaled so total capacity is preserved.
+    """
+    if capacity <= 0:
+        raise ValueError(f"service {name!r} has no CPU capacity")
+    if capacity <= 1.0 + 1e-9:
+        # A single (possibly throttled) PS server running at rate
+        # ``capacity``: stretch the demand accordingly.
+        return Station(name, demand_per_visit / capacity, visits=visits)
+    servers = max(1, int(round(capacity)))
+    demand = demand_per_visit * (servers / capacity)
+    return Station(name, demand, visits=visits, kind="multi",
+                   servers=servers)
+
+
+def build_fluid_model(app: Application, request_type: str,
+                      think_time: float, at_time: float = 0.0,
+                      demands: _t.Mapping[str, float] | None = None,
+                      visits: _t.Mapping[str, float] | None = None
+                      ) -> FluidModel:
+    """Extract a :class:`FluidModel` from an assembled application.
+
+    The walk descends the entrypoint's operation tree accumulating,
+    per service, the expected visits and CPU demand of one user
+    request: ``Compute`` steps contribute their distribution mean
+    scaled by the service's ``demand_scale``; ``Call`` recurses;
+    ``Parallel``/``Quorum`` recurse into every member; ``Hedge``
+    recurses into the primary; ``Choice`` weights branches by
+    ``weights_at(at_time)``.
+
+    Args:
+        app: the assembled application.
+        request_type: registered entrypoint to model.
+        think_time: mean user think time (``Z``).
+        at_time: simulated time used to resolve Choice weight windows.
+        demands: optional per-service mean-demand-per-visit overrides
+            (seconds) — the hybrid calibration hook.
+        visits: optional per-service visit-ratio overrides, used
+            together with ``demands`` by the calibrated hybrid tail.
+    """
+    if request_type not in app.entrypoints:
+        raise KeyError(f"unknown request type {request_type!r} "
+                       f"(has: {sorted(app.entrypoints)})")
+    if think_time < 0:
+        raise ValueError(f"negative think_time {think_time}")
+
+    visit_acc: dict[str, float] = {}
+    demand_acc: dict[str, float] = {}
+
+    def walk(steps: _t.Sequence[Step], service: str, weight: float,
+             depth: int) -> None:
+        if depth > _MAX_CALL_DEPTH:
+            raise ValueError(
+                f"call graph deeper than {_MAX_CALL_DEPTH} at "
+                f"{service!r}; cycle?")
+        scale = app.services[service].demand_scale
+        for step in steps:
+            if isinstance(step, Compute):
+                demand_acc[service] = demand_acc.get(service, 0.0) + \
+                    weight * step.demand.mean * scale
+            elif isinstance(step, Call):
+                enter(step.service, step.operation, weight, depth + 1)
+            elif isinstance(step, (Parallel, Quorum)):
+                for call in step.calls:
+                    enter(call.service, call.operation, weight,
+                          depth + 1)
+            elif isinstance(step, Hedge):
+                enter(step.call.service, step.call.operation, weight,
+                      depth + 1)
+            elif isinstance(step, Choice):
+                branch_weights = step.weights_at(at_time)
+                total = sum(branch_weights)
+                for branch, w in zip(step.branches, branch_weights):
+                    if w > 0:
+                        walk(branch, service, weight * (w / total),
+                             depth)
+
+    def enter(service: str, operation: str, weight: float,
+              depth: int) -> None:
+        visit_acc[service] = visit_acc.get(service, 0.0) + weight
+        walk(app.services[service].operations[operation].steps,
+             service, weight, depth)
+
+    entry_service, entry_op = app.entrypoints[request_type]
+    enter(entry_service, entry_op, 1.0, 0)
+
+    stations = []
+    for name, v in visit_acc.items():
+        v_eff = float(visits[name]) if visits is not None and \
+            name in visits else v
+        if v_eff <= 0:
+            continue
+        if demands is not None and name in demands:
+            per_visit = float(demands[name])
+        else:
+            per_visit = demand_acc.get(name, 0.0) / v
+        service = app.services[name]
+        capacity = sum(r.cpu.cores for r in service.replicas)
+        stations.append(_station_from(name, v_eff, per_visit, capacity))
+    return FluidModel(stations=tuple(stations), think_time=think_time,
+                      request_type=request_type)
+
+
+@dataclass(frozen=True)
+class FluidResult:
+    """A fluid sweep across a workload trace.
+
+    Attributes:
+        request_type: modeled entrypoint.
+        times: sample times (seconds, trace-relative).
+        populations: user population at each sample.
+        throughput: requests/second at each sample.
+        response_times: mean end-to-end response time at each sample.
+        elapsed: wall-clock seconds the sweep took.
+    """
+
+    request_type: str
+    times: np.ndarray
+    populations: np.ndarray
+    throughput: np.ndarray
+    response_times: np.ndarray
+    elapsed: float
+
+    @property
+    def total_requests(self) -> float:
+        """Trapezoidal estimate of requests served over the sweep."""
+        return float(np.trapezoid(self.throughput, self.times))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "samples": int(len(self.times)),
+            "peak_users": int(self.populations.max(initial=0)),
+            "total_requests": self.total_requests,
+            "peak_throughput": float(self.throughput.max(initial=0.0)),
+            "mean_response_time": float(self.response_times.mean())
+            if len(self.response_times) else 0.0,
+            "max_response_time": float(self.response_times.max(
+                initial=0.0)),
+            "elapsed_seconds": self.elapsed,
+        }
+
+
+def run_fluid(app: Application, request_type: str,
+              trace: "WorkloadTrace", think_time: float,
+              interval: float = 60.0,
+              demands: _t.Mapping[str, float] | None = None,
+              visits: _t.Mapping[str, float] | None = None
+              ) -> FluidResult:
+    """Sweep a fluid model across a trace (quasi-static steady states).
+
+    The model is re-extracted per sample only when a Choice weight
+    window makes it time-dependent; otherwise one extraction serves
+    the whole sweep.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    start = time.perf_counter()
+    samples = int(trace.duration / interval) + 1
+    times = np.arange(samples, dtype=float) * interval
+    populations = np.fromiter((trace.users(t) for t in times),
+                              dtype=float, count=samples)
+
+    time_varying = _has_choice_window(app, request_type)
+    model = build_fluid_model(app, request_type, think_time,
+                              at_time=0.0, demands=demands,
+                              visits=visits)
+
+    def seed_exact(current: FluidModel) -> dict[int, MvaResult]:
+        # Populations under the exact cutoff would each trigger their
+        # own O(n^2) recursion; one solve_mva_all pass at the largest
+        # needed population yields them all (the recursion computes
+        # every intermediate population anyway).
+        largest = int(min(populations.max(), EXACT_POPULATION_CUTOFF))
+        if populations.min() > EXACT_POPULATION_CUTOFF:
+            return {}
+        solved = solve_mva_all(current.stations, largest,
+                               current.think_time)
+        return dict(enumerate(solved))
+
+    throughput = np.zeros(samples)
+    response = np.zeros(samples)
+    solutions = seed_exact(model)
+    for i, t in enumerate(times):
+        if time_varying:
+            model = build_fluid_model(app, request_type, think_time,
+                                      at_time=float(t), demands=demands,
+                                      visits=visits)
+            solutions = seed_exact(model)
+        n = int(populations[i])
+        solved = solutions.get(n)
+        if solved is None:
+            solved = solutions[n] = model.solve(n)
+        throughput[i] = solved.throughput
+        response[i] = solved.cycle_time
+    return FluidResult(request_type=request_type, times=times,
+                       populations=populations, throughput=throughput,
+                       response_times=response,
+                       elapsed=time.perf_counter() - start)
+
+
+def _has_choice_window(app: Application, request_type: str) -> bool:
+    seen: set[str] = set()
+    entry_service, entry_op = app.entrypoints[request_type]
+    stack = [(entry_service, entry_op)]
+    while stack:
+        service, operation = stack.pop()
+        key = f"{service}.{operation}"
+        if key in seen:
+            continue
+        seen.add(key)
+        op = app.services[service].operations[operation]
+        for step in op.steps:
+            if _step_has_window(step):
+                return True
+        for call in op.downstream_calls():
+            stack.append((call.service, call.operation))
+    return False
+
+
+def _step_has_window(step: Step) -> bool:
+    if isinstance(step, Choice):
+        if step.window is not None:
+            return True
+        return any(_step_has_window(s) for branch in step.branches
+                   for s in branch)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Hybrid: DES head window calibrates the fluid tail
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HybridResult:
+    """A DES head window plus a calibrated fluid tail.
+
+    Attributes:
+        des: the head window's full simulation result.
+        fluid: the tail sweep (times are absolute, continuing the
+            head's clock).
+        model: the calibrated model used for the tail.
+        calibrated_demands: measured per-service demand per visit.
+        calibrated_visits: measured per-service visit ratios.
+    """
+
+    des: "ScenarioResult"
+    fluid: FluidResult
+    model: FluidModel
+    calibrated_demands: dict[str, float]
+    calibrated_visits: dict[str, float]
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "des_window": float(self.des.duration),
+            "fluid": self.fluid.summary(),
+            "calibrated_demands": dict(self.calibrated_demands),
+            "calibrated_visits": dict(self.calibrated_visits),
+        }
+
+
+def calibrate_from_application(app: Application, request_type: str
+                               ) -> tuple[dict[str, float],
+                                          dict[str, float]]:
+    """Measured ``(demands, visits)`` from a finished (or paused) run.
+
+    Demand per visit is useful core-seconds executed over completions
+    (live replicas only); visit ratio is service completions over
+    end-to-end completions. Services with no completions are omitted —
+    the static walk's estimate stands in for them.
+    """
+    total = app.latency[request_type].total
+    demands: dict[str, float] = {}
+    visits: dict[str, float] = {}
+    if total <= 0:
+        return demands, visits
+    for name, service in app.services.items():
+        completed = service.metrics.total_completed
+        if completed <= 0:
+            continue
+        work = sum(r.cpu.work_done() for r in service.replicas)
+        demands[name] = work / completed
+        visits[name] = completed / total
+    return demands, visits
+
+
+def run_scenario_hybrid(scenario: "Scenario", duration: float,
+                        des_window: float = 60.0,
+                        interval: float = 60.0,
+                        fluid_trace: "WorkloadTrace | None" = None
+                        ) -> HybridResult:
+    """Run the head of a scenario in DES, the tail as calibrated fluid.
+
+    The head window runs the ordinary event-driven simulation
+    (controllers, faults, tracing — everything). At the switchover the
+    per-service demands and visit ratios actually executed are
+    measured and pinned into the fluid model, which then sweeps the
+    remaining trace horizon analytically. The scenario's first driver
+    must be a closed-loop driver (it supplies the trace and think
+    time).
+
+    ``fluid_trace`` swaps in a different trace for the analytic tail.
+    This is the fleet-scale pattern: run the DES head on a scaled-down
+    calibration population (per-request demands don't depend on how
+    many users submit), then sweep the million-user target trace with
+    the calibrated model — the CLI ``hybrid`` command does exactly
+    that for the 24 h diurnal day.
+    """
+    from repro.experiments.harness import run_scenario
+    from repro.workloads.drivers import ClosedLoopDriver
+
+    if des_window <= 0 or des_window > duration:
+        raise ValueError(
+            f"need 0 < des_window <= duration, got {des_window} "
+            f"vs {duration}")
+    driver = next((d for d in scenario.drivers
+                   if isinstance(d, ClosedLoopDriver)), None)
+    if driver is None:
+        raise ValueError("hybrid mode needs a ClosedLoopDriver")
+    think = driver.think_time.mean
+    trace = fluid_trace if fluid_trace is not None else driver.trace
+
+    des = run_scenario(scenario, duration=des_window)
+    demands, visits = calibrate_from_application(
+        scenario.app, scenario.request_type)
+    model = build_fluid_model(scenario.app, scenario.request_type,
+                              think, at_time=des_window,
+                              demands=demands or None,
+                              visits=visits or None)
+
+    start = time.perf_counter()
+    samples = int((duration - des_window) / interval) + 1
+    times = des_window + np.arange(samples, dtype=float) * interval
+    populations = np.fromiter((trace.users(t) for t in times),
+                              dtype=float, count=samples)
+    throughput = np.zeros(samples)
+    response = np.zeros(samples)
+    solutions: dict[int, MvaResult] = {}
+    if samples and populations.min() <= EXACT_POPULATION_CUTOFF:
+        # One exact pass seeds every sub-cutoff population (see
+        # run_fluid).
+        largest = int(min(populations.max(), EXACT_POPULATION_CUTOFF))
+        solutions = dict(enumerate(solve_mva_all(
+            model.stations, largest, model.think_time)))
+    for i in range(samples):
+        n = int(populations[i])
+        solved = solutions.get(n)
+        if solved is None:
+            solved = solutions[n] = model.solve(n)
+        throughput[i] = solved.throughput
+        response[i] = solved.cycle_time
+    fluid = FluidResult(request_type=scenario.request_type,
+                        times=times, populations=populations,
+                        throughput=throughput, response_times=response,
+                        elapsed=time.perf_counter() - start)
+    return HybridResult(des=des, fluid=fluid, model=model,
+                        calibrated_demands=demands,
+                        calibrated_visits=visits)

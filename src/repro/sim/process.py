@@ -34,7 +34,8 @@ class Process(Event):
     __slots__ = ("_generator", "_target", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
-                 name: str | None = None) -> None:
+                 name: str | None = None,
+                 defer_to: list[Event] | None = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -50,7 +51,12 @@ class Process(Event):
         bootstrap._value = None
         bootstrap._ok = True
         bootstrap.defused = False
-        heappush(env._heap, (env._now, 1, next(env._eid), bootstrap))
+        if defer_to is None:
+            heappush(env._heap, (env._now, 1, next(env._eid), bootstrap))
+        else:
+            # Caller collects bootstraps and schedules them as one burst
+            # via Environment.schedule_batch (see Application.submit_batch).
+            defer_to.append(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -106,7 +112,10 @@ class Process(Event):
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded a non-event: {target!r}")
-        if target.processed:
+        # ``processed``/``add_callback`` inlined: this runs once per
+        # yield, which is the single hottest resume path in the kernel.
+        callbacks = target.callbacks
+        if callbacks is None:
             # The event already fired; resume on the next kernel step so
             # that processes never starve the event loop.
             poke = Event(env)
@@ -114,4 +123,4 @@ class Process(Event):
             poke.trigger(target)
         else:
             self._target = target
-            target.add_callback(self._resume)
+            callbacks.append(self._resume)

@@ -1,0 +1,189 @@
+"""Calendar-queue timer wheel: the indexed scheduler backend.
+
+A binary heap pays ``O(log n)`` per insert and pop, which at fleet
+scale (hundreds of thousands of pending think-timers) makes the
+scheduler itself a first-order cost. The classic alternative is the
+*calendar queue* (Brown 1988): hash each entry by timestamp into a
+bucket of width ``w``, keep future buckets as cheap unsorted lists, and
+only impose order on the one bucket the cursor is currently draining.
+Inserts are then an ``O(1)`` list append for all but the active bucket,
+and pops are a heap operation on a bucket holding a tiny slice of the
+total pending set.
+
+:class:`TimerWheel` stores the same ``(when, priority, eid, event)``
+tuples the heap scheduler uses, and total order is always decided by
+comparing those tuples — the wheel only *partitions* entries, it never
+reorders them. That is what makes the wheel provably equivalent to the
+heap: the bucket index is a monotone function of ``when`` (floored
+division by the bucket width), so an entry in an earlier bucket can
+never sort after an entry in a later one, and entries with equal
+``when`` always share a bucket where the full tuple comparison decides.
+
+Layout:
+
+- ``slots`` circular buckets of ``width`` simulated seconds each cover
+  the wheel's horizon. Future buckets are plain Python lists (append
+  only); the bucket under the cursor is heapified once on activation
+  and popped like a tiny heap.
+- Entries landing at or before the cursor's bucket (same-time wakeups
+  scheduled from callbacks) are pushed straight into the active
+  bucket's heap, which degrades gracefully to plain-heap behavior.
+- Entries beyond the horizon go to an overflow heap (``far``) and are
+  pulled into buckets as the cursor advances. A wheel that goes idle
+  in front of a distant timer jumps the cursor directly to it instead
+  of sweeping empty buckets.
+
+The wheel is not a drop-in ``heapq``: it assumes ``when`` never moves
+backwards past the cursor, which the environment guarantees (events are
+always scheduled at or after the current simulated time).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from heapq import heapify, heappop, heappush
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+
+#: A scheduled entry, identical to the heap scheduler's tuples.
+Entry = _t.Tuple[float, int, int, "Event"]
+
+
+class TimerWheel:
+    """A calendar queue over ``(when, priority, eid, event)`` entries.
+
+    Args:
+        start: simulated time of the cursor at creation (bucket 0
+            starts here; entries are never scheduled before it).
+        width: bucket width in simulated seconds. The sweet spot is a
+            few entries per bucket: width ~ horizon_of_interest /
+            pending_entries. The default suits millisecond-scale
+            service times with second-scale think times.
+        slots: number of circular buckets; ``width * slots`` is the
+            in-wheel horizon beyond which entries overflow to ``far``.
+    """
+
+    __slots__ = ("_width", "_nslots", "_slots", "_origin", "_base",
+                 "_active", "_far", "_near", "_len")
+
+    def __init__(self, start: float = 0.0, width: float = 0.001,
+                 slots: int = 4096) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        if slots < 2:
+            raise ValueError(f"need at least 2 slots, got {slots}")
+        self._width = float(width)
+        self._nslots = int(slots)
+        self._slots: list[list[Entry] | None] = [None] * self._nslots
+        self._origin = float(start)
+        self._base = 0                      # absolute index of the cursor
+        self._active: list[Entry] = []      # heapified current bucket
+        self._far: list[Entry] = []         # heap of beyond-horizon entries
+        self._near = 0                      # entries in active + slots
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, entry: Entry) -> None:
+        """Insert one entry (O(1) for future buckets)."""
+        idx = int((entry[0] - self._origin) / self._width)
+        base = self._base
+        if idx <= base:
+            # At or behind the cursor: same-time wakeups from callbacks.
+            # The active bucket is a heap, so order still holds.
+            heappush(self._active, entry)
+            self._near += 1
+        elif idx - base < self._nslots:
+            slot = idx % self._nslots
+            bucket = self._slots[slot]
+            if bucket is None:
+                self._slots[slot] = [entry]
+            else:
+                bucket.append(entry)
+            self._near += 1
+        else:
+            heappush(self._far, entry)
+        self._len += 1
+
+    def peek(self) -> float:
+        """Time of the earliest entry, or ``inf`` when empty.
+
+        May advance the cursor over empty buckets (harmless: no entry
+        is dropped and no ordering decision is made)."""
+        if not self._active and not self._advance():
+            return float("inf")
+        return self._active[0][0]
+
+    def pop(self) -> Entry:
+        """Remove and return the earliest entry.
+
+        Raises:
+            IndexError: when the wheel is empty.
+        """
+        if not self._active and not self._advance():
+            raise IndexError("pop from an empty TimerWheel")
+        self._near -= 1
+        self._len -= 1
+        return heappop(self._active)
+
+    def _advance(self) -> bool:
+        """Move the cursor to the next non-empty bucket.
+
+        Returns whether an active (non-empty, heapified) bucket is now
+        available."""
+        if self._len == 0:
+            return False
+        width = self._width
+        origin = self._origin
+        nslots = self._nslots
+        slots = self._slots
+        far = self._far
+        while True:
+            if self._near == 0:
+                if not far:
+                    return False
+                # Idle in front of a distant timer: jump the cursor to
+                # its bucket instead of sweeping empty buckets.
+                self._base = int((far[0][0] - origin) / width)
+            else:
+                self._base += 1
+            # Pull overflow entries that now fall inside the horizon.
+            # The admission test is the *same* monotone index function
+            # used for placement — never a separately accumulated time
+            # limit, whose float drift could admit an entry exactly one
+            # horizon out and alias it onto the cursor's own slot.
+            while far:
+                idx = int((far[0][0] - origin) / width)
+                if idx - self._base >= nslots:
+                    break
+                entry = heappop(far)
+                if idx <= self._base:
+                    heappush(self._active, entry)
+                else:
+                    slot = idx % nslots
+                    bucket = slots[slot]
+                    if bucket is None:
+                        slots[slot] = [entry]
+                    else:
+                        bucket.append(entry)
+                self._near += 1
+            slot = self._base % nslots
+            bucket = slots[slot]
+            if bucket is not None:
+                slots[slot] = None
+                if self._active:
+                    # Late same-time entries were pushed while this
+                    # bucket was still pending; merge and re-heapify.
+                    self._active.extend(bucket)
+                    heapify(self._active)
+                else:
+                    heapify(bucket)
+                    self._active = bucket
+            if self._active:
+                return True
+
+    def __repr__(self) -> str:
+        return (f"<TimerWheel len={self._len} width={self._width} "
+                f"slots={self._nslots} base={self._base}>")

@@ -7,6 +7,7 @@ from repro.workloads.traces import (
     all_traces,
     big_spike,
     build_trace,
+    diurnal,
     dual_phase,
     large_variation,
     quick_varying,
@@ -22,6 +23,7 @@ __all__ = [
     "all_traces",
     "big_spike",
     "build_trace",
+    "diurnal",
     "dual_phase",
     "large_variation",
     "quick_varying",

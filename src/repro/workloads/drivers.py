@@ -11,12 +11,15 @@ experiments.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 import numpy as np
 
 from repro.app.application import Application
 from repro.sim.distributions import Distribution, Exponential
 from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.process import Process
 from repro.workloads.traces import WorkloadTrace
 
 
@@ -106,10 +109,18 @@ class ClosedLoopDriver:
             if self.ramp_up > 0 and elapsed < self.ramp_up:
                 target = int(round(target * (elapsed + 1.0) /
                                    (self.ramp_up + 1.0)))
-            while len(self._flags) < target:
-                flag = _UserFlag()
-                self._flags.append(flag)
-                self.env.process(self._user(flag), name="user")
+            deficit = target - len(self._flags)
+            if deficit > 0:
+                # A population step-up is a homogeneous burst: all the
+                # user bootstraps ride one scheduler entry instead of
+                # one each (byte-identical stream, same serials).
+                bootstraps: list[Event] = []
+                for _ in range(deficit):
+                    flag = _UserFlag()
+                    self._flags.append(flag)
+                    Process(self.env, self._user(flag), name="user",
+                            defer_to=bootstraps)
+                self.env.schedule_batch(bootstraps)
             while len(self._flags) > target:
                 self._flags.pop().stopped = True
             yield self.env.timeout(self.control_interval)
@@ -137,6 +148,16 @@ class ClosedLoopDriver:
 class OpenLoopDriver:
     """Poisson arrivals at a (possibly time-varying) rate.
 
+    With a constant rate the driver runs in *batch* mode: inter-arrival
+    gaps are pre-sampled in numpy chunks (bit-identical to the
+    equivalent one-at-a-time draws) and arrivals fire from a single
+    reusable callback event instead of a generator resuming through a
+    fresh ``Timeout`` per arrival. Arrival times, submission order and
+    the random stream are exactly those of the generator path; only the
+    kernel's per-arrival overhead changes. Time-varying (callable)
+    rates keep the generator path, since each gap depends on the rate
+    at the previous arrival.
+
     Args:
         env: simulation environment.
         app: the application under test.
@@ -146,21 +167,30 @@ class OpenLoopDriver:
         rng: random generator (inter-arrival draws).
         duration: stop submitting after this many seconds (None = run
             until the environment stops).
+        batch: chunk size for pre-sampled gaps in batch mode; 1
+            disables batching entirely.
     """
 
     def __init__(self, env: Environment, app: Application,
                  request_type: str,
                  rate: float | _t.Callable[[float], float],
                  rng: np.random.Generator,
-                 duration: float | None = None) -> None:
+                 duration: float | None = None,
+                 batch: int = 256) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.env = env
         self.app = app
         self.request_type = request_type
         self._rate = rate
         self._rng = rng
         self.duration = duration
+        self.batch = int(batch)
         self._started = False
         self.submitted = 0
+        self._gaps: np.ndarray | None = None
+        self._gap_i = 0
+        self._pump_start = 0.0
 
     def current_rate(self) -> float:
         """Arrival rate at the current simulation time."""
@@ -173,7 +203,53 @@ class OpenLoopDriver:
         if self._started:
             return
         self._started = True
-        self.env.process(self._arrivals(), name="open-loop-driver")
+        if self.batch > 1 and not callable(self._rate) and \
+                float(self._rate) > 0:
+            self._pump_start = self.env.now
+            if self.duration is not None and self.duration <= 0:
+                return
+            self._arm()
+        else:
+            self.env.process(self._arrivals(), name="open-loop-driver")
+
+    # ------------------------------------------------------------------
+    # Batch mode: chunk-sampled gaps, one reusable pump event
+    # ------------------------------------------------------------------
+    def _next_gap(self) -> float:
+        gaps = self._gaps
+        i = self._gap_i
+        if gaps is None or i >= len(gaps):
+            # One chunked draw consumes the random stream exactly like
+            # ``len(gaps)`` scalar draws (numpy Generator guarantee,
+            # relied on since the batched demand-sampling work).
+            gaps = self._gaps = self._rng.exponential(
+                1.0 / float(self._rate), self.batch)
+            i = 0
+        self._gap_i = i + 1
+        return float(gaps[i])
+
+    def _arm(self) -> None:
+        env = self.env
+        event = Event(env)
+        event.callbacks.append(self._pump)
+        event._ok = True
+        event._value = None
+        heappush(env._heap, (env._now + self._next_gap(), 1,
+                             next(env._eid), event))
+
+    def _pump(self, event: Event) -> None:
+        env = self.env
+        now = env._now
+        if self.duration is not None and \
+                now - self._pump_start >= self.duration:
+            return
+        self.submitted += 1
+        self.app.submit(self.request_type)
+        # Re-arm by reusing the fired event (its callback list was
+        # detached by the engine, so the object is free again).
+        event.callbacks = [self._pump]
+        heappush(env._heap, (now + self._next_gap(), 1,
+                             next(env._eid), event))
 
     def _arrivals(self):
         start_time = self.env.now

