@@ -527,6 +527,13 @@ class Microservice:
                                              span)
                 else:
                     yield from self._execute(replica, step, request, span)
+        except Interrupt:
+            # Cancelled mid-flight (quorum/hedge straggler, timeout):
+            # mark the span so exporters and tail samplers can tell
+            # partial work from natural completion. The finally below
+            # still stamps a valid departure at the interrupt time.
+            span.cancelled = True
+            raise
         finally:
             if tracked is not None:
                 self._inflight.discard(tracked)

@@ -62,6 +62,40 @@ def _build_scenario(args, controller: str, obs=None, fault_plan=None):
     return builder(**kwargs)
 
 
+def _attach_sampling(args, scenario, obs) -> bool:
+    """Attach the requested trace sampler + streaming aggregator.
+
+    Sampling decisions draw from the dedicated ``tracing.sampler``
+    stream, so the simulated outcome stays byte-identical to an
+    unsampled run. Returns ``False`` on invalid arguments (after
+    printing the error).
+    """
+    if getattr(args, "sampler", "none") == "none":
+        return True
+    from repro.tracing import (
+        CriticalPathAggregator,
+        HeadSampler,
+        TailSampler,
+        sampler_stream,
+    )
+
+    if not 0.0 <= args.sample_rate <= 1.0:
+        print(f"error: --sample-rate must be in [0, 1], got "
+              f"{args.sample_rate}", file=sys.stderr)
+        return False
+    rng = sampler_stream(scenario.streams)
+    if args.sampler == "head":
+        sampler = HeadSampler(args.sample_rate, rng,
+                              slo_threshold=args.sla)
+    else:
+        sampler = TailSampler(args.sample_rate, rng,
+                              slo_threshold=args.sla)
+    scenario.app.warehouse.attach(sampler=sampler,
+                                  analytics=CriticalPathAggregator())
+    obs.attach_trace_analytics(scenario.app.warehouse)
+    return True
+
+
 def _report(result, label: str) -> list:
     summary = result.summary_row()
     _t, rt = result.response_time_series(interval=args_interval(result))
@@ -200,6 +234,8 @@ def cmd_obs_report(args) -> int:
         configure_logging(args.log_level)
     obs = Observability()
     scenario = _build_scenario(args, args.controller, obs=obs)
+    if not _attach_sampling(args, scenario, obs):
+        return 2
     result = run_scenario(scenario, duration=args.duration)
     title = (f"{args.scenario} / {args.trace} / "
              f"{args.controller}+{args.autoscaler} "
@@ -250,6 +286,8 @@ def _obs_from_args(args, *, need_telemetry: bool = True):
         return obs, result.name
     obs = Observability()
     scenario = _build_scenario(args, args.controller, obs=obs)
+    if not _attach_sampling(args, scenario, obs):
+        return 2
     scenario.slo = SLOSpec(name=f"{args.scenario}-rt",
                            latency_threshold=args.sla,
                            objective=args.slo_objective)
@@ -449,7 +487,8 @@ def cmd_matrix_run(args) -> int:
             archetypes=archetypes, traces=traces, faults=faults,
             controllers=controllers, autoscaler=args.autoscaler,
             duration=duration, peak_users=peak_users,
-            min_users=min_users, seed=args.seed, sla=args.sla)
+            min_users=min_users, seed=args.seed, sla=args.sla,
+            telemetry=args.telemetry)
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -623,7 +662,19 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="run one scenario with observability enabled and explain "
              "every adaptation decision")
+    def add_sampler_args(p):
+        p.add_argument("--sampler", choices=("none", "head", "tail"),
+                       default="none",
+                       help="trace sampler for the live run's "
+                            "warehouse: 'tail' retains every "
+                            "SLO-violating/cancelled trace and "
+                            "downsamples the healthy bulk; 'head' "
+                            "flips a coin up front")
+        p.add_argument("--sample-rate", type=float, default=0.1,
+                       help="bulk keep probability (default 0.1)")
+
     add_run_args(report)
+    add_sampler_args(report)
     report.add_argument("--html", default=None, metavar="PATH",
                         help="also write an HTML report here")
     report.add_argument("--jsonl", default=None, metavar="PATH",
@@ -650,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="annotated telemetry dashboard (self-contained HTML or "
              "text sparklines) for a live or persisted run")
     add_run_args(dashboard)
+    add_sampler_args(dashboard)
     add_telemetry_source_args(dashboard)
     dashboard.add_argument("--html", default=None, metavar="PATH",
                            help="write the self-contained HTML "
@@ -663,6 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="expose the metrics registry + final SLO state in "
              "OpenMetrics text format")
     add_run_args(export)
+    add_sampler_args(export)
     add_telemetry_source_args(export)
     export.add_argument("--format", choices=("openmetrics",),
                         default="openmetrics")
@@ -746,6 +799,11 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_run.add_argument("--rerun-check", action="store_true",
                             help="re-run every cell and verify "
                                  "byte-identical replay fingerprints")
+    matrix_run.add_argument("--telemetry", action="store_true",
+                            help="stream per-cell telemetry with tail "
+                                 "sampling and emit a dashboard HTML + "
+                                 "sampling-coverage JSON next to each "
+                                 "cell result, linked from index.html")
 
     validate = sub.add_parser(
         "validate",

@@ -122,6 +122,48 @@ class CriticalServiceLocator:
             path_frequencies=dict(path_counter),
         )
 
+    def locate_from_aggregate(
+            self, analytics,
+            utilizations: dict[str, float]) -> LocalizationReport:
+        """Nominate the critical service from streaming aggregates.
+
+        Same two-step method as :meth:`locate`, but consuming a
+        :class:`~repro.tracing.analytics.CriticalPathAggregator`
+        instead of raw traces: the aggregator's streaming Pearson
+        accumulators stand in for the per-window sample pairs and its
+        top-K path table for the exhaustive path census. This is the
+        sampling-proof path — the aggregator sees every finished trace
+        before any sampling decision, so localization is identical
+        whether the warehouse stores 100% or 5% of traces. The
+        trade-off: correlations are run-to-date rather than windowed.
+        """
+        if analytics is None or not analytics.traces_observed:
+            return LocalizationReport(
+                critical_service=None, dominant_path=(),
+                utilizations=dict(utilizations))
+        correlations = {
+            service: value
+            for service, value in analytics.correlations().items()
+            if service not in self.exclude
+        }
+        frequencies = analytics.path_frequencies()
+        dominant_path = (max(frequencies, key=frequencies.__getitem__)
+                         if frequencies else ())
+        candidates = tuple(
+            service for service, value in utilizations.items()
+            if value >= self.utilization_threshold
+            and service not in self.exclude
+        )
+        critical = self._pick(correlations, candidates, dominant_path)
+        return LocalizationReport(
+            critical_service=critical,
+            dominant_path=dominant_path,
+            correlations=correlations,
+            utilizations=dict(utilizations),
+            candidates=candidates,
+            path_frequencies=dict(frequencies),
+        )
+
     def _pick(self, correlations: dict[str, float],
               candidates: tuple[str, ...],
               dominant_path: tuple[str, ...]) -> str | None:

@@ -103,6 +103,14 @@ class FrameworkConfig:
             estimator's window is flushed so the model re-learns the
             new regime instead of averaging across regimes (extension
             beyond the paper; see DESIGN.md).
+        localize_from_aggregates: nominate the critical service from
+            the warehouse's streaming
+            :class:`~repro.tracing.analytics.CriticalPathAggregator`
+            (fed every finished trace *before* sampling) instead of
+            the stored trace window. Makes localization invariant to
+            trace sampling/eviction; requires an aggregator attached
+            to the application's warehouse, otherwise the windowed
+            path is used as before.
     """
 
     control_period: float = 15.0
@@ -115,6 +123,7 @@ class FrameworkConfig:
     adapt_only_critical: bool = True
     use_deadline_propagation: bool = True
     detect_drift: bool = False
+    localize_from_aggregates: bool = False
 
     def __post_init__(self) -> None:
         if self.control_period <= 0 or self.localization_window <= 0:
@@ -246,10 +255,16 @@ class ConcurrencyAdaptationFramework:
         now = self.env.now
         since = now - self.config.localization_window
         traces = self.app.warehouse.traces(since, now)
+        analytics = (self.app.warehouse.analytics
+                     if self.config.localize_from_aggregates else None)
         with obs.phase("localize"):
-            report = self.locator.locate(
-                traces, self.monitoring.utilizations(
-                    self.config.localization_window))
+            utilizations = self.monitoring.utilizations(
+                self.config.localization_window)
+            if analytics is not None:
+                report = self.locator.locate_from_aggregate(
+                    analytics, utilizations)
+            else:
+                report = self.locator.locate(traces, utilizations)
         self.reports.append(report)
 
         if self.propagator is not None and \

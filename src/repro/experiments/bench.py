@@ -179,6 +179,76 @@ def bench_sock_shop(requests: int = 2000,
     }
 
 
+def bench_sampling_overhead(requests: int = 2000,
+                            repeats: int = REPEATS) -> dict:
+    """Events/s cost of tail sampling + streaming path aggregation.
+
+    Runs the Sock Shop cart round trip three ways — bare warehouse,
+    :class:`~repro.tracing.TailSampler` attached, and sampler plus
+    :class:`~repro.tracing.CriticalPathAggregator` — and reports the
+    relative events/s overhead of each. Sampling draws from the
+    dedicated ``tracing.sampler`` stream, so all runs schedule the
+    exact same simulation events; the deltas are pure observer cost.
+    ``overhead_pct`` is the tail-sampling cost (the perf gate);
+    ``analytics_overhead_pct`` adds the streaming aggregation.
+    """
+    from repro.tracing import (
+        CriticalPathAggregator,
+        TailSampler,
+        sampler_stream,
+    )
+
+    def run(mode: str) -> tuple[int, int, int]:
+        env = Environment()
+        streams = RandomStreams(1)
+        app = build_sock_shop(env, streams)
+        if mode != "bare":
+            app.warehouse.attach(
+                sampler=TailSampler(0.1, sampler_stream(streams),
+                                    slo_threshold=0.4),
+                analytics=(CriticalPathAggregator()
+                           if mode == "analytics" else None))
+
+        def feeder(env: Environment):
+            for _ in range(requests):
+                app.submit("cart")
+                yield env.timeout(0.004)
+
+        env.process(feeder(env))
+        env.run()
+        return (app.warehouse.total_recorded, len(app.warehouse),
+                _events_scheduled(env))
+
+    base_s, (base_traces, _stored, base_events) = _best_of(
+        lambda: run("bare"), repeats)
+    tail_s, (tail_traces, stored, tail_events) = _best_of(
+        lambda: run("tail"), repeats)
+    full_s, (_traces, _stored2, full_events) = _best_of(
+        lambda: run("analytics"), repeats)
+    base_eps = base_events / base_s
+    tail_eps = tail_events / tail_s
+    full_eps = full_events / full_s
+    return {
+        "requests": requests,
+        "events": base_events,
+        "identical_events": base_events == tail_events == full_events,
+        "traces": tail_traces,
+        "traces_identical": base_traces == tail_traces,
+        "stored_traces": stored,
+        "stored_fraction": (stored / tail_traces if tail_traces
+                            else 0.0),
+        "baseline_seconds": base_s,
+        "sampled_seconds": tail_s,
+        "analytics_seconds": full_s,
+        "baseline_events_per_sec": base_eps,
+        "sampled_events_per_sec": tail_eps,
+        "analytics_events_per_sec": full_eps,
+        "overhead_pct": (base_eps - tail_eps) / base_eps * 100.0,
+        "analytics_overhead_pct":
+            (base_eps - full_eps) / base_eps * 100.0,
+    }
+
+
 def fanout_goodput(spec: tuple[int, int]) -> float:
     """One fan-out task: a seeded Sock Shop run's goodput at 400 ms.
 
@@ -477,6 +547,8 @@ def run_bench_suite(scale: float = 1.0,
             workers=scaled(100, 10), iterations=200, repeats=repeats),
         "sock_shop": bench_sock_shop(
             requests=scaled(2000, 50), repeats=repeats),
+        "sampling_overhead": bench_sampling_overhead(
+            requests=scaled(2000, 50), repeats=repeats),
     }
     if include_parallel:
         benchmarks["parallel_fanout"] = bench_parallel_fanout(
@@ -525,6 +597,17 @@ def render_report(report: dict) -> str:
                     f"({tier['total_requests']:,.0f} requests)")
             continue
         parts = [f"{name:<16}"]
+        if "overhead_pct" in stats:
+            lines.append(
+                f"{name:<16}  "
+                f"{stats['sampled_events_per_sec']:>12,.0f} events/s "
+                f"tail-sampled vs "
+                f"{stats['baseline_events_per_sec']:>12,.0f} bare "
+                f"({stats['overhead_pct']:+.1f}% overhead, "
+                f"{stats['analytics_overhead_pct']:+.1f}% with "
+                f"aggregation, stored {stats['stored_fraction']:.0%} "
+                f"of {stats['traces']:,} traces)")
+            continue
         if "events_per_sec" in stats:
             parts.append(f"{stats['events_per_sec']:>12,.0f} events/s")
         if "requests_per_sec" in stats:

@@ -86,6 +86,13 @@ class CellSpec:
         obs_enabled: capture a per-cell decision log (an enabled,
             telemetry-off :class:`~repro.obs.Observability`), persisted
             with the cell result.
+        telemetry: additionally stream timeline telemetry and attach a
+            tail sampler + critical-path aggregator, so persisted cells
+            get a dashboard HTML and sampling-coverage stats next to
+            the result JSON. Sampling draws from the dedicated
+            ``tracing.sampler`` stream, so it never perturbs the
+            simulated outcome; re-runs of the same spec still replay
+            byte-identically.
     """
 
     params: ZooParams
@@ -96,6 +103,7 @@ class CellSpec:
     sla: float = 0.4
     seed: int = 42
     obs_enabled: bool = True
+    telemetry: bool = False
 
     @property
     def cell_id(self) -> str:
@@ -139,6 +147,12 @@ class CellResult:
     path: str = ""
     #: Fingerprint of the verification re-run ("" when not checked).
     rerun_fingerprint: str = ""
+    #: Path of the per-cell dashboard HTML, relative to the matrix
+    #: results directory ("" unless the cell ran with telemetry).
+    dashboard: str = ""
+    #: Sampling-coverage stats from the cell warehouse (empty unless
+    #: the cell ran with telemetry).
+    coverage: dict = field(default_factory=dict)
 
     @property
     def replay_ok(self) -> bool:
@@ -183,22 +197,51 @@ def run_cell(cell: CellSpec, out_dir: str | None = None) -> CellResult:
     fault_at = cell.workload.duration / 3.0
     plan = zoo_fault_plan(cell.params, cell.fault, at=fault_at,
                           duration=fault_at)
-    obs = (obs_mod.Observability(enabled=True, telemetry=False)
-           if cell.obs_enabled else obs_mod.NULL)
+    obs = (obs_mod.Observability(enabled=True,
+                                 telemetry=cell.telemetry)
+           if cell.obs_enabled or cell.telemetry else obs_mod.NULL)
     scenario = zoo_scenario(
         cell.params, trace=cell.workload.build(), sla=cell.sla,
         controller=cell.controller, autoscaler=cell.autoscaler,
         seed=cell.seed, obs=obs, fault_plan=plan,
         name=cell.cell_id)
+    if cell.telemetry:
+        from repro.tracing import (
+            CriticalPathAggregator,
+            TailSampler,
+            sampler_stream,
+        )
+
+        scenario.app.warehouse.attach(
+            sampler=TailSampler(0.1, sampler_stream(scenario.streams),
+                                slo_threshold=cell.sla),
+            analytics=CriticalPathAggregator())
+        obs.attach_trace_analytics(scenario.app.warehouse)
     recorder = RunRecorder(scenario.env, keep_events=False)
     result = run_scenario(scenario, duration=cell.workload.duration)
     fingerprint = recorder.finish(scenario.app)
     path = ""
+    dashboard = ""
+    coverage: dict = {}
+    if cell.telemetry:
+        coverage = scenario.app.warehouse.coverage()
     if out_dir is not None:
         os.makedirs(out_dir, exist_ok=True)
         path = os.path.join(out_dir, f"{cell.cell_id}.json")
         save_result(path, result)
         path = os.path.relpath(path, os.path.dirname(out_dir))
+        if cell.telemetry:
+            dashboard = os.path.join(out_dir,
+                                     f"{cell.cell_id}.dashboard.html")
+            with open(dashboard, "w", encoding="utf-8") as handle:
+                handle.write(obs_mod.render_dashboard_html(
+                    obs, title=cell.cell_id))
+            with open(os.path.join(out_dir,
+                                   f"{cell.cell_id}.coverage.json"),
+                      "w", encoding="utf-8") as handle:
+                json.dump(coverage, handle, indent=2, sort_keys=True)
+            dashboard = os.path.relpath(dashboard,
+                                        os.path.dirname(out_dir))
     summary = result.summary_row()
     return CellResult(
         cell=cell,
@@ -214,6 +257,8 @@ def run_cell(cell: CellSpec, out_dir: str | None = None) -> CellResult:
         adaptation_actions=len(result.adaptation_actions),
         scale_events=len(result.scale_events),
         path=path,
+        dashboard=dashboard,
+        coverage=coverage,
     )
 
 
@@ -272,20 +317,29 @@ class MatrixResult:
         """A self-contained HTML index of the matrix."""
         rows = sorted(self.cells, key=lambda r: r.cell.cell_id)
         head = ("cell", "requests", "failed", "goodput rps", "p95 ms",
-                "p99 ms", "actions", "fingerprint", "result")
+                "p99 ms", "actions", "fingerprint", "result",
+                "dashboard")
         body = []
         for result in rows:
             summary = result.summary_row()
             link = (f'<a href="{_html.escape(result.path)}">json</a>'
                     if result.path else "—")
-            cells = [summary["cell"], summary["requests"],
+            stored = result.coverage.get("stored")
+            total = result.coverage.get("total_recorded")
+            dash_text = ("dashboard" if not total
+                         else f"dashboard ({stored}/{total} traces)")
+            dash = (f'<a href="{_html.escape(result.dashboard)}">'
+                    f"{dash_text}</a>"
+                    if result.dashboard else "—")
+            plain = [summary["cell"], summary["requests"],
                      summary["failed"], summary["goodput_rps"],
                      summary["p95_ms"], summary["p99_ms"],
-                     summary["actions"], summary["fingerprint"], link]
+                     summary["actions"], summary["fingerprint"]]
+            cells = [_html.escape(str(value)) for value in plain]
+            cells += [link, dash]
             body.append(
-                "<tr>" + "".join(
-                    f"<td>{value if value == link else _html.escape(str(value))}</td>"
-                    for value in cells) + "</tr>")
+                "<tr>" + "".join(f"<td>{value}</td>"
+                                 for value in cells) + "</tr>")
         return (
             "<!doctype html><html><head><meta charset='utf-8'>"
             "<title>matrix results</title><style>"
@@ -361,7 +415,8 @@ def default_matrix(*, archetypes: _t.Sequence[str] = (
                    autoscaler: str = "hpa",
                    duration: float = 90.0, peak_users: int = 100,
                    min_users: int = 25, seed: int = 42,
-                   sla: float = 0.4) -> list[CellSpec]:
+                   sla: float = 0.4,
+                   telemetry: bool = False) -> list[CellSpec]:
     """The stock ≥24-cell grid (3 topologies × 2 × 2 × 2).
 
     Cache-aside cells get an invalidation storm aligned with the
@@ -381,5 +436,5 @@ def default_matrix(*, archetypes: _t.Sequence[str] = (
                     cells.append(CellSpec(
                         params=params, workload=workload, fault=fault,
                         controller=controller, autoscaler=autoscaler,
-                        sla=sla, seed=seed))
+                        sla=sla, seed=seed, telemetry=telemetry))
     return cells

@@ -89,6 +89,28 @@ class Observability:
         #: SLO monitor attached by the harness when the scenario
         #: carries an SLO spec (or restored by persistence).
         self.slo: SLOMonitor | None = None
+        #: Streaming critical-path aggregator + trace sampler, attached
+        #: via :meth:`attach_trace_analytics` when the run's warehouse
+        #: samples traces. Pure observers: exporters/dashboards read
+        #: them, the simulation never does.
+        self.trace_analytics = None
+        self.trace_sampler = None
+
+    def attach_trace_analytics(self, warehouse) -> None:
+        """Expose a warehouse's sampler/aggregator to the exporters.
+
+        Call after :meth:`repro.tracing.TraceWarehouse.attach` so the
+        OpenMetrics export, dashboard flame view, and report sections
+        can render the streaming trace analytics.
+        """
+        self.trace_analytics = warehouse.analytics
+        self.trace_sampler = warehouse.sampler
+        if self.enabled and warehouse.analytics is not None:
+            # End-to-end latency histogram with exemplar trace ids:
+            # every finished trace lands here, the slowest pinned as
+            # the exemplar on the _count sample of the export.
+            warehouse.analytics.latency_histogram = (
+                self.registry.histogram("trace.latency"))
 
     def __bool__(self) -> bool:
         return self.enabled

@@ -158,6 +158,95 @@ def _panel_svg(name: str, points: list[tuple[float, float]],
         f'{"".join(markers)}</svg>')
 
 
+# Flame-segment palette, assigned to services in sorted order.
+_FLAME_COLORS = ("#2a6fb0", "#1f7a4d", "#b4771f", "#7a1fa2", "#d1242f",
+                 "#0f766e", "#9a3412", "#4c1d95", "#155e75", "#713f12")
+
+
+def _flame_svg(analytics) -> str:
+    """Critical-path flame view: top path patterns as stacked bars.
+
+    One row per top path pattern (by observed count); within a row,
+    one segment per service sized by its mean critical-path self time,
+    over a faint bar showing the pattern's mean end-to-end duration.
+    Hover a segment for mean/P99 self time.
+    """
+    paths = analytics.paths.top(5)
+    if not paths:
+        return ""
+    color = {service: _FLAME_COLORS[i % len(_FLAME_COLORS)]
+             for i, service in enumerate(analytics.services())}
+    row_h, gap = 24, 8
+    plot_w = _WIDTH - _PAD_L - _PAD_R - 150
+    scale = max(p["mean_duration"] for p in paths) or 1.0
+    height = (row_h + gap) * len(paths) + 2 * _PAD_V
+    total = sum(p["count"] for p in paths) or 1
+    parts = [
+        f'<svg width="{_WIDTH}" height="{height}" '
+        f'viewBox="0 0 {_WIDTH} {height}" role="img" '
+        f'aria-label="critical-path flame view">']
+    y = float(_PAD_V)
+    for rank, p in enumerate(paths, start=1):
+        bar_w = p["mean_duration"] / scale * plot_w
+        parts.append(
+            f'<text class="axis" x="4" y="{y + row_h / 2 + 4:.1f}">'
+            f'#{rank}</text>')
+        parts.append(
+            f'<rect x="{_PAD_L}" y="{y:.1f}" width="{bar_w:.1f}" '
+            f'height="{row_h}" fill="#e4e9f1"/>')
+        x = float(_PAD_L)
+        for service in p["services"]:
+            sketch = analytics.self_time.get(service)
+            if sketch is None or not sketch.count:
+                continue
+            seg_w = max(1.0, sketch.mean / scale * plot_w)
+            p99 = sketch.quantile(max(sketch.quantiles()))
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{seg_w:.1f}" '
+                f'height="{row_h}" fill="{color[service]}" '
+                f'stroke="#fafbfd" stroke-width="0.5">'
+                f'<title>{_html.escape(service)}: mean self '
+                f'{sketch.mean * 1e3:.1f}ms · p{max(sketch.quantiles()) * 100:g} '
+                f'{p99 * 1e3:.1f}ms</title></rect>')
+            if seg_w > 7 * len(service):
+                parts.append(
+                    f'<text class="axis" x="{x + 3:.1f}" '
+                    f'y="{y + row_h / 2 + 4:.1f}" fill="#fff">'
+                    f'{_html.escape(service)}</text>')
+            x += seg_w
+        parts.append(
+            f'<text class="axis" x="{_PAD_L + plot_w + 8:.1f}" '
+            f'y="{y + row_h / 2 + 4:.1f}">×{p["count"]} '
+            f'({p["count"] / total * 100:.0f}%) '
+            f'{p["mean_duration"] * 1e3:.0f}ms</text>')
+        y += row_h + gap
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _coverage_table(sampler) -> str:
+    """Sampling-coverage panel: totals, reasons, SLO retention."""
+    cov = sampler.coverage()
+    slo = cov["slo_violating"]
+    reasons = ", ".join(f"{reason}: {count}" for reason, count
+                        in cov["kept_by_reason"].items()) or "—"
+    retention = (f"{slo['retention'] * 100:.1f}% "
+                 f"({slo['kept']}/{slo['total']})"
+                 if slo["total"] else "no violations")
+    rows = [
+        ("sampler", f"{cov['sampler']}"
+         + (f" (bulk rate {cov['rate']:g})" if "rate" in cov else "")),
+        ("traces seen", f"{cov['total']}"),
+        ("traces stored", f"{cov['kept']} "
+         f"({cov['stored_fraction'] * 100:.1f}%)"),
+        ("kept by reason", reasons),
+        ("SLO-violating retained", retention),
+    ]
+    body = "".join(f"<tr><th>{_html.escape(k)}</th>"
+                   f"<td>{_html.escape(v)}</td></tr>" for k, v in rows)
+    return f"<table><tbody>{body}</tbody></table>"
+
+
 def render_dashboard_html(obs: "Observability", *,
                           title: str = "run") -> str:
     """The annotated run dashboard as one self-contained HTML page.
@@ -170,7 +259,11 @@ def render_dashboard_html(obs: "Observability", *,
     """
     timeline = obs.timeline
     annotations = annotations_from_log(obs.decisions)
-    if len(timeline) == 0 and not annotations:
+    analytics = getattr(obs, "trace_analytics", None)
+    sampler = getattr(obs, "trace_sampler", None)
+    if analytics is not None and not analytics.traces_observed:
+        analytics = None
+    if len(timeline) == 0 and not annotations and analytics is None:
         raise ValueError(
             "nothing to render: the run recorded no timeline series "
             "and no decision-log annotations (telemetry disabled?)")
@@ -216,6 +309,20 @@ def render_dashboard_html(obs: "Observability", *,
         if not points:
             continue
         parts.append(_panel_svg(name, points, t_lo, t_hi, annotations))
+
+    if analytics is not None:
+        q_max = max(analytics.duration.quantiles())
+        parts.append("<h2>Critical-path flame view</h2>")
+        parts.append(
+            f"<p class='summary'>{analytics.traces_observed} traces "
+            f"aggregated (streaming, pre-sampling) · end-to-end "
+            f"p{q_max * 100:g} "
+            f"{analytics.duration.quantile(q_max) * 1e3:.1f}ms · "
+            f"{len(analytics.paths)} path patterns</p>")
+        parts.append(_flame_svg(analytics))
+    if sampler is not None:
+        parts.append("<h2>Sampling coverage</h2>")
+        parts.append(_coverage_table(sampler))
 
     if annotations:
         parts.append("<h2>Annotations</h2>")

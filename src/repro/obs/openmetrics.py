@@ -10,7 +10,14 @@ scraped into any Prometheus-compatible tooling:
 - registry ``Histogram`` → ``summary`` (quantile-labelled samples plus
   ``_count``/``_sum``);
 - SLO state → ``repro_slo_*`` families (good/bad totals, compliance,
-  budget remaining, per-rule burn rates and firing flags).
+  budget remaining, per-rule burn rates and firing flags);
+- trace analytics (when a sampler/aggregator is attached, see
+  :mod:`repro.tracing.analytics`) → ``repro_trace_*`` families:
+  sampling coverage counters and per-service critical-path latency
+  summaries whose ``_count`` samples carry **exemplars** — OpenMetrics
+  ``# {trace_id="<032x>"} value timestamp`` suffixes linking the worst
+  observed trace, so a dashboard can jump from a P99 to the exact
+  Jaeger trace that produced it.
 
 Dotted registry names are sanitized to the metric-name grammar
 (``sora.adaptations.applied`` → ``repro_sora_adaptations_applied``).
@@ -28,7 +35,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observability
     from repro.obs.slo import SLOMonitor
 
-__all__ = ["parse_openmetrics", "render_openmetrics"]
+__all__ = ["Exemplar", "Sample", "parse_openmetrics",
+           "render_openmetrics"]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -62,6 +70,85 @@ def _labels(pairs: dict[str, str]) -> str:
     inner = ",".join(f'{key}="{_escape_label(value)}"'
                      for key, value in pairs.items())
     return "{" + inner + "}"
+
+
+def _exemplar_suffix(trace_id: int, value: float,
+                     timestamp: float | None = None) -> str:
+    """OpenMetrics exemplar clause appended to a sample line."""
+    clause = (f' # {_labels({"trace_id": format(int(trace_id), "032x")})}'
+              f" {_fmt(value)}")
+    if timestamp is not None:
+        clause += f" {_fmt(timestamp)}"
+    return clause
+
+
+def _summary_lines(name: str, sketch, labels: dict[str, str],
+                   exemplar=None) -> list[str]:
+    """Quantile/sum/count samples for one QuantileSketch series."""
+    lines = []
+    for q in sketch.quantiles():
+        lines.append(
+            f"{name}{_labels({**labels, 'quantile': _fmt(q)})} "
+            f"{_fmt(sketch.quantile(q))}")
+    lines.append(f"{name}_sum{_labels(labels)} "
+                 f"{_fmt(sketch.mean * sketch.count)}")
+    count_line = f"{name}_count{_labels(labels)} {_fmt(sketch.count)}"
+    if exemplar is not None:
+        count_line += _exemplar_suffix(exemplar.trace_id, exemplar.value,
+                                       exemplar.timestamp)
+    lines.append(count_line)
+    return lines
+
+
+def _trace_lines(analytics, sampler) -> list[str]:
+    """``repro_trace_*`` families from the streaming trace analytics."""
+    lines: list[str] = []
+    if sampler is not None:
+        cov = sampler.coverage()
+        lines += [
+            "# TYPE repro_trace_sampling_seen counter",
+            "# HELP repro_trace_sampling_seen Finished traces offered "
+            "to the sampler.",
+            f"repro_trace_sampling_seen_total"
+            f"{_labels({'sampler': cov['sampler']})} {_fmt(cov['total'])}",
+            "# TYPE repro_trace_sampling_kept counter",
+            "# HELP repro_trace_sampling_kept Traces stored, by "
+            "retention reason.",
+        ]
+        for reason, count in cov["kept_by_reason"].items():
+            lines.append(
+                f"repro_trace_sampling_kept_total"
+                f"{_labels({'reason': reason})} {_fmt(count)}")
+        lines += [
+            "# TYPE repro_trace_sampling_stored_fraction gauge",
+            f"repro_trace_sampling_stored_fraction "
+            f"{_fmt(cov['stored_fraction'])}",
+            "# TYPE repro_trace_sampling_slo_retention gauge",
+            "# HELP repro_trace_sampling_slo_retention Fraction of "
+            "SLO-violating traces retained.",
+            f"repro_trace_sampling_slo_retention "
+            f"{_fmt(cov['slo_violating']['retention'])}",
+        ]
+    if analytics is not None and analytics.traces_observed:
+        lines += [
+            "# TYPE repro_trace_critical_path_duration_seconds summary",
+            "# HELP repro_trace_critical_path_duration_seconds "
+            "End-to-end critical-path duration (streaming).",
+        ]
+        lines += _summary_lines(
+            "repro_trace_critical_path_duration_seconds",
+            analytics.duration, {}, analytics.slowest)
+        lines += [
+            "# TYPE repro_trace_self_time_seconds summary",
+            "# HELP repro_trace_self_time_seconds Per-service "
+            "critical-path self time (streaming).",
+        ]
+        for service in analytics.services():
+            lines += _summary_lines(
+                "repro_trace_self_time_seconds",
+                analytics.self_time[service], {"service": service},
+                analytics.slowest_by_service.get(service))
+    return lines
 
 
 def _slo_lines(slo: "SLOMonitor", now: float | None) -> list[str]:
@@ -147,11 +234,33 @@ def render_openmetrics(obs: "Observability",
                         f"{_fmt(snap[key])}")
                 mean = snap.get("mean", float("nan"))
                 lines.append(f"{name}_sum {_fmt(mean * count)}")
-            lines.append(f"{name}_count {_fmt(count)}")
+            count_line = f"{name}_count {_fmt(count)}"
+            exemplar = snap.get("exemplar")
+            if exemplar is not None:
+                count_line += _exemplar_suffix(
+                    exemplar["trace_id"], exemplar["value"],
+                    exemplar.get("timestamp"))
+            lines.append(count_line)
     if obs.slo is not None:
         lines.extend(_slo_lines(obs.slo, now))
+    lines.extend(_trace_lines(getattr(obs, "trace_analytics", None),
+                              getattr(obs, "trace_sampler", None)))
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+class Exemplar(_t.NamedTuple):
+    """One parsed exemplar clause (``# {labels} value [timestamp]``)."""
+
+    labels: dict[str, str]
+    value: float
+    timestamp: float | None = None
+
+    @property
+    def trace_id(self) -> int | None:
+        """The linked trace id, when the exemplar carries one."""
+        raw = self.labels.get("trace_id")
+        return int(raw, 16) if raw is not None else None
 
 
 class Sample(_t.NamedTuple):
@@ -160,12 +269,15 @@ class Sample(_t.NamedTuple):
     name: str
     labels: dict[str, str]
     value: float
+    exemplar: Exemplar | None = None
 
 
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)\s*$")
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exlabels>[^}]*)\}\s+(?P<exvalue>\S+)"
+    r"(?:\s+(?P<exts>\S+))?)?\s*$")
 _LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>'
                     r'(?:[^"\\]|\\.)*)"')
 
@@ -173,6 +285,15 @@ _LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>'
 def _unescape_label(value: str) -> str:
     return (value.replace("\\n", "\n").replace('\\"', '"')
             .replace("\\\\", "\\"))
+
+
+def _parse_labels(raw: str | None) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    if raw:
+        for pair in _LABEL.finditer(raw):
+            labels[pair.group("key")] = _unescape_label(
+                pair.group("value"))
+    return labels
 
 
 def parse_openmetrics(text: str) -> dict[str, dict]:
@@ -206,12 +327,14 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
         if match is None:
             raise ValueError(f"line {lineno}: bad sample {line!r}")
         name = match.group("name")
-        labels: dict[str, str] = {}
-        raw_labels = match.group("labels")
-        if raw_labels:
-            for pair in _LABEL.finditer(raw_labels):
-                labels[pair.group("key")] = _unescape_label(
-                    pair.group("value"))
+        labels = _parse_labels(match.group("labels"))
+        exemplar = None
+        if match.group("exvalue") is not None:
+            raw_ts = match.group("exts")
+            exemplar = Exemplar(
+                labels=_parse_labels(match.group("exlabels")),
+                value=float(match.group("exvalue")),
+                timestamp=float(raw_ts) if raw_ts is not None else None)
         family = name
         for suffix in ("_total", "_count", "_sum"):
             if family.endswith(suffix) and family[:-len(suffix)] in families:
@@ -222,7 +345,7 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
             raise ValueError(
                 f"line {lineno}: sample {name!r} without # TYPE")
         entry["samples"].append(
-            Sample(name, labels, float(match.group("value"))))
+            Sample(name, labels, float(match.group("value")), exemplar))
     if not saw_eof:
         raise ValueError("missing # EOF terminator")
     return families

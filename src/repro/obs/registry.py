@@ -71,7 +71,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "min", "max",
-                 "_ring", "_cursor", "_filled")
+                 "_ring", "_cursor", "_filled", "exemplar")
 
     def __init__(self, name: str, capacity: int = 1024) -> None:
         if capacity < 1:
@@ -84,6 +84,10 @@ class Histogram:
         self._ring = np.empty(capacity, dtype=np.float64)
         self._cursor = 0
         self._filled = 0
+        #: Optional ``{"trace_id", "value", "timestamp"}`` exemplar —
+        #: the worst observation with a trace attached (OpenMetrics
+        #: exposition links it on the ``_count`` sample).
+        self.exemplar: dict | None = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -113,10 +117,18 @@ class Histogram:
             return float("nan")
         return float(np.percentile(self.recent(), q))
 
+    def link_exemplar(self, trace_id: int, value: float,
+                      timestamp: float) -> None:
+        """Pin a trace id to ``value``; the largest-valued link wins."""
+        if self.exemplar is None or value > self.exemplar["value"]:
+            self.exemplar = {"trace_id": int(trace_id),
+                             "value": float(value),
+                             "timestamp": float(timestamp)}
+
     def snapshot(self) -> dict:
         if self.count == 0:
             return {"type": "histogram", "count": 0}
-        return {
+        snap = {
             "type": "histogram",
             "count": self.count,
             "mean": self.mean,
@@ -126,6 +138,9 @@ class Histogram:
             "p95": self.percentile(95.0),
             "retained": int(self._filled),
         }
+        if self.exemplar is not None:
+            snap["exemplar"] = dict(self.exemplar)
+        return snap
 
 
 class _NullCounter:
@@ -158,8 +173,13 @@ class _NullHistogram:
     count = 0
     total = 0.0
     mean = float("nan")
+    exemplar = None
 
     def observe(self, value: float) -> None:
+        pass
+
+    def link_exemplar(self, trace_id: int, value: float,
+                      timestamp: float) -> None:
         pass
 
     def percentile(self, q: float) -> float:

@@ -135,6 +135,43 @@ _LOCALIZATION_HEADERS = ["t[s]", "critical", "top correlations",
                          "util candidates", "traces"]
 
 
+def _trace_analytics_rows(analytics) -> list[list[str]]:
+    """Per-service streaming critical-path aggregates, worst first."""
+    rows = []
+    q_hi = max(analytics.duration.quantiles())
+    for service in sorted(
+            analytics.services(),
+            key=lambda s: -analytics.self_time[s].mean):
+        sketch = analytics.self_time[service]
+        contribution = analytics.contribution[service]
+        exemplar = analytics.slowest_by_service.get(service)
+        rows.append([
+            service,
+            str(sketch.count),
+            f"{sketch.mean * 1e3:.1f}",
+            f"{sketch.quantile(0.5) * 1e3:.1f}",
+            f"{sketch.quantile(q_hi) * 1e3:.1f}",
+            f"{contribution.mean * 100:.0f}%",
+            f"{analytics.correlations()[service]:.2f}",
+            format(exemplar.trace_id, "x") if exemplar else "-",
+        ])
+    return rows
+
+
+_TRACE_ANALYTICS_HEADERS = ["service", "n", "mean self[ms]", "p50[ms]",
+                            "p99[ms]", "contrib", "PCC",
+                            "exemplar trace"]
+
+
+def _trace_path_rows(analytics) -> list[list[str]]:
+    return [[" → ".join(p["services"]), str(p["count"]),
+             f"{p['mean_duration'] * 1e3:.1f}"]
+            for p in analytics.paths.top(5)]
+
+
+_TRACE_PATH_HEADERS = ["critical path", "count", "mean duration[ms]"]
+
+
 # ----------------------------------------------------------------------
 # Text rendering
 # ----------------------------------------------------------------------
@@ -211,6 +248,29 @@ def render_text(obs: "Observability", *, title: str = "run") -> str:
         lines.append(ascii_table(
             _LOCALIZATION_HEADERS, localization,
             title="Localization (most recent rounds)"))
+        lines.append("")
+
+    analytics = getattr(obs, "trace_analytics", None)
+    if analytics is not None and analytics.traces_observed:
+        lines.append(ascii_table(
+            _TRACE_ANALYTICS_HEADERS, _trace_analytics_rows(analytics),
+            title=f"Streaming critical-path aggregates "
+                  f"({analytics.traces_observed} traces, pre-sampling)"))
+        lines.append("")
+        lines.append(ascii_table(
+            _TRACE_PATH_HEADERS, _trace_path_rows(analytics),
+            title="Top critical-path patterns"))
+        lines.append("")
+    sampler = getattr(obs, "trace_sampler", None)
+    if sampler is not None and sampler.total:
+        cov = sampler.coverage()
+        lines.append(
+            f"Trace sampling ({cov['sampler']}): kept "
+            f"{cov['kept']}/{cov['total']} "
+            f"({cov['stored_fraction'] * 100:.1f}%), SLO-violating "
+            f"retention {cov['slo_violating']['retention'] * 100:.1f}% "
+            f"({cov['slo_violating']['kept']}"
+            f"/{cov['slo_violating']['total']})")
         lines.append("")
 
     scale_rows = _scale_rows(log)
@@ -378,6 +438,30 @@ def render_html(obs: "Observability", *, title: str = "run") -> str:
     if localization:
         parts.append("<h2>Localization (most recent rounds)</h2>")
         parts.append(_html_table(_LOCALIZATION_HEADERS, localization))
+
+    analytics = getattr(obs, "trace_analytics", None)
+    if analytics is not None and analytics.traces_observed:
+        parts.append("<h2>Streaming critical-path aggregates</h2>")
+        parts.append(
+            f"<p class='summary'>{analytics.traces_observed} traces "
+            "aggregated before any sampling decision</p>")
+        parts.append(_html_table(_TRACE_ANALYTICS_HEADERS,
+                                 _trace_analytics_rows(analytics)))
+        parts.append("<h2>Top critical-path patterns</h2>")
+        parts.append(_html_table(_TRACE_PATH_HEADERS,
+                                 _trace_path_rows(analytics)))
+    sampler = getattr(obs, "trace_sampler", None)
+    if sampler is not None and sampler.total:
+        cov = sampler.coverage()
+        parts.append("<h2>Trace sampling coverage</h2>")
+        parts.append(
+            f"<p>{_html.escape(cov['sampler'])} sampler kept "
+            f"{cov['kept']}/{cov['total']} traces "
+            f"({cov['stored_fraction'] * 100:.1f}%); SLO-violating "
+            f"retention "
+            f"{cov['slo_violating']['retention'] * 100:.1f}% "
+            f"({cov['slo_violating']['kept']}"
+            f"/{cov['slo_violating']['total']})</p>")
 
     scale_rows = _scale_rows(log)
     if scale_rows:

@@ -36,12 +36,17 @@ class P2Quantile:
         q: quantile in (0, 1), e.g. ``0.99`` for P99.
     """
 
-    __slots__ = ("q", "_heights", "_positions", "_desired", "_count")
+    __slots__ = ("q", "_inc", "_heights", "_positions", "_desired",
+                 "_count")
 
     def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {q}")
         self.q = q
+        #: Per-observation desired-position increments for the three
+        #: interior markers (q/2, q, (1+q)/2); hoisted out of the hot
+        #: observe() loop.
+        self._inc = (q / 2.0, q, (1.0 + q) / 2.0)
         #: Marker heights h_1..h_5 (estimates of min, q/2, q, (1+q)/2,
         #: max quantiles once warm).
         self._heights: list[float] = []
@@ -87,11 +92,12 @@ class P2Quantile:
                 cell += 1
         for index in range(cell + 1, 5):
             positions[index] += 1.0
-        q = self.q
-        increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        inc = self._inc
         desired = self._desired
-        for index in range(5):
-            desired[index] += increments[index]
+        desired[1] += inc[0]
+        desired[2] += inc[1]
+        desired[3] += inc[2]
+        desired[4] += 1.0
 
         # Adjust the three interior markers toward their desired
         # positions: parabolic (P²) prediction when it keeps marker
@@ -161,7 +167,8 @@ class QuantileSketch:
             dashboard's P50/P99 pair.
     """
 
-    __slots__ = ("_estimators", "_count", "_total", "_min", "_max")
+    __slots__ = ("_estimators", "_p2", "_count", "_total", "_min",
+                 "_max")
 
     def __init__(self, quantiles: _t.Sequence[float] = (0.5, 0.99)
                  ) -> None:
@@ -169,6 +176,7 @@ class QuantileSketch:
             raise ValueError("need at least one tracked quantile")
         self._estimators = {float(q): P2Quantile(q)
                             for q in sorted(set(quantiles))}
+        self._p2 = tuple(self._estimators.values())
         self._count = 0
         self._total = 0.0
         self._min = math.inf
@@ -207,7 +215,7 @@ class QuantileSketch:
             self._min = value
         if value > self._max:
             self._max = value
-        for estimator in self._estimators.values():
+        for estimator in self._p2:
             estimator.observe(value)
 
     def observe_many(self, values: _t.Iterable[float]) -> None:

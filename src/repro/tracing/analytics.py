@@ -1,0 +1,268 @@
+"""Streaming critical-path analytics (CRISP-style aggregation).
+
+The exhaustive pipeline — warehouse stores every trace, localization
+re-walks every call tree per control round — does not survive sampling
+or fleet-scale trace volume. This module folds each finished trace's
+critical path into bounded-memory aggregates *before* any sampling
+decision, so localization and the explainability report can run off
+aggregates even when the warehouse stores 5% of traces:
+
+* per-service P² sketches (:class:`~repro.obs.sketch.QuantileSketch`)
+  of critical-path **self time** (the paper's :math:`PT_{s_i}`) and of
+  **contribution** (self time as a fraction of path duration);
+* streaming Pearson accumulators per service over the same
+  ``(PT_s, RT_CP)`` pairs the exhaustive
+  :meth:`~repro.core.localization.CriticalServiceLocator.locate` uses;
+* a space-saving **top-K path-pattern table** (path services tuple →
+  count, mean duration) standing in for exhaustive
+  :func:`~repro.tracing.critical_path.critical_path_frequencies`;
+* **exemplar** trace ids — the slowest end-to-end trace and the
+  slowest self-time trace per service — which the OpenMetrics export
+  attaches to latency histogram samples and the dashboard links.
+
+Everything is O(services + K) memory and O(path length) per trace.
+The aggregator is a pure observer: it reads finished span trees and
+never touches simulation state, so attaching it cannot perturb replay
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.obs.sketch import QuantileSketch
+from repro.tracing.critical_path import extract_critical_path
+from repro.tracing.span import Span
+
+#: Quantiles tracked by every sketch in the aggregator.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class StreamingPearson:
+    """Pearson correlation from running moments, O(1) memory.
+
+    Matches :func:`repro.analysis.correlation.pearson` semantics:
+    fewer than two samples, or zero variance in either coordinate,
+    yields 0.0.
+    """
+
+    __slots__ = ("n", "sx", "sy", "sxx", "syy", "sxy")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.sx = self.sy = self.sxx = self.syy = self.sxy = 0.0
+
+    def add(self, x: float, y: float) -> None:
+        self.n += 1
+        self.sx += x
+        self.sy += y
+        self.sxx += x * x
+        self.syy += y * y
+        self.sxy += x * y
+
+    def value(self) -> float:
+        n = self.n
+        if n < 2:
+            return 0.0
+        cov = n * self.sxy - self.sx * self.sy
+        var_x = n * self.sxx - self.sx * self.sx
+        var_y = n * self.syy - self.sy * self.sy
+        denom = math.sqrt(max(0.0, var_x) * max(0.0, var_y))
+        if denom == 0.0:
+            return 0.0
+        return max(-1.0, min(1.0, cov / denom))
+
+
+class TopKPaths:
+    """Space-saving heavy-hitter table over critical-path patterns.
+
+    Bounded at ``capacity`` entries: when a new pattern arrives at a
+    full table, the minimum-count entry is replaced and the newcomer
+    inherits its count (+1) with that count recorded as ``error`` —
+    the standard Metwally et al. guarantee that true counts are
+    over-estimated by at most ``error``.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # pattern -> [count, error, duration_sum]
+        self._table: dict[tuple[str, ...], list[float]] = {}
+
+    def offer(self, pattern: tuple[str, ...], duration: float) -> None:
+        entry = self._table.get(pattern)
+        if entry is not None:
+            entry[0] += 1
+            entry[2] += duration
+            return
+        if len(self._table) < self.capacity:
+            self._table[pattern] = [1, 0, duration]
+            return
+        victim = min(self._table, key=lambda k: self._table[k][0])
+        count, _error, _dsum = self._table.pop(victim)
+        self._table[pattern] = [count + 1, count, duration]
+
+    def top(self, k: int | None = None) -> list[dict]:
+        """Patterns by descending estimated count, JSON-ready."""
+        ranked = sorted(self._table.items(),
+                        key=lambda kv: (-kv[1][0], kv[0]))
+        if k is not None:
+            ranked = ranked[:k]
+        return [
+            {"services": list(pattern), "count": int(count),
+             "error": int(error),
+             "mean_duration": dsum / count if count else 0.0}
+            for pattern, (count, error, dsum) in ranked
+        ]
+
+    def frequencies(self) -> dict[tuple[str, ...], int]:
+        """Estimated counts keyed by pattern (localization shape)."""
+        return {pattern: int(entry[0])
+                for pattern, entry in self._table.items()}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class MeanAccumulator:
+    """Running count/mean, the cheap sibling of a quantile sketch.
+
+    Contribution fractions only ever surface as means (report column,
+    snapshot), so tracking full P² markers for them would double the
+    per-trace sketch cost for nothing.
+    """
+
+    __slots__ = ("count", "_total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self._total += value
+
+    @property
+    def mean(self) -> float:
+        return self._total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {"count": self.count, "mean": self.mean}
+
+
+class Exemplar(_t.NamedTuple):
+    """A trace id pinned to a metric value, OpenMetrics-style."""
+
+    trace_id: int
+    value: float
+    timestamp: float
+
+
+class CriticalPathAggregator:
+    """Folds finished traces into per-service critical-path aggregates.
+
+    Args:
+        quantiles: quantiles every sketch tracks.
+        top_k: capacity of the path-pattern heavy-hitter table.
+    """
+
+    def __init__(self, quantiles: _t.Sequence[float] = QUANTILES,
+                 top_k: int = 32) -> None:
+        self.quantiles = tuple(quantiles)
+        self.traces_observed = 0
+        #: End-to-end critical-path duration sketch (RT_CP).
+        self.duration = QuantileSketch(self.quantiles)
+        #: service -> PT_s sketch along critical paths.
+        self.self_time: dict[str, QuantileSketch] = {}
+        #: service -> PT_s / RT_CP contribution-fraction mean.
+        self.contribution: dict[str, MeanAccumulator] = {}
+        #: service -> streaming PCC(PT_s, RT_CP).
+        self._pearson: dict[str, StreamingPearson] = {}
+        self.paths = TopKPaths(capacity=top_k)
+        #: Slowest end-to-end trace seen so far.
+        self.slowest: Exemplar | None = None
+        #: service -> slowest critical-path self-time exemplar.
+        self.slowest_by_service: dict[str, Exemplar] = {}
+        #: Optional :class:`~repro.obs.registry.Histogram` fed every
+        #: end-to-end duration with the trace id linked as exemplar
+        #: (wired by ``Observability.attach_trace_analytics``).
+        self.latency_histogram = None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def observe(self, root: Span) -> None:
+        """Fold one finished trace's critical path into the aggregates."""
+        path = extract_critical_path(root)
+        duration = path.duration
+        departed = _t.cast(float, root.departure)
+        self.traces_observed += 1
+        self.duration.observe(duration)
+        if self.slowest is None or duration > self.slowest.value:
+            self.slowest = Exemplar(root.trace_id, duration, departed)
+        if self.latency_histogram is not None:
+            self.latency_histogram.observe(duration)
+            self.latency_histogram.link_exemplar(
+                root.trace_id, duration, departed)
+        self.paths.offer(path.services, duration)
+        inv = 1.0 / duration if duration > 0.0 else 0.0
+        self_time = self.self_time
+        contribution = self.contribution
+        pearson = self._pearson
+        slowest_by_service = self.slowest_by_service
+        for span in path.spans:
+            service = span.service
+            pt = span.self_time()
+            sketch = self_time.get(service)
+            if sketch is None:
+                sketch = self_time[service] = QuantileSketch(
+                    self.quantiles)
+                contribution[service] = MeanAccumulator()
+                pearson[service] = StreamingPearson()
+            sketch.observe(pt)
+            contribution[service].observe(pt * inv)
+            pearson[service].add(pt, duration)
+            best = slowest_by_service.get(service)
+            if best is None or pt > best.value:
+                slowest_by_service[service] = Exemplar(
+                    root.trace_id, pt, departed)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def services(self) -> list[str]:
+        """Services seen on any critical path, sorted."""
+        return sorted(self.self_time)
+
+    def correlations(self) -> dict[str, float]:
+        """Streaming PCC(PT_s, RT_CP) per service."""
+        return {service: acc.value()
+                for service, acc in self._pearson.items()}
+
+    def path_frequencies(self) -> dict[tuple[str, ...], int]:
+        """Estimated critical-path pattern counts (top-K table)."""
+        return self.paths.frequencies()
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary of every aggregate."""
+        return {
+            "traces_observed": self.traces_observed,
+            "duration": self.duration.snapshot(),
+            "services": {
+                service: {
+                    "self_time": self.self_time[service].snapshot(),
+                    "contribution": self.contribution[service].snapshot(),
+                    "correlation": round(
+                        self._pearson[service].value(), 6),
+                    "exemplar": (
+                        self.slowest_by_service[service]._asdict()
+                        if service in self.slowest_by_service else None),
+                }
+                for service in self.services()
+            },
+            "top_paths": self.paths.top(10),
+            "slowest": (self.slowest._asdict()
+                        if self.slowest is not None else None),
+        }

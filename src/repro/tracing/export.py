@@ -57,12 +57,45 @@ def _decision_tags(arrival: float,
     return tags
 
 
+def _self_time_us(span: Span) -> int:
+    """Self time in whole microseconds, from the *quantized* intervals.
+
+    Mirrors :meth:`Span.self_time` (duration minus the union of child
+    wall-clock intervals) but runs on the same rounded microsecond
+    values the document serializes. Rounding the float self time
+    instead can land one microsecond off after an import re-quantizes
+    every timestamp — with quantized inputs the tag is a pure function
+    of the serialized fields and export -> import -> export holds.
+    """
+    total = max(0, round(span.duration * 1e6))
+    intervals = sorted(
+        (round(c.arrival * 1e6),
+         round(c.arrival * 1e6) + max(0, round(c.duration * 1e6)))
+        for c in span.children if c.departure is not None)
+    covered = 0
+    cursor: int | None = None
+    end_cursor = 0
+    for start, end in intervals:
+        if cursor is None or start > end_cursor:
+            if cursor is not None:
+                covered += end_cursor - cursor
+            cursor, end_cursor = start, end
+        else:
+            end_cursor = max(end_cursor, end)
+    if cursor is not None:
+        covered += end_cursor - cursor
+    return max(0, total - covered)
+
+
 def _span_dict(span: Span, trace_id: str) -> dict:
     # round(), not int(): truncation would turn float error just below
     # a microsecond boundary (5999.999...) into an off-by-one, breaking
     # byte-stability of export -> import -> export.
     start_us = EPOCH_US + round(span.arrival * 1e6)
-    duration_us = round(span.duration * 1e6)
+    # Clamp: a cancelled span's departure is stamped at interrupt time,
+    # which float error can place a hair before its arrival; Jaeger
+    # durations must be non-negative.
+    duration_us = max(0, round(span.duration * 1e6))
     references = []
     if span.parent is not None:
         references.append({
@@ -72,14 +105,20 @@ def _span_dict(span: Span, trace_id: str) -> dict:
         })
     tags = [
         {"key": "operation", "type": "string", "value": span.operation},
+        # Clamped to the span's duration: the importer caps the service
+        # start at departure, so a larger tag would not survive a trip.
         {"key": "queue_wait_us", "type": "int64",
-         "value": round(span.queue_wait * 1e6)},
+         "value": min(round(span.queue_wait * 1e6), duration_us)},
         {"key": "self_time_us", "type": "int64",
-         "value": round(span.self_time() * 1e6)},
+         "value": _self_time_us(span)},
     ]
     if span.replica is not None:
         tags.append({"key": "replica", "type": "string",
                      "value": span.replica})
+    if span.cancelled:
+        # Only emitted when set, so pre-existing exports of untouched
+        # traces stay byte-identical.
+        tags.append({"key": "cancelled", "type": "bool", "value": True})
     return {
         "traceID": trace_id,
         "spanID": format(span.span_id, "016x"),
@@ -163,6 +202,7 @@ def _trace_from_jaeger(element: dict) -> Span:
         # never passes departure.
         span.started = min(arrival + queue_wait_us / 1e6,
                            span.departure)
+        span.cancelled = bool(_tag_value(span_dict, "cancelled"))
         by_id[span_dict["spanID"]] = span
         parents = [ref["spanID"]
                    for ref in span_dict.get("references", ())

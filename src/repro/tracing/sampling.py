@@ -1,0 +1,206 @@
+"""Pluggable trace samplers: head-based and tail-based retention.
+
+At fleet scale the warehouse cannot store every finished trace (the
+Alibaba elastic-provisioning practice report calls trace volume the
+dominant observability cost), yet Sora's localization signal lives in
+the *tail*: the SLO-violating, cancelled, and fault-tagged traces.
+These samplers decide, per finished trace, whether the warehouse keeps
+the span tree. Two disciplines are provided:
+
+* :class:`HeadSampler` — classic probabilistic head sampling. The
+  keep/drop decision is drawn per trace, independent of its outcome,
+  mirroring a decision taken at trace *start* (head) and propagated.
+* :class:`TailSampler` — tail-based sampling over the complete span
+  tree. Because the simulator hands us the *finished* trace, the
+  sampler sees the whole tree at decision time (the real-system
+  analogue buffers in-flight spans until the root completes) and can
+  guarantee retention of every SLO-violating trace, every trace with a
+  cancelled span (quorum/hedge stragglers, timeouts), and every trace
+  flagged by a caller-supplied predicate — while downsampling the
+  healthy bulk at a configured rate.
+
+Determinism: samplers draw randomness only from the generator handed
+to them. Use :func:`sampler_stream` to derive a dedicated stream from
+the run's :class:`~repro.workload.random_streams.RandomStreams` so
+sampling decisions never perturb the simulation's own RNG streams —
+this is what keeps sampled and unsampled runs byte-identical in the
+replay fingerprints (see ``tests/test_tracing_sampling.py``).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.tracing.span import Span
+
+#: Name of the dedicated RNG stream sampling decisions draw from.
+SAMPLER_STREAM = "tracing.sampler"
+
+
+def sampler_stream(streams) -> np.random.Generator:
+    """The dedicated sampler RNG stream of a ``RandomStreams`` bundle.
+
+    Streams are independently keyed by name, so adding this consumer
+    leaves every simulation stream's sequence untouched.
+    """
+    return streams.stream(SAMPLER_STREAM)
+
+
+class TraceSampler:
+    """Base class: a keep/drop decision per finished trace, with stats.
+
+    Subclasses implement :meth:`_decide` returning ``(keep, reason)``;
+    this base keeps the coverage bookkeeping (total seen, kept, kept by
+    reason, SLO-violator retention) that the dashboard's
+    sampling-coverage panel and the matrix runner's per-cell stats
+    render.
+    """
+
+    #: Short name used in coverage snapshots and CLI flags.
+    kind = "base"
+
+    def __init__(self, slo_threshold: float | None = None) -> None:
+        #: End-to-end latency above which a trace counts as an SLO
+        #: violation for retention accounting (and, for the tail
+        #: sampler, guaranteed retention).
+        self.slo_threshold = slo_threshold
+        self.total = 0
+        self.kept = 0
+        self.kept_by_reason: dict[str, int] = {}
+        self.slo_violating_total = 0
+        self.slo_violating_kept = 0
+
+    # ------------------------------------------------------------------
+    def sample(self, root: Span) -> bool:
+        """Decide whether the warehouse should store ``root``."""
+        keep, reason = self._decide(root)
+        self.total += 1
+        violating = (self.slo_threshold is not None
+                     and root.duration > self.slo_threshold)
+        if violating:
+            self.slo_violating_total += 1
+        if keep:
+            self.kept += 1
+            self.kept_by_reason[reason] = (
+                self.kept_by_reason.get(reason, 0) + 1)
+            if violating:
+                self.slo_violating_kept += 1
+        return keep
+
+    def _decide(self, root: Span) -> tuple[bool, str]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_fraction(self) -> float:
+        """Fraction of seen traces that were kept (0 when none seen)."""
+        return self.kept / self.total if self.total else 0.0
+
+    @property
+    def slo_retention(self) -> float:
+        """Fraction of SLO-violating traces retained (1.0 when none)."""
+        if not self.slo_violating_total:
+            return 1.0
+        return self.slo_violating_kept / self.slo_violating_total
+
+    def coverage(self) -> dict:
+        """JSON-ready sampling-coverage snapshot."""
+        return {
+            "sampler": self.kind,
+            "total": self.total,
+            "kept": self.kept,
+            "stored_fraction": round(self.stored_fraction, 6),
+            "kept_by_reason": dict(sorted(self.kept_by_reason.items())),
+            "slo_threshold": self.slo_threshold,
+            "slo_violating": {
+                "total": self.slo_violating_total,
+                "kept": self.slo_violating_kept,
+                "retention": round(self.slo_retention, 6),
+            },
+        }
+
+
+class HeadSampler(TraceSampler):
+    """Probabilistic head sampling: keep each trace with ``rate``.
+
+    The decision is a single uniform draw that does not look at the
+    trace's outcome — the tail signal is downsampled along with the
+    bulk, which is exactly the failure mode tail sampling fixes.
+    """
+
+    kind = "head"
+
+    def __init__(self, rate: float, rng: np.random.Generator,
+                 slo_threshold: float | None = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        super().__init__(slo_threshold=slo_threshold)
+        self.rate = rate
+        self._rng = rng
+
+    def _decide(self, root: Span) -> tuple[bool, str]:
+        return (bool(self._rng.random() < self.rate), "head")
+
+    def coverage(self) -> dict:
+        snap = super().coverage()
+        snap["rate"] = self.rate
+        return snap
+
+
+class TailSampler(TraceSampler):
+    """Tail-based sampling with guaranteed retention of the tail.
+
+    Keeps, unconditionally and in priority order:
+
+    1. ``"slo"`` — traces whose end-to-end duration exceeds
+       ``slo_threshold``;
+    2. ``"cancelled"`` — traces containing a cancelled span
+       (quorum/hedge stragglers, timed-out sub-calls): partial work is
+       the error signal in a simulator where failed requests never
+       reach the warehouse;
+    3. ``"flagged"`` — traces for which ``keep_if(root)`` is true
+       (e.g. fault-window tagging by the harness).
+
+    Everything else (the healthy bulk) survives with probability
+    ``rate``, reported under reason ``"bulk"``.
+    """
+
+    kind = "tail"
+
+    def __init__(self, rate: float, rng: np.random.Generator,
+                 slo_threshold: float | None = None,
+                 keep_if: _t.Callable[[Span], bool] | None = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        super().__init__(slo_threshold=slo_threshold)
+        self.rate = rate
+        self._rng = rng
+        self.keep_if = keep_if
+
+    def _decide(self, root: Span) -> tuple[bool, str]:
+        if (self.slo_threshold is not None
+                and root.duration > self.slo_threshold):
+            return (True, "slo")
+        if self._has_cancelled(root):
+            return (True, "cancelled")
+        if self.keep_if is not None and self.keep_if(root):
+            return (True, "flagged")
+        return (bool(self._rng.random() < self.rate), "bulk")
+
+    @staticmethod
+    def _has_cancelled(root: Span) -> bool:
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            if span.cancelled:
+                return True
+            if span.children:
+                stack.extend(span.children)
+        return False
+
+    def coverage(self) -> dict:
+        snap = super().coverage()
+        snap["rate"] = self.rate
+        return snap

@@ -28,7 +28,7 @@ class Span:
     __slots__ = (
         "span_id", "trace_id", "service", "replica", "operation",
         "parent", "children", "arrival", "started", "departure",
-        "_critical_path",
+        "cancelled", "_critical_path",
     )
 
     def __init__(self, trace_id: int, service: str, operation: str,
@@ -51,6 +51,10 @@ class Span:
         self.started: float | None = None
         #: Response departure from the service.
         self.departure: float | None = None
+        #: Whether the span was cut short by cancellation (quorum/hedge
+        #: straggler interrupts, call timeouts). Cancelled spans still
+        #: carry a valid departure — stamped when the interrupt unwinds.
+        self.cancelled = False
         if parent is not None:
             parent.children.append(self)
 

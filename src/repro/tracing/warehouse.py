@@ -5,6 +5,19 @@ completed request traces (root spans) are appended as they finish, and a
 per-service index of span completions supports the fine-grained metric
 extraction the SCG model performs (arrival/departure timestamps per
 service at millisecond granularity).
+
+Scale hooks (attached via :meth:`TraceWarehouse.attach`):
+
+* an optional :class:`~repro.tracing.sampling.TraceSampler` decides per
+  finished trace whether the span tree is stored at all;
+* an optional
+  :class:`~repro.tracing.analytics.CriticalPathAggregator` observes
+  **every** finished trace *before* the sampling decision, so streaming
+  aggregates stay exact even when the ring stores 5% of traces.
+
+``total_recorded`` likewise counts every finished trace regardless of
+sampling: the replay-fingerprint summary folds it in, and sampling is
+an observability concern that must never change simulated outcomes.
 """
 
 from __future__ import annotations
@@ -15,6 +28,10 @@ from collections import deque
 
 from repro.tracing.span import Span
 
+if _t.TYPE_CHECKING:
+    from repro.tracing.analytics import CriticalPathAggregator
+    from repro.tracing.sampling import TraceSampler
+
 
 class TraceWarehouse:
     """Bounded store of finished traces with per-service indexes.
@@ -22,20 +39,40 @@ class TraceWarehouse:
     Args:
         max_traces: ring-buffer capacity; oldest traces are evicted (the
             real system retains a sliding window of trace data too).
+        sampler: optional keep/drop policy applied per finished trace.
+        analytics: optional streaming aggregator fed every finished
+            trace ahead of the sampling decision.
     """
 
-    def __init__(self, max_traces: int = 200_000) -> None:
+    def __init__(self, max_traces: int = 200_000,
+                 sampler: "TraceSampler | None" = None,
+                 analytics: "CriticalPathAggregator | None" = None) -> None:
         self._traces: deque[Span] = deque(maxlen=max_traces)
         # service -> parallel lists (departure_times, spans), kept sorted
         # by departure since traces arrive in completion order.
         self._by_service: dict[str, tuple[list[float], list[Span]]] = {}
         self.total_recorded = 0
+        self.sampler = sampler
+        self.analytics = analytics
+
+    def attach(self, sampler: "TraceSampler | None" = None,
+               analytics: "CriticalPathAggregator | None" = None) -> None:
+        """Attach a sampler and/or aggregator after construction.
+
+        Scenario builders create the warehouse; observability wiring
+        happens later (CLI flags, matrix cells), so attachment is a
+        separate step. Passing ``None`` leaves that slot unchanged.
+        """
+        if sampler is not None:
+            self.sampler = sampler
+        if analytics is not None:
+            self.analytics = analytics
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def record(self, root: Span) -> None:
-        """Store a finished trace (all spans must have departed).
+        """Account for a finished trace and (if sampled in) store it.
 
         The traversal is ``Span.walk()`` unrolled (same pre-order):
         this runs once per completed request, so the generator frame
@@ -43,8 +80,18 @@ class TraceWarehouse:
         """
         if root.departure is None:
             raise ValueError("cannot record an unfinished trace")
-        self._traces.append(root)
         self.total_recorded += 1
+        if self.analytics is not None:
+            self.analytics.observe(root)
+        if self.sampler is not None and not self.sampler.sample(root):
+            return
+        ring = self._traces
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            # The append below will silently evict the oldest root from
+            # the deque; drop its spans from the indexes first so the
+            # per-service views never reference evicted traces.
+            self._unindex(ring[0])
+        ring.append(root)
         by_service = self._by_service
         stack = [root]
         pop = stack.pop
@@ -72,6 +119,27 @@ class TraceWarehouse:
             if children:
                 extend(reversed(children))
 
+    def _unindex(self, root: Span) -> None:
+        """Remove every span of ``root`` from the per-service indexes."""
+        by_service = self._by_service
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            entry = by_service.get(span.service)
+            if entry is not None:
+                times, spans = entry
+                departure = _t.cast(float, span.departure)
+                i = bisect.bisect_left(times, departure)
+                n = len(spans)
+                while (i < n and times[i] == departure
+                       and spans[i] is not span):
+                    i += 1
+                if i < n and spans[i] is span:
+                    del times[i]
+                    del spans[i]
+            if span.children:
+                stack.extend(span.children)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -95,6 +163,19 @@ class TraceWarehouse:
     def services(self) -> list[str]:
         """Names of all services observed so far."""
         return sorted(self._by_service)
+
+    def coverage(self) -> dict:
+        """Sampling-coverage snapshot (meaningful sans sampler too)."""
+        snap: dict = {"total_recorded": self.total_recorded,
+                      "stored": len(self._traces)}
+        if self.sampler is not None:
+            snap.update(self.sampler.coverage())
+        else:
+            snap["sampler"] = "none"
+        if self.analytics is not None:
+            snap["analytics_traces_observed"] = (
+                self.analytics.traces_observed)
+        return snap
 
     # ------------------------------------------------------------------
     # Retention

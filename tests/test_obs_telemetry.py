@@ -216,3 +216,71 @@ class TestSpanIdDeterminism:
                 for span in root.walk()])
         assert ids[0], "run produced no traces"
         assert ids[0] == ids[1]
+
+
+class TestTraceExemplars:
+    """Exemplar trace ids on the OpenMetrics trace families."""
+
+    def scope(self, traces=20):
+        from repro.tracing import (
+            CriticalPathAggregator,
+            TailSampler,
+            TraceWarehouse,
+        )
+        from tests.test_tracing_sampling import make_trace
+
+        obs = Observability(telemetry=False)
+        warehouse = TraceWarehouse(
+            sampler=TailSampler(1.0, np.random.default_rng(0),
+                                slo_threshold=0.05),
+            analytics=CriticalPathAggregator())
+        obs.attach_trace_analytics(warehouse)
+        for index in range(traces):
+            warehouse.record(make_trace(
+                trace_id=index + 1,
+                duration=0.01 * (index + 1)))
+        return obs, warehouse
+
+    def test_histogram_exemplar_pins_the_slowest_trace(self):
+        obs, warehouse = self.scope()
+        histogram = obs.registry.histogram("trace.latency")
+        assert histogram.count == 20
+        slowest = warehouse.analytics.slowest
+        assert histogram.exemplar["trace_id"] == slowest.trace_id == 20
+        assert histogram.exemplar["value"] == pytest.approx(0.2)
+
+    def test_exemplars_survive_render_and_reparse(self):
+        obs, warehouse = self.scope()
+        families = parse_openmetrics(render_openmetrics(obs))
+        slowest = warehouse.analytics.slowest
+        for family in ("repro_trace_latency",
+                       "repro_trace_critical_path_duration_seconds"):
+            counts = [s for s in families[family]["samples"]
+                      if s.name.endswith("_count")]
+            assert counts, family
+            exemplar = counts[0].exemplar
+            assert exemplar is not None, family
+            assert exemplar.trace_id == slowest.trace_id
+            assert exemplar.value == pytest.approx(slowest.value)
+
+    def test_per_service_exemplars_link_self_time_peaks(self):
+        obs, warehouse = self.scope()
+        families = parse_openmetrics(render_openmetrics(obs))
+        samples = families["repro_trace_self_time_seconds"]["samples"]
+        by_service = {s.labels["service"]: s.exemplar
+                      for s in samples if s.name.endswith("_count")}
+        expected = warehouse.analytics.slowest_by_service
+        assert set(by_service) == set(expected)
+        for service, exemplar in by_service.items():
+            assert exemplar.trace_id == expected[service].trace_id
+
+    def test_sampling_coverage_families_render(self):
+        obs, _warehouse = self.scope()
+        families = parse_openmetrics(render_openmetrics(obs))
+        seen = families["repro_trace_sampling_seen"]["samples"][0]
+        assert seen.labels == {"sampler": "tail"}
+        assert seen.value == 20
+        assert families["repro_trace_sampling_slo_retention"][
+            "samples"][0].value == 1.0
+        # Ordinary samples default to carrying no exemplar.
+        assert seen.exemplar is None

@@ -74,6 +74,82 @@ class TestRoundTrip:
         assert len(traces_from_jaeger(document)) == 1
 
 
+def quorum_traces():
+    """Traces from a quorum-read fan-out: stragglers get interrupted,
+    so real cancelled spans (not hand-set flags) land in the warehouse."""
+    from repro.scenarios import ZooParams, build_topology
+    from repro.workloads import OpenLoopDriver
+
+    env = Environment()
+    streams = RandomStreams(1)
+    topology = build_topology(env, streams, ZooParams(
+        archetype="quorum_reads", shards=3, quorum_k=2,
+        slow_factor=8.0))
+    driver = OpenLoopDriver(env, topology.app, "zoo", 50.0,
+                            streams.stream("driver"), duration=2.0)
+    driver.start()
+    env.run(until=5.0)
+    return topology.app.warehouse.traces(0.0, float("inf"))
+
+
+class TestCancelledSpans:
+    def test_cancelled_tag_survives_the_round_trip(self):
+        roots = quorum_traces()
+        cancelled = [s for r in roots for s in r.walk() if s.cancelled]
+        assert cancelled, "quorum run produced no straggler interrupts"
+        document = json.loads(export_traces(roots))
+        tagged = [
+            span_dict
+            for element in document["data"]
+            for span_dict in element["spans"]
+            if any(t["key"] == "cancelled" and t["value"] is True
+                   for t in span_dict["tags"])
+        ]
+        assert len(tagged) == len(cancelled)
+        # Cancelled spans still carry a valid (clamped) duration.
+        assert all(s["duration"] >= 0 for s in tagged)
+        parsed = traces_from_jaeger(document)
+        restored = [s for r in parsed for s in r.walk() if s.cancelled]
+        assert len(restored) == len(cancelled)
+        assert {s.span_id for s in restored} == \
+            {s.span_id for s in cancelled}
+
+    def test_cancelled_traces_hold_the_fixed_point(self):
+        roots = quorum_traces()
+        assert any(s.cancelled for r in roots for s in r.walk())
+        document = export_traces(roots)
+        assert export_traces(traces_from_jaeger(document)) == document
+
+    def test_uncancelled_spans_carry_no_cancelled_tag(self):
+        document = json.loads(export_traces(finished_traces(count=1)))
+        for span_dict in document["data"][0]["spans"]:
+            assert not any(t["key"] == "cancelled"
+                           for t in span_dict["tags"])
+
+    def test_interrupt_stamped_departure_clamps_to_zero(self):
+        # Float error can stamp a cancelled span's departure a hair
+        # before its arrival; the exported duration clamps to zero.
+        root = _synthetic_span(9, 1, "root", arrival=1.0,
+                               queue_wait=0.0, service_time=1.0)
+        child = _synthetic_span(9, 2, "shard", arrival=1.5,
+                                queue_wait=0.0, service_time=0.0,
+                                parent=root)
+        child.cancelled = True
+        child.departure = child.arrival - 1e-9
+        element = trace_to_jaeger(root)
+        child_dict = next(s for s in element["spans"]
+                          if s["spanID"] == format(2, "016x"))
+        assert child_dict["duration"] == 0
+        tags = {t["key"]: t["value"] for t in child_dict["tags"]}
+        assert tags["cancelled"] is True
+        assert tags["queue_wait_us"] == 0
+        parsed = traces_from_jaeger(export_traces([root]))[0]
+        restored = parsed.children[0]
+        assert restored.cancelled
+        assert restored.duration == 0.0
+        assert restored.started <= restored.departure
+
+
 class TestImportValidation:
     def test_rootless_trace_rejected(self):
         roots = finished_traces(count=1)
