@@ -82,6 +82,7 @@ class MvaResult:
 
     @property
     def cycle_time(self) -> float:
+        """Total response time across every station (one cycle)."""
         return sum(self.response_times.values())
 
     def utilization(self, station: Station) -> float:

@@ -568,6 +568,188 @@ def cmd_validate_replay(args) -> int:
     return 0 if result.identical else 1
 
 
+def _service_config(args):
+    """Build a :class:`~repro.service.domain.ServiceConfig` from the
+    shared service flags (``serve`` / ``service drive --spawn`` /
+    ``service replay`` must agree for replay to be exact)."""
+    from repro.core.scg import ScatterModelConfig
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        sla=args.sla,
+        cadence=args.round_interval,
+        window=args.window,
+        utilization_threshold=args.utilization_threshold,
+        max_pending=args.max_pending,
+        decide_top_k=args.decide_top_k,
+        exclude=tuple(args.exclude),
+        latency_slo=args.latency_slo,
+        scatter=ScatterModelConfig(min_samples=args.min_samples,
+                                   min_distinct=args.min_distinct,
+                                   quantum=args.quantum))
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ControllerService
+
+    service = ControllerService(
+        _service_config(args), host=args.host, port=args.port,
+        cadence=args.cadence, journal_path=args.journal,
+        decisions_path=args.decisions)
+
+    def announce(message: str) -> None:
+        print(message, flush=True)
+        if args.port_file:
+            import pathlib
+
+            path = pathlib.Path(args.port_file)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(f"{service.port}\n", encoding="utf-8")
+
+    service.run(announce=announce)
+    return 0
+
+
+def cmd_service_drive(args) -> int:
+    import json
+    import os
+    import pathlib
+    import subprocess
+    import time
+    import urllib.request
+
+    from repro.service import ServiceClient, drive, verify_replay
+
+    duration = args.duration
+    if os.environ.get("REPRO_EXAMPLE_SMOKE"):
+        duration = min(duration, 60.0)
+
+    out = pathlib.Path(args.out) if args.out else None
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+
+    process = None
+    journal = decisions = None
+    url = args.url
+    try:
+        if args.spawn:
+            artifacts = out or pathlib.Path("service-artifacts")
+            artifacts.mkdir(parents=True, exist_ok=True)
+            journal = artifacts / "journal.jsonl"
+            decisions = artifacts / "decisions.jsonl"
+            port_file = artifacts / "port"
+            if port_file.exists():
+                port_file.unlink()
+            command = [sys.executable, "-m", "repro.cli", "serve",
+                       "--host", "127.0.0.1", "--port", "0",
+                       "--port-file", str(port_file),
+                       "--journal", str(journal),
+                       "--decisions", str(decisions)]
+            command.extend(_service_flag_values(args))
+            process = subprocess.Popen(command)
+            deadline = time.time() + 30.0
+            while not port_file.exists():
+                if process.poll() is not None:
+                    print("error: spawned service exited early",
+                          file=sys.stderr)
+                    return 1
+                if time.time() > deadline:
+                    print("error: spawned service never announced "
+                          "its port", file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+            url = f"http://127.0.0.1:{port}"
+        if url is None:
+            print("error: --url or --spawn is required",
+                  file=sys.stderr)
+            return 2
+
+        report = drive(
+            url, scenario=args.scenario, trace=args.trace,
+            duration=duration, interval=args.interval,
+            tick_every=args.tick_every, sla=args.sla,
+            seed=args.seed, peak_users=args.peak_users,
+            min_users=args.min_users, autoscaler=args.autoscaler,
+            apply=args.apply,
+            traces_per_batch=args.traces_per_batch)
+
+        client = ServiceClient(url)
+        if out is not None:
+            (out / "drive.json").write_text(
+                json.dumps(report.to_dict(), indent=2,
+                           sort_keys=True) + "\n", encoding="utf-8")
+            (out / "report.txt").write_text(
+                client.request("GET", "/report")["text"],
+                encoding="utf-8")
+        if args.spawn:
+            try:
+                client.request("POST", "/admin/shutdown", b"")
+            except (urllib.error.URLError, ConnectionError):
+                pass
+    finally:
+        if process is not None:
+            try:
+                process.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+    recommendations = report.recommendations
+    print(f"drove {duration:g}s of simulated {args.scenario!r} load: "
+          f"{report.snapshots} snapshots, {report.traces_sent} traces "
+          f"in {report.trace_batches} batches, {report.ticks} rounds")
+    for name, rec in sorted(recommendations.items()):
+        print(f"  {name}: allocation {rec['before']} -> "
+              f"{rec['allocation']} ({rec['method']}, threshold "
+              f"{rec['threshold'] * 1e3:.0f} ms, "
+              f"{rec['samples']} samples)")
+    latency = report.status.get("recommendation_latency", {})
+    if latency.get("count"):
+        print(f"  controller: p50 {latency['p50_ms']:.2f} ms / "
+              f"p99 {latency['p99_ms']:.2f} ms over "
+              f"{latency['count']} recommendations")
+
+    if journal is not None and decisions is not None \
+            and decisions.exists():
+        identical, detail = verify_replay(journal, decisions,
+                                          _service_config(args))
+        print(f"  audit replay: {detail}")
+        if not identical:
+            return 1
+    if args.expect_recommendation and not recommendations:
+        print("error: no recommendation was served", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _service_flag_values(args) -> list:
+    """Config flags forwarded verbatim to a spawned ``serve``."""
+    flags = ["--sla", str(args.sla),
+             "--round-interval", str(args.round_interval),
+             "--window", str(args.window),
+             "--utilization-threshold",
+             str(args.utilization_threshold),
+             "--max-pending", str(args.max_pending),
+             "--decide-top-k", str(args.decide_top_k),
+             "--min-samples", str(args.min_samples),
+             "--min-distinct", str(args.min_distinct),
+             "--quantum", str(args.quantum),
+             "--latency-slo", str(args.latency_slo)]
+    for service in args.exclude:
+        flags.extend(["--exclude", service])
+    return flags
+
+
+def cmd_service_replay(args) -> int:
+    from repro.service import verify_replay
+
+    identical, detail = verify_replay(args.journal, args.decisions,
+                                      _service_config(args))
+    print(detail)
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -805,6 +987,110 @@ def build_parser() -> argparse.ArgumentParser:
                                  "sampling-coverage JSON next to each "
                                  "cell result, linked from index.html")
 
+    def add_service_config_args(p):
+        p.add_argument("--sla", type=float, default=0.4,
+                       help="end-to-end SLA in seconds")
+        p.add_argument("--round-interval", type=float, default=15.0,
+                       help="logical seconds one control round "
+                            "advances the service clock")
+        p.add_argument("--window", type=float, default=120.0,
+                       help="logical seconds of <Q, GP> pairs per "
+                            "round")
+        p.add_argument("--utilization-threshold", type=float,
+                       default=0.7)
+        p.add_argument("--max-pending", type=int, default=256,
+                       help="snapshots allowed to queue between "
+                            "rounds before HTTP 429")
+        p.add_argument("--decide-top-k", type=int, default=1,
+                       help="correlation-ranked services estimated "
+                            "per round (0 = every series)")
+        p.add_argument("--min-samples", type=int, default=30,
+                       help="scatter-model minimum pair count")
+        p.add_argument("--min-distinct", type=int, default=5,
+                       help="scatter-model minimum distinct "
+                            "concurrency levels")
+        p.add_argument("--quantum", type=float, default=1.0,
+                       help="scatter-model concurrency grid")
+        p.add_argument("--latency-slo", type=float, default=0.25,
+                       help="wall seconds one recommendation may "
+                            "take (controller's own SLO)")
+        p.add_argument("--exclude", action="append",
+                       default=["front-end"], metavar="SERVICE",
+                       help="service never nominated as critical "
+                            "(repeatable; default: front-end)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the standalone Sora control-plane service "
+             "(asyncio HTTP JSON API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--cadence", type=float, default=0.0,
+                       help="wall seconds between automatic control "
+                            "rounds (0 = rounds only via "
+                            "POST /control/tick)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="JSONL audit journal of accepted stimuli")
+    serve.add_argument("--decisions", default=None, metavar="PATH",
+                       help="decision-log JSONL, rewritten each round")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here after startup")
+    add_service_config_args(serve)
+
+    service = sub.add_parser(
+        "service",
+        help="drive or audit a running control-plane service")
+    service_sub = service.add_subparsers(dest="service_command",
+                                         required=True)
+    service_drive = service_sub.add_parser(
+        "drive",
+        help="point the simulator at a service as a load generator")
+    service_drive.add_argument("--url", default=None,
+                               help="base URL of a running service")
+    service_drive.add_argument("--spawn", action="store_true",
+                               help="boot a serve subprocess, drive "
+                                    "it, shut it down, verify replay")
+    service_drive.add_argument("--scenario",
+                               choices=sorted(SCENARIOS),
+                               default="cart")
+    service_drive.add_argument("--trace", choices=TRACE_NAMES,
+                               default="steep_tri_phase")
+    service_drive.add_argument("--duration", type=float, default=120.0)
+    service_drive.add_argument("--interval", type=float, default=0.5,
+                               help="simulated seconds per exported "
+                                    "snapshot")
+    service_drive.add_argument("--tick-every", type=float,
+                               default=15.0,
+                               help="simulated seconds between forced "
+                                    "control rounds")
+    service_drive.add_argument("--seed", type=int, default=42)
+    service_drive.add_argument("--peak-users", type=int, default=250)
+    service_drive.add_argument("--min-users", type=int, default=40)
+    service_drive.add_argument("--autoscaler",
+                               choices=("firm", "vpa", "hpa", "none"),
+                               default="none")
+    service_drive.add_argument("--apply", action="store_true",
+                               help="apply recommendations back onto "
+                                    "the simulated pool")
+    service_drive.add_argument("--traces-per-batch", type=int,
+                               default=200)
+    service_drive.add_argument("--out", default=None, metavar="DIR",
+                               help="write drive.json + report.txt "
+                                    "(and spawn artifacts) here")
+    service_drive.add_argument("--expect-recommendation",
+                               action="store_true",
+                               help="exit non-zero unless at least "
+                                    "one recommendation was served")
+    add_service_config_args(service_drive)
+    service_replay = service_sub.add_parser(
+        "replay",
+        help="re-derive the decision log from a journal and verify "
+             "byte-identity")
+    service_replay.add_argument("--journal", required=True)
+    service_replay.add_argument("--decisions", required=True)
+    add_service_config_args(service_replay)
+
     validate = sub.add_parser(
         "validate",
         help="validation subsystem: theory conformance and replay")
@@ -871,6 +1157,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "matrix":
         if args.matrix_command == "run":
             return cmd_matrix_run(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "service":
+        if args.service_command == "drive":
+            return cmd_service_drive(args)
+        if args.service_command == "replay":
+            return cmd_service_replay(args)
     if args.command == "validate":
         if args.validate_command == "conformance":
             return cmd_validate_conformance(args)

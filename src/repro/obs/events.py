@@ -89,6 +89,7 @@ class TargetDecision:
     curve: tuple[tuple[float, float], ...] | None = None
 
     def to_dict(self) -> dict:
+        """JSON-ready record payload."""
         payload: dict[str, _t.Any] = {
             "kind": self.kind,
             "target": self.target,
@@ -153,6 +154,7 @@ class ControlRoundRecord:
     wall_ms: float | None = None
 
     def to_dict(self) -> dict:
+        """JSON-ready record payload."""
         payload: dict[str, _t.Any] = {
             "kind": self.kind,
             "time": self.time,
@@ -202,6 +204,7 @@ class ScaleEventRecord:
     autoscaler: str | None = None
 
     def to_dict(self) -> dict:
+        """JSON-ready record payload."""
         return {
             "kind": self.kind,
             "time": self.time,
@@ -230,6 +233,7 @@ class DriftRecord:
     target: str
 
     def to_dict(self) -> dict:
+        """JSON-ready record payload."""
         return {"kind": self.kind, "time": self.time,
                 "target": self.target}
 
@@ -264,6 +268,7 @@ class FaultRecord:
     detail: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        """JSON-ready record payload."""
         payload: dict[str, _t.Any] = {
             "kind": self.kind,
             "time": self.time,
@@ -317,6 +322,7 @@ class AlertRecord:
     budget_remaining: float
 
     def to_dict(self) -> dict:
+        """JSON-ready record payload."""
         return {
             "kind": self.kind,
             "time": self.time,
@@ -377,6 +383,7 @@ class DecisionLog:
         self.total_recorded = 0
 
     def append(self, record: ObsRecord) -> None:
+        """Retain one record (oldest evicted past capacity)."""
         self._records.append(record)
         self.total_recorded += 1
 
@@ -387,6 +394,7 @@ class DecisionLog:
         return [r for r in self._records if r.kind == kind]
 
     def rounds(self) -> list[ControlRoundRecord]:
+        """All retained control-round records, oldest first."""
         return _t.cast("list[ControlRoundRecord]",
                        self.records(ControlRoundRecord.kind))
 
@@ -406,14 +414,17 @@ class DecisionLog:
         return changes
 
     def scale_events(self) -> list[ScaleEventRecord]:
+        """All retained autoscaler scale events, oldest first."""
         return _t.cast("list[ScaleEventRecord]",
                        self.records(ScaleEventRecord.kind))
 
     def fault_events(self) -> list[FaultRecord]:
+        """All retained fault-injection records, oldest first."""
         return _t.cast("list[FaultRecord]",
                        self.records(FaultRecord.kind))
 
     def alerts(self) -> list[AlertRecord]:
+        """All retained burn-rate alert records, oldest first."""
         return _t.cast("list[AlertRecord]",
                        self.records(AlertRecord.kind))
 

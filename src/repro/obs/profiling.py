@@ -38,9 +38,11 @@ class PhaseStats:
 
     @property
     def mean(self) -> float:
+        """Mean seconds per enter/exit of this phase."""
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
+        """JSON-ready phase summary (times in milliseconds)."""
         return {
             "count": self.count,
             "total_ms": round(self.total * 1e3, 3),
@@ -86,6 +88,7 @@ class PhaseProfiler:
         self._timers: dict[str, _PhaseTimer] = {}
 
     def phase(self, name: str) -> _PhaseTimer:
+        """Context manager timing one named phase (reused by name)."""
         timer = self._timers.get(name)
         if timer is None:
             stats = PhaseStats(name)

@@ -41,6 +41,7 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> dict:
+        """JSON-ready summary for reports and exposition."""
         return {"type": "counter", "value": self.value}
 
 
@@ -54,9 +55,11 @@ class Gauge:
         self.value = float("nan")
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
         self.value = float(value)
 
     def snapshot(self) -> dict:
+        """JSON-ready summary (``None`` value while never set)."""
         value = self.value if self.value == self.value else None
         return {"type": "gauge", "value": value}
 
@@ -90,6 +93,7 @@ class Histogram:
         self.exemplar: dict | None = None
 
     def observe(self, value: float) -> None:
+        """Record one observation (the ring evicts the oldest)."""
         value = float(value)
         self.count += 1
         self.total += value
@@ -105,6 +109,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Run-lifetime mean (not just the retained ring)."""
         return self.total / self.count if self.count else float("nan")
 
     def recent(self) -> np.ndarray:
@@ -126,6 +131,7 @@ class Histogram:
                              "timestamp": float(timestamp)}
 
     def snapshot(self) -> dict:
+        """JSON-ready summary: run-lifetime stats + recent quantiles."""
         if self.count == 0:
             return {"type": "histogram", "count": 0}
         snap = {
@@ -225,16 +231,20 @@ class MetricsRegistry:
         return instrument
 
     def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
         return self._get(name, Counter, NULL_COUNTER)
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
         return self._get(name, Gauge, NULL_GAUGE)
 
     def histogram(self, name: str, capacity: int = 1024) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
         return self._get(name, Histogram, NULL_HISTOGRAM,
                          capacity=capacity)
 
     def names(self) -> list[str]:
+        """Sorted names of every registered instrument."""
         return sorted(self._instruments)
 
     def snapshot(self) -> dict[str, dict]:

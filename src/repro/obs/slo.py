@@ -75,6 +75,7 @@ class SLOSpec:
         return 1.0 - self.objective
 
     def to_dict(self) -> dict:
+        """JSON-ready spec payload."""
         return {"name": self.name,
                 "latency_threshold": self.latency_threshold,
                 "objective": self.objective}
@@ -118,6 +119,7 @@ class BurnRateRule:
                 f"{self.short_window}/{self.long_window}")
 
     def to_dict(self) -> dict:
+        """JSON-ready rule payload."""
         return {"name": self.name, "factor": self.factor,
                 "long_window": self.long_window,
                 "short_window": self.short_window,

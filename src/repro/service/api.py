@@ -1,0 +1,332 @@
+"""Infrastructure layer: stdlib-asyncio HTTP front for the control plane.
+
+A deliberately minimal HTTP/1.1 server over ``asyncio.start_server`` —
+no web framework, no new runtime dependencies — exposing the control
+plane as a JSON API:
+
+====================================  =================================
+``GET  /healthz``                     liveness + round count
+``GET  /status``                      operational summary (SLO state,
+                                      latency quantiles, decisions/sec)
+``GET  /config``                      the effective service config
+``GET  /recommendations``             all current recommendations
+``GET  /recommendations/<service>``   one service's recommendation
+``GET  /decisions``                   decision history as JSONL
+``GET  /report``                      explainability report (text)
+``GET  /metrics``                     the controller's own OpenMetrics
+``POST /ingest/openmetrics``          one metrics snapshot (text body)
+``POST /ingest/jaeger``               one Jaeger-shaped trace batch
+``POST /control/tick``                force a control round now
+``POST /admin/shutdown``              clean stop (used by CI)
+====================================  =================================
+
+Error mapping is driven by the typed
+:class:`~repro.service.domain.IngestError` taxonomy: ``backpressure``
+becomes HTTP 429 with a ``Retry-After`` hint, every other rejection
+HTTP 400 with ``{"error": code, "detail": ...}``.
+
+Accepted stimuli are journaled through
+:class:`~repro.service.audit.AuditJournal` and the decision log is
+re-persisted after every round, so a crash loses at most the round in
+flight and the audit trail stays replayable at all times.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import typing as _t
+
+from repro.service.audit import AuditJournal
+from repro.service.control import ControlPlane
+from repro.service.domain import IngestError, ServiceConfig
+
+__all__ = ["ControllerService"]
+
+_MAX_HEADER = 64 * 1024
+_MAX_BODY = 64 * 1024 * 1024
+
+
+def _response(status: int, body: bytes, content_type: str,
+              extra: _t.Sequence[tuple[str, str]] = ()) -> bytes:
+    reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+              404: "Not Found", 405: "Method Not Allowed",
+              413: "Payload Too Large",
+              429: "Too Many Requests",
+              500: "Internal Server Error"}.get(status, "OK")
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    head.extend(f"{key}: {value}" for key, value in extra)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, payload: dict,
+                   extra: _t.Sequence[tuple[str, str]] = ()) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return _response(status, body, "application/json", extra)
+
+
+def _text_response(status: int, text: str,
+                   content_type: str = "text/plain") -> bytes:
+    return _response(status, text.encode("utf-8"),
+                     f"{content_type}; charset=utf-8")
+
+
+class ControllerService:
+    """The running service: control plane + journal + HTTP endpoint.
+
+    Args:
+        config: control-plane configuration.
+        host / port: bind address (``port=0`` picks a free port;
+            :attr:`port` reports the bound one after :meth:`start`).
+        cadence: *wall* seconds between automatic control rounds;
+            ``0`` disables the timer (rounds then run only via
+            ``POST /control/tick`` — the mode tests and the replay
+            harness use).
+        journal_path: JSONL audit journal destination (``None``
+            journals in memory only).
+        decisions_path: decision-log JSONL destination, rewritten
+            after every round (``None`` disables persistence).
+        max_records: decision-log ring capacity.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 cadence: float = 0.0,
+                 journal_path: str | pathlib.Path | None = None,
+                 decisions_path: str | pathlib.Path | None = None,
+                 max_records: int = 4096) -> None:
+        self.plane = ControlPlane(config, max_records=max_records)
+        self.journal = AuditJournal(journal_path)
+        self.host = host
+        self.port = port
+        self.cadence = cadence
+        self.decisions_path = (pathlib.Path(decisions_path)
+                               if decisions_path is not None else None)
+        self._server: asyncio.AbstractServer | None = None
+        self._cadence_task: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the cadence timer."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        if self.cadence > 0:
+            self._cadence_task = asyncio.create_task(
+                self._cadence_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until ``POST /admin/shutdown`` (or :meth:`stop`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop the timer, close the listener, flush artifacts."""
+        self._shutdown.set()
+        if self._cadence_task is not None:
+            self._cadence_task.cancel()
+            try:
+                await self._cadence_task
+            except asyncio.CancelledError:
+                pass
+            self._cadence_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._persist_decisions()
+        self.journal.close()
+
+    async def _cadence_loop(self) -> None:
+        while not self._shutdown.is_set():
+            await asyncio.sleep(self.cadence)
+            self._tick()
+
+    def _tick(self) -> dict:
+        """One control round: advance the logical clock by the
+        configured logical cadence, journal the resolved time,
+        re-persist the decision log."""
+        now = self.plane.now + self.plane.config.cadence
+        record = self.plane.tick(now=now)
+        self.journal.record("tick", record.time)
+        self._persist_decisions()
+        return record.to_dict()
+
+    def _persist_decisions(self) -> None:
+        if self.decisions_path is not None:
+            self.decisions_path.parent.mkdir(parents=True,
+                                             exist_ok=True)
+            self.decisions_path.write_text(
+                self.plane.decisions_jsonl(), encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self._respond(reader)
+        except Exception as exc:  # pragma: no cover - defensive
+            response = _json_response(
+                500, {"error": "internal", "detail": str(exc)})
+        try:
+            writer.write(response)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return _json_response(
+                400, {"error": "bad-request",
+                      "detail": "malformed HTTP request head"})
+        if len(head) > _MAX_HEADER:
+            return _json_response(
+                413, {"error": "bad-request",
+                      "detail": "request head too large"})
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return _json_response(
+                400, {"error": "bad-request",
+                      "detail": f"malformed request line {lines[0]!r}"})
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, _sep, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = 0
+        if length > _MAX_BODY:
+            return _json_response(
+                413, {"error": "bad-request",
+                      "detail": f"body of {length} bytes exceeds the "
+                                f"{_MAX_BODY}-byte limit"})
+        body = b""
+        if length > 0:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return _json_response(
+                    400, {"error": "bad-request",
+                          "detail": "body shorter than Content-Length"})
+        path = target.split("?", 1)[0]
+        return self._route(method.upper(), path, body)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, path: str, body: bytes) -> bytes:
+        plane = self.plane
+        if method == "GET":
+            if path == "/healthz":
+                return _json_response(200, {
+                    "status": "ok", "rounds": plane.rounds,
+                    "now": plane.now})
+            if path == "/status":
+                return _json_response(200, plane.status())
+            if path == "/config":
+                return _json_response(200, plane.config.to_dict())
+            if path == "/recommendations":
+                return _json_response(
+                    200, {"recommendations":
+                          plane.recommendation_dicts()})
+            if path.startswith("/recommendations/"):
+                service = path[len("/recommendations/"):]
+                rec = plane.recommendations.get(service)
+                if rec is None:
+                    return _json_response(
+                        404, {"error": "not-found",
+                              "detail": f"no recommendation for "
+                                        f"{service!r} yet"})
+                return _json_response(200, rec.to_dict())
+            if path == "/decisions":
+                return _response(200,
+                                 plane.decisions_jsonl().encode("utf-8"),
+                                 "application/x-ndjson")
+            if path == "/report":
+                return _text_response(200, plane.report())
+            if path == "/metrics":
+                return _text_response(
+                    200, plane.openmetrics(),
+                    "application/openmetrics-text")
+            return _json_response(
+                404, {"error": "not-found",
+                      "detail": f"unknown path {path!r}"})
+        if method == "POST":
+            if path == "/ingest/openmetrics":
+                return self._ingest(
+                    lambda: plane.ingest_metrics(
+                        body.decode("utf-8", errors="replace")),
+                    "metrics", body)
+            if path == "/ingest/jaeger":
+                return self._ingest(
+                    lambda: plane.ingest_traces(body), "traces", body)
+            if path == "/control/tick":
+                return _json_response(200, {
+                    "round": self._tick(),
+                    "recommendations": plane.recommendation_dicts()})
+            if path == "/admin/shutdown":
+                self._shutdown.set()
+                return _json_response(200, {"status": "shutting-down",
+                                            "rounds": plane.rounds})
+            return _json_response(
+                404, {"error": "not-found",
+                      "detail": f"unknown path {path!r}"})
+        return _json_response(
+            405, {"error": "method-not-allowed",
+                  "detail": f"{method} {path} is not supported"})
+
+    def _ingest(self, action: _t.Callable[[], dict],
+                kind: str, body: bytes) -> bytes:
+        try:
+            summary = action()
+        except IngestError as exc:
+            if exc.code == "backpressure":
+                retry = max(1, int(round(self.cadence))
+                            if self.cadence > 0 else 1)
+                return _json_response(
+                    429, exc.to_dict(),
+                    extra=(("Retry-After", str(retry)),))
+            return _json_response(400, exc.to_dict())
+        self.journal.record(
+            _t.cast(_t.Literal["metrics", "traces"], kind),
+            self.plane.now, body.decode("utf-8", errors="replace"))
+        return _json_response(202, summary)
+
+    # ------------------------------------------------------------------
+    # Blocking entry point (CLI)
+    # ------------------------------------------------------------------
+    def run(self, announce: _t.Callable[[str], None] = print) -> None:
+        """Start, announce the bound address, serve until shutdown."""
+
+        async def _main() -> None:
+            await self.start()
+            announce(f"sora-service listening on "
+                     f"http://{self.host}:{self.port} "
+                     f"(cadence={self.cadence:g}s wall, "
+                     f"round={self.plane.config.cadence:g}s logical)")
+            await self.serve_until_shutdown()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass

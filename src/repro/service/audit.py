@@ -1,0 +1,173 @@
+"""Audit journal: persisted stimuli, byte-exact decision replay.
+
+The service's explainability story rests on two JSONL artifacts:
+
+- the **decision log** (``DecisionLog.to_jsonl``) — *what* the
+  controller concluded each round;
+- the **journal** (this module) — *everything the controller was
+  told*: every accepted metrics snapshot, every accepted trace batch,
+  and every control tick with the logical time it ran at.
+
+Because :class:`~repro.service.control.ControlPlane` derives all state
+from those stimuli alone (wall clocks never touch the decision
+records), feeding the journal back through a fresh plane reproduces
+the decision JSONL byte-for-byte. :func:`verify_replay` performs that
+check — the service-layer analogue of the simulator's deterministic
+replay gate.
+
+Rejected payloads are deliberately *not* journaled: they changed no
+state, so replaying only accepted stimuli is sufficient for identity.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+from dataclasses import dataclass
+
+from repro.service.control import ControlPlane
+from repro.service.domain import ServiceConfig
+
+__all__ = [
+    "AuditJournal",
+    "JournalEntry",
+    "read_journal",
+    "replay_journal",
+    "verify_replay",
+]
+
+#: Stimulus kinds a journal records.
+EntryKind = _t.Literal["metrics", "traces", "tick"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One persisted stimulus.
+
+    Attributes:
+        kind: ``"metrics"`` / ``"traces"`` (accepted ingests, body
+            preserved verbatim) or ``"tick"`` (control round).
+        time: the logical time the plane resolved for the stimulus —
+            replay passes it back explicitly so wall-clock-cadenced
+            ticks stay reproducible.
+        body: the raw payload for ingests; ``None`` for ticks.
+    """
+
+    kind: EntryKind
+    time: float
+    body: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready journal line."""
+        payload: dict[str, _t.Any] = {"kind": self.kind,
+                                      "time": self.time}
+        if self.body is not None:
+            payload["body"] = self.body
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JournalEntry":
+        """Inverse of :meth:`to_dict`."""
+        kind = payload["kind"]
+        if kind not in ("metrics", "traces", "tick"):
+            raise ValueError(f"unknown journal entry kind {kind!r}")
+        return cls(kind=kind, time=float(payload["time"]),
+                   body=payload.get("body"))
+
+
+class AuditJournal:
+    """Append-only JSONL journal of accepted stimuli.
+
+    Args:
+        path: journal file (parent directories are created); ``None``
+            journals into memory only — useful for tests and for
+            serving without persistence.
+    """
+
+    def __init__(self, path: str | pathlib.Path | None = None) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self.entries: list[JournalEntry] = []
+        self._handle: _t.TextIO | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+
+    def record(self, kind: EntryKind, time: float,
+               body: str | None = None) -> JournalEntry:
+        """Persist one accepted stimulus (flushed immediately)."""
+        entry = JournalEntry(kind=kind, time=time, body=body)
+        self.entries.append(entry)
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+            self._handle.flush()
+        return entry
+
+    def close(self) -> None:
+        """Close the backing file, if any (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def read_journal(path: str | pathlib.Path) -> list[JournalEntry]:
+    """Parse a journal file back into entries."""
+    entries = []
+    for line in pathlib.Path(path).read_text(
+            encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            entries.append(JournalEntry.from_dict(json.loads(line)))
+    return entries
+
+
+def replay_journal(entries: _t.Iterable[JournalEntry],
+                   config: ServiceConfig | None = None,
+                   max_records: int = 4096) -> ControlPlane:
+    """Feed journaled stimuli through a fresh control plane.
+
+    The configuration must match the one the journal was recorded
+    under (the ``serve`` CLI persists it alongside the journal for
+    exactly this reason).
+    """
+    plane = ControlPlane(config, max_records=max_records)
+    for entry in entries:
+        if entry.kind == "metrics":
+            plane.ingest_metrics(_t.cast(str, entry.body))
+        elif entry.kind == "traces":
+            plane.ingest_traces(_t.cast(str, entry.body))
+        else:
+            plane.tick(now=entry.time)
+    return plane
+
+
+def verify_replay(journal_path: str | pathlib.Path,
+                  decisions_path: str | pathlib.Path,
+                  config: ServiceConfig | None = None,
+                  max_records: int = 4096) -> tuple[bool, str]:
+    """Replay a journal and byte-compare against persisted decisions.
+
+    Returns ``(identical, detail)`` where ``detail`` names the first
+    divergent line on mismatch.
+    """
+    plane = replay_journal(read_journal(journal_path), config,
+                           max_records=max_records)
+    replayed = plane.decisions_jsonl()
+    persisted = pathlib.Path(decisions_path).read_text(
+        encoding="utf-8")
+    if replayed == persisted:
+        return True, (f"replay of {len(plane.obs.decisions)} records "
+                      f"is byte-identical")
+    replay_lines = replayed.splitlines()
+    disk_lines = persisted.splitlines()
+    for index, (a, b) in enumerate(zip(replay_lines, disk_lines)):
+        if a != b:
+            return False, (f"first divergence at line {index + 1}:\n"
+                           f"  replay:    {a[:120]}\n"
+                           f"  persisted: {b[:120]}")
+    return False, (f"length mismatch: replay {len(replay_lines)} "
+                   f"lines vs persisted {len(disk_lines)}")

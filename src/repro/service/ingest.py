@@ -1,0 +1,162 @@
+"""Ingestion adapters: foreign telemetry → domain observations.
+
+Two wire formats come in, both already spoken elsewhere in the repo:
+
+- **OpenMetrics text exposition** — the exact format
+  :func:`repro.obs.render_openmetrics` emits and any Prometheus-style
+  scraper produces. Parsing reuses the strict round-trip parser
+  (:func:`repro.obs.parse_openmetrics`), so malformed payloads are
+  rejected with the parser's established error taxonomy ("bad
+  sample", "bad comment", "missing # EOF terminator", ...) wrapped in
+  a typed :class:`~repro.service.domain.IngestError`.
+- **Jaeger-API-shaped JSON trace batches** — the ``data[].spans[]``
+  document :func:`repro.tracing.export_traces` writes and Jaeger's
+  HTTP API returns, parsed by
+  :func:`repro.tracing.traces_from_jaeger`.
+
+Adapters validate and translate only; they never touch control-plane
+state, which keeps the application layer testable without HTTP and
+the replay path byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.obs.openmetrics import parse_openmetrics
+from repro.service.domain import IngestError, ServiceConfig
+from repro.tracing.export import traces_from_jaeger
+from repro.tracing.span import Span
+
+__all__ = [
+    "MetricsSnapshot",
+    "SeriesSample",
+    "parse_metrics_snapshot",
+    "parse_trace_batch",
+]
+
+
+class SeriesSample(_t.NamedTuple):
+    """One service's readings extracted from a metrics snapshot."""
+
+    concurrency: float
+    rate: float
+    utilization: float | None
+    allocation: float | None
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A validated scrape: per-service readings plus an optional
+    source-supplied logical timestamp (``None`` when the exposition
+    carries no clock family — the control plane then assigns ingest
+    order as the logical time, which keeps replay deterministic).
+    """
+
+    time: float | None
+    series: dict[str, SeriesSample] = field(default_factory=dict)
+
+
+def _by_service(families: dict, family: str,
+                label: str) -> dict[str, float]:
+    """``service -> value`` for one gauge family (strict on labels)."""
+    entry = families.get(family)
+    if entry is None:
+        return {}
+    values: dict[str, float] = {}
+    for sample in entry["samples"]:
+        service = sample.labels.get(label)
+        if service is None:
+            raise IngestError(
+                "missing-label",
+                f"sample {sample.name} lacks the "
+                f"{label!r} label identifying its service")
+        values[service] = sample.value
+    return values
+
+
+def parse_metrics_snapshot(text: str,
+                           config: ServiceConfig) -> MetricsSnapshot:
+    """Validate one OpenMetrics exposition into a snapshot.
+
+    Raises:
+        IngestError: ``"bad-openmetrics"`` when the strict parser
+            rejects the text (its message is preserved verbatim),
+            ``"missing-family"`` when the required concurrency/rate
+            families are absent or empty, ``"missing-label"`` when a
+            sample cannot be attributed to a service.
+    """
+    try:
+        families = parse_openmetrics(text)
+    except ValueError as exc:
+        raise IngestError("bad-openmetrics", str(exc)) from exc
+
+    label = config.service_label
+    concurrency = _by_service(families, config.concurrency_family, label)
+    rate = _by_service(families, config.rate_family, label)
+    utilization = _by_service(families, config.utilization_family, label)
+    allocation = _by_service(families, config.allocation_family, label)
+    if not concurrency or not rate:
+        raise IngestError(
+            "missing-family",
+            f"snapshot needs non-empty {config.concurrency_family!r} "
+            f"and {config.rate_family!r} families (got "
+            f"{sorted(families)})")
+
+    series: dict[str, SeriesSample] = {}
+    for service in sorted(concurrency.keys() & rate.keys()):
+        series[service] = SeriesSample(
+            concurrency=concurrency[service],
+            rate=rate[service],
+            utilization=utilization.get(service),
+            allocation=allocation.get(service),
+        )
+    if not series:
+        raise IngestError(
+            "missing-family",
+            "concurrency and rate families share no service label")
+    # Utilization-only services still matter: they feed the screening
+    # step even when the source exports no pool telemetry for them.
+    for service, value in utilization.items():
+        if service not in series:
+            series[service] = SeriesSample(
+                concurrency=float("nan"), rate=float("nan"),
+                utilization=value, allocation=allocation.get(service))
+
+    time: float | None = None
+    clock = families.get(config.time_family)
+    if clock is not None and clock["samples"]:
+        time = float(clock["samples"][0].value)
+    return MetricsSnapshot(time=time, series=series)
+
+
+def parse_trace_batch(body: str | bytes) -> list[Span]:
+    """Validate one Jaeger-shaped JSON document into span trees.
+
+    Raises:
+        IngestError: ``"bad-json"`` when the body is not JSON,
+            ``"bad-jaeger"`` when the document parses but lacks the
+            ``data[].spans[]`` shape (or a trace has no root span).
+    """
+    if isinstance(body, bytes):
+        body = body.decode("utf-8", errors="replace")
+    try:
+        document = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise IngestError("bad-json", str(exc)) from exc
+    if not isinstance(document, dict) or "data" not in document:
+        raise IngestError(
+            "bad-jaeger", "document must be an object with a 'data' "
+            "array of traces")
+    try:
+        roots = traces_from_jaeger(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IngestError("bad-jaeger", str(exc)) from exc
+    for root in roots:
+        if not root.finished:
+            raise IngestError(
+                "bad-jaeger",
+                f"trace {root.trace_id:#x} has an unfinished root span")
+    return roots

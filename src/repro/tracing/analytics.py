@@ -54,6 +54,7 @@ class StreamingPearson:
         self.sx = self.sy = self.sxx = self.syy = self.sxy = 0.0
 
     def add(self, x: float, y: float) -> None:
+        """Fold one ``(x, y)`` observation into the moments."""
         self.n += 1
         self.sx += x
         self.sy += y
@@ -62,6 +63,7 @@ class StreamingPearson:
         self.sxy += x * y
 
     def value(self) -> float:
+        """Pearson correlation over everything added so far."""
         n = self.n
         if n < 2:
             return 0.0
@@ -92,6 +94,7 @@ class TopKPaths:
         self._table: dict[tuple[str, ...], list[float]] = {}
 
     def offer(self, pattern: tuple[str, ...], duration: float) -> None:
+        """Count one occurrence of ``pattern`` (space-saving sketch)."""
         entry = self._table.get(pattern)
         if entry is not None:
             entry[0] += 1

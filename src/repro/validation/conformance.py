@@ -115,10 +115,12 @@ class ScenarioResult:
 
     @property
     def passed(self) -> bool:
+        """Whether every checked bound held for this scenario."""
         return not self.failures
 
     @property
     def worst_station_error(self) -> float:
+        """Largest relative residence-time error across stations."""
         if not self.stations:
             return 0.0
         return max(s.residence_error for s in self.stations)
@@ -133,10 +135,12 @@ class ConformanceReport:
 
     @property
     def passed(self) -> bool:
+        """Whether every scenario in the suite passed."""
         return all(r.passed for r in self.results)
 
     @property
     def failures(self) -> list[str]:
+        """Every failure message, prefixed with its scenario name."""
         return [f"{r.scenario.name}: {message}"
                 for r in self.results for message in r.failures]
 

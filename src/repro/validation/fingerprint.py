@@ -56,6 +56,7 @@ class Fingerprint:
     events: tuple[EventRecord, ...] | None = None
 
     def same_digest(self, other: "Fingerprint") -> bool:
+        """Whether both runs hashed to the same event stream."""
         return self.digest == other.digest
 
 

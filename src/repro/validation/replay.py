@@ -78,6 +78,7 @@ class DivergenceReport:
         return f"t={time:.9f} {kind}{suffix}"
 
     def render(self) -> str:
+        """Human-readable description of the first divergent event."""
         lines = [
             f"first divergence at event #{self.index}:",
             f"  {self.left_label:<12} {self._describe(self.left)}",
@@ -102,9 +103,11 @@ class ReplayResult:
 
     @property
     def identical(self) -> bool:
+        """Whether the replayed run matched the original exactly."""
         return self.divergence is None
 
     def render(self) -> str:
+        """Human-readable verdict with per-run fingerprints."""
         lines = [f"replay check: scenario={self.scenario} "
                  f"seed={self.seed} duration={self.duration:g}s"]
         for label, fingerprint in self.fingerprints:

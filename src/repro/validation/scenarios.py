@@ -110,6 +110,7 @@ class ConformanceScenario:
     # ------------------------------------------------------------------
     @property
     def service_names(self) -> tuple[str, ...]:
+        """Generated service names, one per demand entry."""
         return tuple(f"s{i}" for i in range(len(self.demands)))
 
     @property

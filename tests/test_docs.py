@@ -15,8 +15,13 @@ from pathlib import Path
 
 import pytest
 
+import repro.analysis
 import repro.core
 import repro.faults
+import repro.obs
+import repro.service
+import repro.tracing
+import repro.validation
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -31,7 +36,7 @@ def test_markdown_links_resolve():
 def test_readme_indexes_every_subsystem():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     for package in ("repro.sim", "repro.core", "repro.validation",
-                    "repro.obs", "repro.faults"):
+                    "repro.obs", "repro.faults", "repro.service"):
         assert package in readme, \
             f"README subsystem index is missing {package}"
 
@@ -58,8 +63,12 @@ def test_examples_are_documented_and_smoke_capable():
     assert "--smoke" in tour
 
 
-@pytest.mark.parametrize("module", [repro.faults, repro.core],
-                         ids=["repro.faults", "repro.core"])
+@pytest.mark.parametrize(
+    "module",
+    [repro.faults, repro.core, repro.obs, repro.tracing,
+     repro.analysis, repro.validation, repro.service],
+    ids=["repro.faults", "repro.core", "repro.obs", "repro.tracing",
+         "repro.analysis", "repro.validation", "repro.service"])
 def test_public_entry_points_have_docstrings(module):
     undocumented = []
     for name in module.__all__:
@@ -78,3 +87,12 @@ def test_public_entry_points_have_docstrings(module):
                         undocumented.append(f"{name}.{attr}")
     assert not undocumented, \
         f"undocumented public entry points: {sorted(undocumented)}"
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        text = path.read_text(encoding="utf-8").lstrip()
+        if text and not text.startswith(('"""', "'''", 'r"""')):
+            missing.append(str(path.relative_to(REPO)))
+    assert not missing, f"modules without a docstring: {missing}"
