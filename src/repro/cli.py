@@ -568,6 +568,15 @@ def cmd_validate_replay(args) -> int:
     return 0 if result.identical else 1
 
 
+def _exclude_services(args) -> tuple:
+    """Resolve ``--exclude`` flags: absent means the front-end default,
+    given flags *replace* it (so the default can be un-excluded), and
+    empty strings are dropped (``--exclude ''`` excludes nothing)."""
+    if args.exclude is None:
+        return ("front-end",)
+    return tuple(service for service in args.exclude if service)
+
+
 def _service_config(args):
     """Build a :class:`~repro.service.domain.ServiceConfig` from the
     shared service flags (``serve`` / ``service drive --spawn`` /
@@ -582,7 +591,7 @@ def _service_config(args):
         utilization_threshold=args.utilization_threshold,
         max_pending=args.max_pending,
         decide_top_k=args.decide_top_k,
-        exclude=tuple(args.exclude),
+        exclude=_exclude_services(args),
         latency_slo=args.latency_slo,
         scatter=ScatterModelConfig(min_samples=args.min_samples,
                                    min_distinct=args.min_distinct,
@@ -736,8 +745,13 @@ def _service_flag_values(args) -> list:
              "--min-distinct", str(args.min_distinct),
              "--quantum", str(args.quantum),
              "--latency-slo", str(args.latency_slo)]
-    for service in args.exclude:
+    excluded = _exclude_services(args)
+    for service in excluded:
         flags.extend(["--exclude", service])
+    if not excluded:
+        # Forward the emptiness explicitly, or the spawned serve would
+        # fall back to its own front-end default and replay diverges.
+        flags.extend(["--exclude", ""])
     return flags
 
 
@@ -1015,15 +1029,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall seconds one recommendation may "
                             "take (controller's own SLO)")
         p.add_argument("--exclude", action="append",
-                       default=["front-end"], metavar="SERVICE",
+                       default=None, metavar="SERVICE",
                        help="service never nominated as critical "
-                            "(repeatable; default: front-end)")
+                            "(repeatable; replaces the default of "
+                            "front-end; pass an empty string to "
+                            "exclude nothing)")
 
     serve = sub.add_parser(
         "serve",
         help="run the standalone Sora control-plane service "
              "(asyncio HTTP JSON API)")
-    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address; the API is unauthenticated, "
+                            "so non-loopback binds expose ingestion "
+                            "and /admin/shutdown to the network")
     serve.add_argument("--port", type=int, default=8787,
                        help="bind port (0 picks a free one)")
     serve.add_argument("--cadence", type=float, default=0.0,

@@ -23,7 +23,16 @@ plane as a JSON API:
 Error mapping is driven by the typed
 :class:`~repro.service.domain.IngestError` taxonomy: ``backpressure``
 becomes HTTP 429 with a ``Retry-After`` hint, every other rejection
-HTTP 400 with ``{"error": code, "detail": ...}``.
+(including ``stale-snapshot`` time regressions) HTTP 400 with
+``{"error": code, "detail": ...}``. Oversized request heads and bodies
+get HTTP 413; unexpected server errors are logged with their traceback
+and answered with a generic 500 body so internals never leak to
+callers.
+
+The API is unauthenticated by design (it is a lab-scale control
+plane): binding anything other than loopback exposes the ingestion and
+``/admin/shutdown`` endpoints to the network — keep the default
+``127.0.0.1`` unless the listener sits behind your own auth layer.
 
 Accepted stimuli are journaled through
 :class:`~repro.service.audit.AuditJournal` and the decision log is
@@ -35,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import pathlib
 import typing as _t
 
@@ -43,6 +53,8 @@ from repro.service.control import ControlPlane
 from repro.service.domain import IngestError, ServiceConfig
 
 __all__ = ["ControllerService"]
+
+_log = logging.getLogger(__name__)
 
 _MAX_HEADER = 64 * 1024
 _MAX_BODY = 64 * 1024 * 1024
@@ -115,8 +127,12 @@ class ControllerService:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the listener and start the cadence timer."""
+        # The stream limit bounds the request head: readuntil raises
+        # LimitOverrunError past it, which _respond maps to HTTP 413.
+        # Bodies are read with readexactly and bounded separately by
+        # _MAX_BODY.
         self._server = await asyncio.start_server(
-            self._handle, self.host, self.port)
+            self._handle, self.host, self.port, limit=_MAX_HEADER)
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
@@ -138,6 +154,8 @@ class ControllerService:
                 await self._cadence_task
             except asyncio.CancelledError:
                 pass
+            except Exception:
+                _log.exception("cadence task ended with an error")
             self._cadence_task = None
         if self._server is not None:
             self._server.close()
@@ -149,7 +167,16 @@ class ControllerService:
     async def _cadence_loop(self) -> None:
         while not self._shutdown.is_set():
             await asyncio.sleep(self.cadence)
-            self._tick()
+            if self._shutdown.is_set():
+                break
+            try:
+                self._tick()
+            except Exception:
+                # A failed round (e.g. decision-log persistence I/O)
+                # must not silently kill automatic control while the
+                # HTTP API keeps serving; log and try again next tick.
+                _log.exception("control round failed; retrying on the "
+                               "next cadence tick")
 
     def _tick(self) -> dict:
         """One control round: advance the logical clock by the
@@ -175,9 +202,13 @@ class ControllerService:
                       writer: asyncio.StreamWriter) -> None:
         try:
             response = await self._respond(reader)
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception:
+            # Log the traceback server-side; the client gets a generic
+            # body so internal details (paths, state) never leak out.
+            _log.exception("unhandled error while serving a request")
             response = _json_response(
-                500, {"error": "internal", "detail": str(exc)})
+                500, {"error": "internal",
+                      "detail": "internal server error"})
         try:
             writer.write(response)
             await writer.drain()
@@ -191,14 +222,17 @@ class ControllerService:
     async def _respond(self, reader: asyncio.StreamReader) -> bytes:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+        except asyncio.LimitOverrunError:
+            # The stream limit (start_server limit=_MAX_HEADER) fired
+            # before the head terminator arrived.
+            return _json_response(
+                413, {"error": "bad-request",
+                      "detail": f"request head exceeds the "
+                                f"{_MAX_HEADER}-byte limit"})
+        except asyncio.IncompleteReadError:
             return _json_response(
                 400, {"error": "bad-request",
                       "detail": "malformed HTTP request head"})
-        if len(head) > _MAX_HEADER:
-            return _json_response(
-                413, {"error": "bad-request",
-                      "detail": "request head too large"})
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split()
         if len(parts) != 3:

@@ -126,12 +126,19 @@ class ControlPlane:
     def ingest_metrics(self, text: str) -> dict:
         """Fold one OpenMetrics snapshot into the per-service state.
 
+        The snapshot is validated in full before any state mutates, so
+        a rejection leaves the plane (and therefore the journal/replay
+        contract) untouched.
+
         Raises:
             IngestError: validation failures (propagated from the
                 adapter), ``"backpressure"`` when more than
                 ``max_pending`` snapshots queued since the last round,
                 ``"series-limit"`` when the snapshot would create more
-                tracked services than ``max_series`` allows.
+                tracked services than ``max_series`` allows,
+                ``"stale-snapshot"`` when the snapshot's time precedes
+                a sample already observed for one of its series (the
+                per-series clocks must be non-decreasing).
         """
         cfg = self.config
         if self._pending >= cfg.max_pending:
@@ -152,6 +159,23 @@ class ControlPlane:
                 f" services (max_series={cfg.max_series})")
         now = (snapshot.time if snapshot.time is not None
                else self.now + 1.0)
+        # Reject time regressions *before* mutating anything: a partial
+        # apply would journal nothing yet leave live state diverged
+        # from the journal, breaking replay byte-identity.
+        stale = sorted(
+            name for name, sample in snapshot.series.items()
+            if not (np.isnan(sample.concurrency)
+                    or np.isnan(sample.rate))
+            and name in self._series
+            and self._series[name].snapshots > 0
+            and now < self._series[name].updated)
+        if stale:
+            self.obs.registry.counter("service.rejected").inc()
+            latest = max(self._series[name].updated for name in stale)
+            raise IngestError(
+                "stale-snapshot",
+                f"snapshot time {now} precedes already-observed "
+                f"samples (latest {latest}) for: {', '.join(stale)}")
         self.now = max(self.now, now)
         for name, sample in snapshot.series.items():
             state = self._series.get(name)

@@ -44,6 +44,7 @@ IngestErrorCode = _t.Literal[
     "missing-label",     # sample lacks the identifying service label
     "backpressure",      # ingestion outpaced the control cadence
     "series-limit",      # snapshot would exceed the tracked-series cap
+    "stale-snapshot",    # snapshot time precedes already-observed samples
 ]
 
 

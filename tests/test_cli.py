@@ -54,6 +54,21 @@ class TestParser:
         assert args.jsonl is None
         assert args.log_level is None
 
+    def test_serve_exclude_flags_replace_the_default(self):
+        from repro.cli import _exclude_services
+
+        parse = build_parser().parse_args
+        # Absent: the front-end default applies.
+        assert (_exclude_services(parse(["serve"]))
+                == ("front-end",))
+        # Given: flags replace (not extend) the default, so front-end
+        # can be un-excluded from the CLI.
+        assert (_exclude_services(parse(["serve", "--exclude", "cart",
+                                         "--exclude", "db"]))
+                == ("cart", "db"))
+        # Empty string: exclude nothing at all.
+        assert _exclude_services(parse(["serve", "--exclude", ""])) == ()
+
 
 class TestCommands:
     def test_traces_command(self, capsys):

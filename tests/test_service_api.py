@@ -194,9 +194,23 @@ def test_rejections_map_ingest_taxonomy_onto_http():
             assert status == 400
             assert json.loads(body)["error"] == "bad-json"
 
+            # A time-regressing snapshot is rejected atomically: 400,
+            # no state change, not journaled.
+            status, _headers, _body = await request(
+                port, "POST", "/ingest/openmetrics",
+                render_snapshot(10.0, {"cart": 0.5}, {"cart": 1.0},
+                                {"cart": 5.0}))
+            assert status == 202
+            status, _headers, body = await request(
+                port, "POST", "/ingest/openmetrics",
+                render_snapshot(4.0, {"cart": 0.5}, {"cart": 2.0},
+                                {"cart": 6.0}))
+            assert status == 400
+            assert json.loads(body)["error"] == "stale-snapshot"
+
             # Rejected payloads never reach state or the journal.
-            assert service.plane.snapshots_ingested == 0
-            assert len(service.journal) == 0
+            assert service.plane.snapshots_ingested == 1
+            assert len(service.journal) == 1
 
             status, _headers, body = await request(
                 port, "GET", "/nope")
@@ -281,6 +295,94 @@ def test_malformed_http_head_is_rejected_not_fatal():
             await writer.wait_closed()
             assert b"400" in raw.split(b"\r\n", 1)[0]
             # The server survives and keeps answering.
+            status, _headers, _body = await request(
+                port, "GET", "/healthz")
+            assert status == 200
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_oversized_request_head_returns_413():
+    async def scenario() -> None:
+        service = await started_service(service_config())
+        port = service.port
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(b"GET /healthz HTTP/1.1\r\nHost: test\r\n"
+                         b"X-Pad: " + b"a" * (80 * 1024)
+                         + b"\r\nConnection: close\r\n\r\n")
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass  # server may answer and close mid-send
+            raw = await reader.read()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            assert b"413" in raw.split(b"\r\n", 1)[0]
+            status, _headers, _body = await request(
+                port, "GET", "/healthz")
+            assert status == 200
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_cadence_loop_survives_tick_failure():
+    async def scenario() -> None:
+        service = ControllerService(service_config(), port=0,
+                                    cadence=0.01)
+        ticks = []
+
+        def exploding_tick() -> dict:
+            ticks.append(1)
+            raise RuntimeError("persistence blew up")
+
+        service._tick = exploding_tick  # type: ignore[method-assign]
+        await service.start()
+        try:
+            for _ in range(200):
+                if len(ticks) >= 2:
+                    break
+                await asyncio.sleep(0.01)
+            # The loop logged and kept going past the failures...
+            assert len(ticks) >= 2
+            assert service._cadence_task is not None
+            assert not service._cadence_task.done()
+            # ...and the HTTP API never stopped serving.
+            status, _headers, _body = await request(
+                service.port, "GET", "/healthz")
+            assert status == 200
+        finally:
+            # stop() must swallow the task's stored state cleanly.
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_internal_errors_return_generic_500_body():
+    async def scenario() -> None:
+        service = await started_service(service_config())
+        port = service.port
+
+        def boom() -> dict:
+            raise RuntimeError("/secret/path leaked from the server")
+
+        service.plane.status = boom  # type: ignore[method-assign]
+        try:
+            status, _headers, body = await request(
+                port, "GET", "/status")
+            assert status == 500
+            payload = json.loads(body)
+            assert payload == {"error": "internal",
+                               "detail": "internal server error"}
+            assert "secret" not in body
             status, _headers, _body = await request(
                 port, "GET", "/healthz")
             assert status == 200

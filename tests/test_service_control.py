@@ -262,6 +262,43 @@ def test_series_limit_is_enforced():
     assert excinfo.value.code == "series-limit"
 
 
+def test_stale_snapshot_is_rejected_before_any_mutation():
+    plane = ControlPlane(small_config())
+    plane.ingest_metrics(render_snapshot(
+        10.0, {"cart": 0.9}, {"cart": 3.0}, {"cart": 20.0}))
+    pending = plane.pending
+    # "aaa" sorts before "cart": under a partial apply it would have
+    # been tracked before the time regression on cart blew up.
+    with pytest.raises(IngestError) as excinfo:
+        plane.ingest_metrics(render_snapshot(
+            5.0, {}, {"aaa": 1.0, "cart": 4.0},
+            {"aaa": 2.0, "cart": 21.0}))
+    assert excinfo.value.code == "stale-snapshot"
+    assert "cart" in excinfo.value.detail
+    # Nothing mutated: no new series, no queued snapshot, no samples.
+    assert "aaa" not in plane._series
+    assert plane.pending == pending
+    assert plane._series["cart"].snapshots == 1
+    assert plane.now == 10.0
+    # Ingestion at a non-regressing time still works afterwards.
+    plane.ingest_metrics(render_snapshot(
+        10.0, {}, {"cart": 5.0}, {"cart": 22.0}))
+    assert plane._series["cart"].snapshots == 2
+
+
+def test_stale_utilization_only_snapshot_still_enriches():
+    # Utilization-only readings append no time-series samples, so a
+    # regressing clock must not reject them.
+    plane = ControlPlane(small_config())
+    plane.ingest_metrics(render_snapshot(
+        10.0, {"cart": 0.5}, {"cart": 3.0}, {"cart": 20.0}))
+    plane.ingest_metrics(render_snapshot(
+        5.0, {"cart": 0.8, "cart-db": 0.99}, {"other": 1.0},
+        {"other": 2.0}))
+    assert plane._series["cart"].utilization == 0.8
+    assert plane._series["cart"].snapshots == 1
+
+
 # ----------------------------------------------------------------------
 # Audit replay byte-identity
 # ----------------------------------------------------------------------
