@@ -341,6 +341,37 @@ def cmd_obs_export(args) -> int:
     return 0
 
 
+def cmd_obs_trends(args) -> int:
+    from repro.obs.trends import (
+        collect_artifacts,
+        find_crossings,
+        render_trends_html,
+    )
+
+    points = collect_artifacts(args.paths)
+    if len(points) < 2:
+        print(f"error: found {len(points)} recognizable artifact(s) "
+              f"under {args.paths}; need at least 2 for a trend "
+              f"(commit BENCH_*.json reports or matrix index.json "
+              f"files)", file=sys.stderr)
+        return 2
+    html = render_trends_html(points, threshold_pct=args.threshold,
+                              title=args.title)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    crossings = find_crossings(points, args.threshold)
+    print(f"aggregated {len(points)} artifacts "
+          f"({points[0].timestamp} .. {points[-1].timestamp}); "
+          f"{len(crossings)} threshold crossing(s) at "
+          f"±{args.threshold:g}%")
+    for entry in crossings[:10]:
+        print(f"  {entry['metric']}: {entry['before']:g} -> "
+              f"{entry['after']:g} ({entry['change_pct']:+.1f}%) "
+              f"between {entry['from']} and {entry['to']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
 #: Sample plan printed by ``repro faults example`` — one spec of each
 #: kind, sized for the default cart scenario.
 _EXAMPLE_PLAN = {
@@ -593,18 +624,25 @@ def _service_config(args):
         decide_top_k=args.decide_top_k,
         exclude=_exclude_services(args),
         latency_slo=args.latency_slo,
+        flight_rounds=args.flight_rounds,
         scatter=ScatterModelConfig(min_samples=args.min_samples,
                                    min_distinct=args.min_distinct,
                                    quantum=args.quantum))
 
 
 def cmd_serve(args) -> int:
+    from repro.obs import configure_logging
     from repro.service import ControllerService
 
+    if args.log_level:
+        configure_logging(args.log_level)
     service = ControllerService(
         _service_config(args), host=args.host, port=args.port,
         cadence=args.cadence, journal_path=args.journal,
-        decisions_path=args.decisions)
+        decisions_path=args.decisions,
+        journal_segment_bytes=args.journal_segment_bytes,
+        journal_segment_age=args.journal_segment_age,
+        journal_compact=args.journal_compact)
 
     def announce(message: str) -> None:
         print(message, flush=True)
@@ -627,8 +665,16 @@ def cmd_service_drive(args) -> int:
     import time
     import urllib.request
 
-    from repro.service import ServiceClient, drive, verify_replay
+    from repro.obs import configure_logging
+    from repro.service import (
+        ServiceClient,
+        drive,
+        verify_chain,
+        verify_replay,
+    )
 
+    if args.log_level:
+        configure_logging(args.log_level)
     duration = args.duration
     if os.environ.get("REPRO_EXAMPLE_SMOKE"):
         duration = min(duration, 60.0)
@@ -654,6 +700,16 @@ def cmd_service_drive(args) -> int:
                        "--port-file", str(port_file),
                        "--journal", str(journal),
                        "--decisions", str(decisions)]
+            if args.journal_segment_bytes:
+                command.extend(["--journal-segment-bytes",
+                                str(args.journal_segment_bytes)])
+            if args.journal_segment_age:
+                command.extend(["--journal-segment-age",
+                                str(args.journal_segment_age)])
+            if args.journal_compact:
+                command.append("--journal-compact")
+            if args.log_level:
+                command.extend(["--log-level", args.log_level])
             command.extend(_service_flag_values(args))
             process = subprocess.Popen(command)
             deadline = time.time() + 30.0
@@ -691,6 +747,19 @@ def cmd_service_drive(args) -> int:
             (out / "report.txt").write_text(
                 client.request("GET", "/report")["text"],
                 encoding="utf-8")
+            # Flight-recorder artifacts: per-round span summaries,
+            # the live ops console, and journal lifecycle health.
+            (out / "rounds.json").write_text(
+                json.dumps(client.request("GET", "/debug/rounds"),
+                           indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            (out / "dashboard.html").write_text(
+                client.request("GET", "/debug/dashboard")["text"],
+                encoding="utf-8")
+            (out / "journal_health.json").write_text(
+                json.dumps(client.request("GET", "/debug/journal"),
+                           indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
         if args.spawn:
             try:
                 client.request("POST", "/admin/shutdown", b"")
@@ -726,6 +795,10 @@ def cmd_service_drive(args) -> int:
         print(f"  audit replay: {detail}")
         if not identical:
             return 1
+        intact, chain_detail = verify_chain(journal)
+        print(f"  audit chain: {chain_detail}")
+        if not intact:
+            return 1
     if args.expect_recommendation and not recommendations:
         print("error: no recommendation was served", file=sys.stderr)
         return 1
@@ -744,7 +817,8 @@ def _service_flag_values(args) -> list:
              "--min-samples", str(args.min_samples),
              "--min-distinct", str(args.min_distinct),
              "--quantum", str(args.quantum),
-             "--latency-slo", str(args.latency_slo)]
+             "--latency-slo", str(args.latency_slo),
+             "--flight-rounds", str(args.flight_rounds)]
     excluded = _exclude_services(args)
     for service in excluded:
         flags.extend(["--exclude", service])
@@ -919,6 +993,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the exposition here instead of "
                              "stdout")
 
+    trends = obs_sub.add_parser(
+        "trends",
+        help="longitudinal perf trends: aggregate committed "
+             "BENCH_*.json reports and matrix index.json files into "
+             "a regression-timeline HTML report")
+    trends.add_argument("paths", nargs="*",
+                        default=["BENCH_kernel.json", "benchmarks"],
+                        metavar="PATH",
+                        help="artifact files or directories to sweep "
+                             "(default: BENCH_kernel.json + "
+                             "benchmarks/)")
+    trends.add_argument("--output", default="trends.html",
+                        metavar="PATH",
+                        help="write the self-contained HTML report "
+                             "here (default trends.html)")
+    trends.add_argument("--threshold", type=float, default=20.0,
+                        help="callout threshold in percent for "
+                             "consecutive-artifact moves (default 20)")
+    trends.add_argument("--title", default="repro perf trends")
+
     faults = sub.add_parser(
         "faults",
         help="fault injection: run a scenario under a JSON fault plan")
@@ -1034,6 +1128,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable; replaces the default of "
                             "front-end; pass an empty string to "
                             "exclude nothing)")
+        p.add_argument("--flight-rounds", type=int, default=256,
+                       help="control rounds the self-tracing flight "
+                            "recorder retains (0 disables "
+                            "self-tracing entirely)")
+
+    def add_journal_lifecycle_args(p):
+        p.add_argument("--journal-segment-bytes", type=int, default=0,
+                       help="rotate the audit journal into a numbered "
+                            "segment once the active file reaches "
+                            "this many bytes (0 = never)")
+        p.add_argument("--journal-segment-age", type=float,
+                       default=0.0,
+                       help="rotate once the active segment spans "
+                            "this many logical seconds (0 = never)")
+        p.add_argument("--journal-compact", action="store_true",
+                       help="collapse closed segments into a "
+                            "checkpoint entry after each rotation "
+                            "(drops superseded snapshots, keeps "
+                            "every decision; replay stays "
+                            "byte-identical)")
+        p.add_argument("--log-level", default=None,
+                       choices=("debug", "info", "warning", "error"),
+                       help="stream repro.* logs to stderr")
 
     serve = sub.add_parser(
         "serve",
@@ -1056,6 +1173,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None, metavar="PATH",
                        help="write the bound port here after startup")
     add_service_config_args(serve)
+    add_journal_lifecycle_args(serve)
 
     service = sub.add_parser(
         "service",
@@ -1102,6 +1220,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="exit non-zero unless at least "
                                     "one recommendation was served")
     add_service_config_args(service_drive)
+    add_journal_lifecycle_args(service_drive)
     service_replay = service_sub.add_parser(
         "replay",
         help="re-derive the decision log from a journal and verify "
@@ -1163,6 +1282,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_obs_dashboard(args)
         if args.obs_command == "export":
             return cmd_obs_export(args)
+        if args.obs_command == "trends":
+            return cmd_obs_trends(args)
     if args.command == "faults":
         if args.faults_command == "run":
             return cmd_faults_run(args)

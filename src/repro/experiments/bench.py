@@ -249,6 +249,92 @@ def bench_sampling_overhead(requests: int = 2000,
     }
 
 
+def bench_service_selftrace(series: int = 1000, rounds: int = 8,
+                            snapshots_per_round: int = 6,
+                            repeats: int = REPEATS) -> dict:
+    """Flight-recorder cost on the service's recommendation path.
+
+    Drives two :class:`~repro.service.ControlPlane` instances through
+    the identical ingest → control-round sequence — ``series``
+    monitored services, ``snapshots_per_round`` scrapes between
+    rounds, every series estimated per round (``decide_top_k=0``) —
+    once with self-tracing disabled (``flight_rounds=0``) and once
+    recording full span trees. ``selftrace_overhead_pct`` is the
+    relative wall-clock cost of the flight recorder (the perf gate
+    holds it under 10%); ``identical_decisions`` asserts the disabled
+    mode changes nothing but timing — decision bytes match exactly.
+    """
+    from repro.core.scg import ScatterModelConfig
+    from repro.service import (
+        ControlPlane,
+        ServiceConfig,
+        render_snapshot,
+    )
+
+    # Pre-render every scrape so both runs parse identical bytes and
+    # the generator cost stays out of the measurement loop's variance.
+    batches: list[list[str]] = []
+    clock = 0.0
+    for round_index in range(rounds):
+        batch: list[str] = []
+        for scrape in range(snapshots_per_round):
+            clock += 1.0
+            step = round_index * snapshots_per_round + scrape
+            concurrency = {f"svc{i:04d}": float(1 + (step + i) % 8)
+                           for i in range(series)}
+            goodput = {name: 40.0 * q / (1.0 + q / 6.0)
+                       for name, q in concurrency.items()}
+            utilization = {name: min(0.95, 0.30 + 0.08 * q)
+                           for name, q in concurrency.items()}
+            allocation = {name: 4 for name in concurrency}
+            batch.append(render_snapshot(
+                clock, utilization, concurrency, goodput, allocation))
+        batches.append(batch)
+
+    def run(flight_rounds: int) -> tuple[float, str, int]:
+        cfg = ServiceConfig(
+            decide_top_k=0, max_series=max(series, 1),
+            flight_rounds=flight_rounds,
+            scatter=ScatterModelConfig(min_samples=8, min_distinct=4,
+                                       quantum=0.5))
+        plane = ControlPlane(cfg)
+        start = time.perf_counter()
+        for batch in batches:
+            for text in batch:
+                plane.ingest_metrics(text)
+            plane.tick()
+        elapsed = time.perf_counter() - start
+        return elapsed, plane.decisions_jsonl(), len(plane.flight)
+
+    bare_s = traced_s = float("inf")
+    bare_text = traced_text = ""
+    recorded = 0
+    for _ in range(max(1, repeats)):
+        elapsed, text, _unused = run(0)
+        if elapsed < bare_s:
+            bare_s = elapsed
+        bare_text = text
+        elapsed, text, kept = run(256)
+        if elapsed < traced_s:
+            traced_s = elapsed
+        traced_text = text
+        recorded = kept
+    return {
+        "series": series,
+        "rounds": rounds,
+        "snapshots_per_round": snapshots_per_round,
+        "decisions": len(traced_text.splitlines()),
+        "identical_decisions": bare_text == traced_text,
+        "rounds_recorded": recorded,
+        "bare_seconds": bare_s,
+        "traced_seconds": traced_s,
+        "bare_rounds_per_sec": rounds / bare_s,
+        "traced_rounds_per_sec": rounds / traced_s,
+        "selftrace_overhead_pct":
+            (traced_s - bare_s) / bare_s * 100.0,
+    }
+
+
 def fanout_goodput(spec: tuple[int, int]) -> float:
     """One fan-out task: a seeded Sock Shop run's goodput at 400 ms.
 
@@ -549,6 +635,8 @@ def run_bench_suite(scale: float = 1.0,
             requests=scaled(2000, 50), repeats=repeats),
         "sampling_overhead": bench_sampling_overhead(
             requests=scaled(2000, 50), repeats=repeats),
+        "service_selftrace": bench_service_selftrace(
+            series=scaled(1000, 50), repeats=repeats),
     }
     if include_parallel:
         benchmarks["parallel_fanout"] = bench_parallel_fanout(
@@ -597,6 +685,17 @@ def render_report(report: dict) -> str:
                     f"({tier['total_requests']:,.0f} requests)")
             continue
         parts = [f"{name:<16}"]
+        if "selftrace_overhead_pct" in stats:
+            lines.append(
+                f"{name:<16}  "
+                f"{stats['traced_rounds_per_sec']:>8,.1f} rounds/s "
+                f"self-traced vs "
+                f"{stats['bare_rounds_per_sec']:>8,.1f} bare over "
+                f"{stats['series']:,} series "
+                f"({stats['selftrace_overhead_pct']:+.1f}% overhead, "
+                f"identical decisions="
+                f"{stats['identical_decisions']})")
+            continue
         if "overhead_pct" in stats:
             lines.append(
                 f"{name:<16}  "

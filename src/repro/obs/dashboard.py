@@ -248,7 +248,8 @@ def _coverage_table(sampler) -> str:
 
 
 def render_dashboard_html(obs: "Observability", *,
-                          title: str = "run") -> str:
+                          title: str = "run",
+                          extra_html: str = "") -> str:
     """The annotated run dashboard as one self-contained HTML page.
 
     Every recorded timeline series becomes a stacked SVG panel over a
@@ -256,6 +257,11 @@ def render_dashboard_html(obs: "Observability", *,
     vertical markers on every panel (hover for detail, checkboxes to
     toggle per kind). Raises ``ValueError`` when the run recorded no
     telemetry at all.
+
+    ``extra_html`` is injected verbatim before the closing script tag
+    — callers (the service's live ops console) append their own
+    sections while reusing the page chrome; they are responsible for
+    keeping it self-contained (no external references).
     """
     timeline = obs.timeline
     annotations = annotations_from_log(obs.decisions)
@@ -336,6 +342,8 @@ def render_dashboard_html(obs: "Observability", *,
             "<th>event</th></tr></thead>"
             f"<tbody>{rows}</tbody></table>")
 
+    if extra_html:
+        parts.append(extra_html)
     parts.append(f"<script>{_JS}</script></body></html>")
     return "".join(parts)
 

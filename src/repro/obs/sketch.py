@@ -135,6 +135,22 @@ class P2Quantile:
             (heights[neighbor] - heights[index]) / \
             (positions[neighbor] - positions[index])
 
+    def state_dict(self) -> dict:
+        """JSON-ready exact marker state (floats round-trip bit-exact)."""
+        return {
+            "count": self._count,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (quantile ``q`` must match)."""
+        self._count = int(state["count"])
+        self._heights = [float(h) for h in state["heights"]]
+        self._positions = [float(p) for p in state["positions"]]
+        self._desired = [float(d) for d in state["desired"]]
+
     def value(self) -> float:
         """The current quantile estimate (NaN before any observation).
 
@@ -231,6 +247,35 @@ class QuantileSketch:
                 f"quantile {q} is not tracked (have: "
                 f"{sorted(self._estimators)})")
         return estimator.value()
+
+    def state_dict(self) -> dict:
+        """JSON-ready exact state for checkpoint/restore.
+
+        Unlike :meth:`snapshot` (a rounded human-facing summary), this
+        captures every internal float verbatim so a restored sketch
+        continues the stream indistinguishably from the original.
+        """
+        return {
+            "count": self._count,
+            "total": self._total,
+            "min": self._min,
+            "max": self._max,
+            "estimators": {f"{q!r}": est.state_dict()
+                           for q, est in self._estimators.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        """Inverse of :meth:`state_dict`."""
+        quantiles = [float(q) for q in state["estimators"]]
+        sketch = cls(quantiles)
+        sketch._count = int(state["count"])
+        sketch._total = float(state["total"])
+        sketch._min = float(state["min"])
+        sketch._max = float(state["max"])
+        for key, est_state in state["estimators"].items():
+            sketch._estimators[float(key)].load_state(est_state)
+        return sketch
 
     def snapshot(self) -> dict:
         """JSON-ready summary (count/mean/min/max + tracked quantiles)."""

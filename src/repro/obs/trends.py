@@ -1,0 +1,261 @@
+"""Longitudinal performance trends over committed artifacts.
+
+The repo accumulates machine-readable performance evidence as it
+grows: ``BENCH_*.json`` kernel-bench reports (one per tracked
+revision) and scenario-matrix ``index.json`` files. Each is a point
+estimate; none of them answers *"is the event loop slower than it was
+three PRs ago?"*. ``repro obs trends`` does — it sweeps a set of
+paths for known artifacts, lines them up on a timeline (bench reports
+carry ``generated_at``; matrix indexes fall back to file mtime),
+extracts every scalar metric, and renders a self-contained HTML
+regression timeline with threshold-crossing callouts wherever a
+metric moved more than the tolerance between consecutive points.
+
+The report obeys the same no-external-references contract as the run
+dashboard (enforced by ``tools/check_links.py --html`` in CI).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import html as _html
+import json
+import pathlib
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.obs.dashboard import _CSS, _panel_svg
+
+__all__ = [
+    "TrendPoint",
+    "collect_artifacts",
+    "find_crossings",
+    "load_artifact",
+    "render_trends_html",
+]
+
+#: Bench-report schema this module understands.
+_BENCH_SCHEMA = "repro-bench-kernel/1"
+
+#: At most this many series are plotted (widest-moving first) so a
+#: large artifact set cannot produce an unbounded page.
+_MAX_PANELS = 40
+
+
+@dataclass
+class TrendPoint:
+    """One artifact's contribution to the timeline.
+
+    Attributes:
+        label: short human label (git sha for bench reports, file
+            stem otherwise).
+        timestamp: ISO-8601 UTC string used for ordering.
+        source: the artifact path, for provenance.
+        metrics: flat ``series name -> value`` scalars.
+    """
+
+    label: str
+    timestamp: str
+    source: str
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+def _scalars(prefix: str, payload: dict) -> dict[str, float]:
+    """Flatten the numeric leaves of one stats dict (no recursion:
+    nested sweeps carry their own axes and don't line up as a single
+    longitudinal series)."""
+    out = {}
+    for key, value in payload.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[f"{prefix}.{key}"] = float(value)
+    return out
+
+
+def _mtime_iso(path: pathlib.Path) -> str:
+    stamp = _dt.datetime.fromtimestamp(path.stat().st_mtime,
+                                       tz=_dt.timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def load_artifact(path: str | pathlib.Path) -> TrendPoint | None:
+    """Parse one file into a trend point (``None`` if unrecognized)."""
+    file = pathlib.Path(path)
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("schema") == _BENCH_SCHEMA:
+        metrics: dict[str, float] = {}
+        for name, stats in payload.get("benchmarks", {}).items():
+            if isinstance(stats, dict):
+                metrics.update(_scalars(name, stats))
+        sha = str(payload.get("git_sha") or "")[:12]
+        return TrendPoint(
+            label=sha or file.stem,
+            timestamp=str(payload.get("generated_at")
+                          or _mtime_iso(file)),
+            source=str(file), metrics=metrics)
+    if isinstance(payload.get("cells"), list):
+        cells = [cell for cell in payload["cells"]
+                 if isinstance(cell, dict)]
+        if not cells:
+            return None
+        metrics = {"matrix.cells": float(len(cells)),
+                   "matrix.failed": float(sum(
+                       1 for cell in cells if cell.get("failed")))}
+        for key in ("p50_ms", "p95_ms", "p99_ms", "goodput_rps",
+                    "throughput_rps", "adaptation_actions"):
+            values = [float(cell[key]) for cell in cells
+                      if isinstance(cell.get(key), (int, float))]
+            if values:
+                metrics[f"matrix.{key}.mean"] = (
+                    sum(values) / len(values))
+        return TrendPoint(label=file.parent.name or file.stem,
+                          timestamp=_mtime_iso(file),
+                          source=str(file), metrics=metrics)
+    return None
+
+
+def collect_artifacts(paths: _t.Sequence[str | pathlib.Path]
+                      ) -> list[TrendPoint]:
+    """Load every recognized artifact under ``paths``, oldest first.
+
+    Directories are searched recursively for ``BENCH_*.json`` and
+    ``index.json``; files are loaded directly. Duplicate sources are
+    collapsed.
+    """
+    candidates: list[pathlib.Path] = []
+    for entry in paths:
+        path = pathlib.Path(entry)
+        if path.is_dir():
+            candidates.extend(sorted(path.rglob("BENCH_*.json")))
+            candidates.extend(sorted(path.rglob("index.json")))
+        elif path.is_file():
+            candidates.append(path)
+    points = []
+    seen: set[str] = set()
+    for file in candidates:
+        key = str(file.resolve())
+        if key in seen:
+            continue
+        seen.add(key)
+        point = load_artifact(file)
+        if point is not None:
+            points.append(point)
+    points.sort(key=lambda point: (point.timestamp, point.source))
+    return points
+
+
+def _series(points: _t.Sequence[TrendPoint]
+            ) -> dict[str, list[tuple[int, float]]]:
+    """``metric -> [(point index, value)]`` for metrics seen twice+."""
+    table: dict[str, list[tuple[int, float]]] = {}
+    for index, point in enumerate(points):
+        for name, value in point.metrics.items():
+            table.setdefault(name, []).append((index, value))
+    return {name: samples for name, samples in table.items()
+            if len(samples) >= 2}
+
+
+def find_crossings(points: _t.Sequence[TrendPoint],
+                   threshold_pct: float) -> list[dict]:
+    """Consecutive-point moves beyond ``threshold_pct``, worst first."""
+    crossings = []
+    for name, samples in _series(points).items():
+        for (i_prev, prev), (i_next, curr) in zip(samples,
+                                                  samples[1:]):
+            if prev == 0.0:
+                continue
+            change = (curr - prev) / abs(prev) * 100.0
+            if abs(change) >= threshold_pct:
+                crossings.append({
+                    "metric": name,
+                    "from": points[i_prev].label,
+                    "to": points[i_next].label,
+                    "before": prev,
+                    "after": curr,
+                    "change_pct": round(change, 2),
+                })
+    crossings.sort(key=lambda entry: -abs(entry["change_pct"]))
+    return crossings
+
+
+def render_trends_html(points: _t.Sequence[TrendPoint], *,
+                       threshold_pct: float = 20.0,
+                       title: str = "perf trends") -> str:
+    """The regression-timeline report as self-contained HTML.
+
+    Raises ``ValueError`` with fewer than two artifacts — a single
+    point has no trend.
+    """
+    if len(points) < 2:
+        raise ValueError(
+            f"need at least 2 artifacts for a trend, got "
+            f"{len(points)}")
+    series = _series(points)
+    crossings = find_crossings(points, threshold_pct)
+    moved = {entry["metric"] for entry in crossings}
+    # Widest-moving series first, then alphabetical for stability.
+    ordered = sorted(
+        series,
+        key=lambda name: (name not in moved, name))
+    dropped = max(0, len(ordered) - _MAX_PANELS)
+    ordered = ordered[:_MAX_PANELS]
+
+    safe = _html.escape(title)
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{safe}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{safe}</h1>",
+        f"<p class='summary'>{len(points)} artifacts · "
+        f"{len(series)} longitudinal series · threshold "
+        f"±{threshold_pct:g}% · {len(crossings)} crossings</p>",
+    ]
+    rows = "".join(
+        f"<tr><td>{index}</td>"
+        f"<td>{_html.escape(point.label)}</td>"
+        f"<td>{_html.escape(point.timestamp)}</td>"
+        f"<td>{_html.escape(point.source)}</td></tr>"
+        for index, point in enumerate(points))
+    parts.append(
+        "<h2>Artifacts</h2><table><thead><tr><th>#</th><th>label</th>"
+        "<th>timestamp</th><th>source</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>")
+
+    parts.append("<h2>Threshold crossings</h2>")
+    if crossings:
+        rows = "".join(
+            f"<tr><td>{_html.escape(entry['metric'])}</td>"
+            f"<td>{_html.escape(entry['from'])} → "
+            f"{_html.escape(entry['to'])}</td>"
+            f"<td>{entry['before']:g} → {entry['after']:g}</td>"
+            f"<td>{entry['change_pct']:+.1f}%</td></tr>"
+            for entry in crossings)
+        parts.append(
+            "<table><thead><tr><th>metric</th><th>between</th>"
+            "<th>values</th><th>change</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>")
+    else:
+        parts.append(
+            f"<p class='summary'>no metric moved more than "
+            f"±{threshold_pct:g}% between consecutive artifacts</p>")
+
+    parts.append("<h2>Timelines</h2>")
+    if dropped:
+        parts.append(
+            f"<p class='summary'>showing {_MAX_PANELS} of "
+            f"{len(series)} series (crossing series first; "
+            f"{dropped} stable series omitted)</p>")
+    hi = float(len(points) - 1)
+    for name in ordered:
+        samples = [(float(index), value)
+                   for index, value in series[name]]
+        flag = " ⚠" if name in moved else ""
+        parts.append(_panel_svg(f"{name}{flag}", samples, 0.0,
+                                max(hi, 1.0), ()))
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -15,7 +15,11 @@ clean layering:
   emitting typed decision records with SLOs on the controller itself;
 - **infrastructure** (:mod:`repro.service.api`,
   :mod:`repro.service.audit`) — the stdlib-asyncio HTTP JSON API plus
-  JSONL journal/decision persistence with byte-exact audit replay;
+  JSONL journal/decision persistence with byte-exact audit replay,
+  segment rotation, tamper chaining, and checkpoint compaction;
+- **observability of the observer** (:mod:`repro.service.flight`,
+  :mod:`repro.service.console`) — the flight recorder that self-traces
+  every control round and the live ops console that serves it;
 - **driver** (:mod:`repro.service.driver`) — the DES simulator as an
   external load generator, closing the loop over real sockets.
 
@@ -29,10 +33,13 @@ from repro.service.api import ControllerService
 from repro.service.audit import (
     AuditJournal,
     JournalEntry,
+    journal_segments,
     read_journal,
     replay_journal,
+    verify_chain,
     verify_replay,
 )
+from repro.service.console import render_service_dashboard
 from repro.service.control import ControlPlane
 from repro.service.domain import (
     IngestError,
@@ -46,6 +53,7 @@ from repro.service.driver import (
     drive,
     render_snapshot,
 )
+from repro.service.flight import FlightRecorder
 from repro.service.ingest import (
     MetricsSnapshot,
     SeriesSample,
@@ -58,6 +66,7 @@ __all__ = [
     "ControlPlane",
     "ControllerService",
     "DriveReport",
+    "FlightRecorder",
     "IngestError",
     "JournalEntry",
     "MetricsSnapshot",
@@ -67,10 +76,13 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "drive",
+    "journal_segments",
     "parse_metrics_snapshot",
     "parse_trace_batch",
     "read_journal",
+    "render_service_dashboard",
     "render_snapshot",
     "replay_journal",
+    "verify_chain",
     "verify_replay",
 ]

@@ -14,6 +14,11 @@ plane as a JSON API:
 ``GET  /decisions``                   decision history as JSONL
 ``GET  /report``                      explainability report (text)
 ``GET  /metrics``                     the controller's own OpenMetrics
+``GET  /debug/rounds``                flight-recorded round summaries
+``GET  /debug/rounds/<round>``        one round's span tree + Jaeger
+                                      export
+``GET  /debug/journal``               journal lifecycle health
+``GET  /debug/dashboard``             live ops console (HTML)
 ``POST /ingest/openmetrics``          one metrics snapshot (text body)
 ``POST /ingest/jaeger``               one Jaeger-shaped trace batch
 ``POST /control/tick``                force a control round now
@@ -49,6 +54,7 @@ import pathlib
 import typing as _t
 
 from repro.service.audit import AuditJournal
+from repro.service.console import render_service_dashboard
 from repro.service.control import ControlPlane
 from repro.service.domain import IngestError, ServiceConfig
 
@@ -103,6 +109,12 @@ class ControllerService:
         decisions_path: decision-log JSONL destination, rewritten
             after every round (``None`` disables persistence).
         max_records: decision-log ring capacity.
+        journal_segment_bytes / journal_segment_age: rotation
+            thresholds forwarded to
+            :class:`~repro.service.audit.AuditJournal` (``0`` keeps
+            the seed's single-file behaviour).
+        journal_compact: collapse closed segments into checkpoint
+            entries after each rotation.
     """
 
     def __init__(self, config: ServiceConfig | None = None, *,
@@ -110,9 +122,18 @@ class ControllerService:
                  cadence: float = 0.0,
                  journal_path: str | pathlib.Path | None = None,
                  decisions_path: str | pathlib.Path | None = None,
-                 max_records: int = 4096) -> None:
+                 max_records: int = 4096,
+                 journal_segment_bytes: int = 0,
+                 journal_segment_age: float = 0.0,
+                 journal_compact: bool = False) -> None:
         self.plane = ControlPlane(config, max_records=max_records)
-        self.journal = AuditJournal(journal_path)
+        self.journal = AuditJournal(
+            journal_path,
+            segment_bytes=journal_segment_bytes,
+            segment_age=journal_segment_age,
+            compact=journal_compact,
+            checkpoint_provider=self._checkpoint,
+            registry=self.plane.obs.registry)
         self.host = host
         self.port = port
         self.cadence = cadence
@@ -187,6 +208,11 @@ class ControllerService:
         self.journal.record("tick", record.time)
         self._persist_decisions()
         return record.to_dict()
+
+    def _checkpoint(self) -> tuple[dict, list[str]]:
+        """Compaction cut: exact plane state + every decision line."""
+        return (self.plane.checkpoint(),
+                self.plane.decisions_jsonl().splitlines())
 
     def _persist_decisions(self) -> None:
         if self.decisions_path is not None:
@@ -302,6 +328,30 @@ class ControllerService:
                 return _text_response(
                     200, plane.openmetrics(),
                     "application/openmetrics-text")
+            if path == "/debug/rounds":
+                return _json_response(200, {
+                    "enabled": bool(plane.flight),
+                    "capacity": plane.flight.max_rounds,
+                    "recorded": plane.flight.rounds_recorded,
+                    "rounds": plane.flight.summaries()})
+            if path.startswith("/debug/rounds/"):
+                ordinal = path[len("/debug/rounds/"):]
+                detail = (plane.flight.round(int(ordinal))
+                          if ordinal.isdigit() else None)
+                if detail is None:
+                    return _json_response(
+                        404, {"error": "not-found",
+                              "detail": f"no flight-recorded round "
+                                        f"{ordinal!r} (retained: "
+                                        f"{len(plane.flight)})"})
+                return _json_response(200, detail)
+            if path == "/debug/journal":
+                return _json_response(200, self.journal.health())
+            if path == "/debug/dashboard":
+                return _text_response(
+                    200,
+                    render_service_dashboard(plane, self.journal),
+                    "text/html")
             return _json_response(
                 404, {"error": "not-found",
                       "detail": f"unknown path {path!r}"})

@@ -17,10 +17,35 @@ replay gate.
 
 Rejected payloads are deliberately *not* journaled: they changed no
 state, so replaying only accepted stimuli is sufficient for identity.
+
+Long-running services add two lifecycle concerns the seed journal
+ignored, both handled here without weakening the replay contract:
+
+**Rotation.** With ``segment_bytes`` / ``segment_age`` set, the active
+file is closed and renamed to a numbered segment
+(``journal.00001.jsonl``, ``journal.00002.jsonl``, …) once it exceeds
+the size or logical-time-span threshold; :func:`read_journal` on the
+base path stitches the segments back together in order. Every line
+carries a ``chain`` field — SHA-256 over the previous line's chain
+plus the line's canonical JSON — and the chain runs *across* segment
+boundaries, so :func:`verify_chain` catches a tampered or truncated
+line even when the edit and its successor live in different files.
+
+**Compaction.** With ``compact=True``, each rotation collapses all
+closed segments into a single ``"checkpoint"`` entry: the plane's
+exact decision-relevant state (:meth:`ControlPlane.checkpoint`) plus
+every decision line persisted so far, verbatim. Raw per-series
+snapshots are superseded by the state they produced; decisions are
+never dropped. Replay restores the checkpoint onto a fresh plane and
+replays only the tail — the result is byte-identical to replaying the
+uncompacted stream, because the checkpoint state is exact (JSON
+round-trips Python floats bit-exactly). A checkpoint line is a new
+chain genesis, which is what makes unlinking its predecessors sound.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 import typing as _t
@@ -29,16 +54,22 @@ from dataclasses import dataclass
 from repro.service.control import ControlPlane
 from repro.service.domain import ServiceConfig
 
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.registry import Registry
+
 __all__ = [
     "AuditJournal",
     "JournalEntry",
+    "journal_segments",
     "read_journal",
     "replay_journal",
+    "verify_chain",
     "verify_replay",
 ]
 
-#: Stimulus kinds a journal records.
-EntryKind = _t.Literal["metrics", "traces", "tick"]
+#: Stimulus kinds a journal records (``checkpoint`` lines are written
+#: by compaction, never by the live ingest path).
+EntryKind = _t.Literal["metrics", "traces", "tick", "checkpoint"]
 
 
 @dataclass(frozen=True)
@@ -47,11 +78,14 @@ class JournalEntry:
 
     Attributes:
         kind: ``"metrics"`` / ``"traces"`` (accepted ingests, body
-            preserved verbatim) or ``"tick"`` (control round).
+            preserved verbatim), ``"tick"`` (control round), or
+            ``"checkpoint"`` (compaction artifact; the body is a JSON
+            document with ``state`` and ``decisions`` keys).
         time: the logical time the plane resolved for the stimulus —
             replay passes it back explicitly so wall-clock-cadenced
             ticks stay reproducible.
-        body: the raw payload for ingests; ``None`` for ticks.
+        body: the raw payload for ingests/checkpoints; ``None`` for
+            ticks.
     """
 
     kind: EntryKind
@@ -59,7 +93,7 @@ class JournalEntry:
     body: str | None = None
 
     def to_dict(self) -> dict:
-        """JSON-ready journal line."""
+        """JSON-ready journal line (without the tamper chain)."""
         payload: dict[str, _t.Any] = {"kind": self.kind,
                                       "time": self.time}
         if self.body is not None:
@@ -68,41 +102,252 @@ class JournalEntry:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JournalEntry":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (a ``chain`` key is ignored)."""
         kind = payload["kind"]
-        if kind not in ("metrics", "traces", "tick"):
+        if kind not in ("metrics", "traces", "tick", "checkpoint"):
             raise ValueError(f"unknown journal entry kind {kind!r}")
         return cls(kind=kind, time=float(payload["time"]),
                    body=payload.get("body"))
+
+
+def _chain_hash(previous: str, canonical: str) -> str:
+    """One tamper-chain link: SHA-256 over predecessor + payload."""
+    return hashlib.sha256(
+        (previous + canonical).encode("utf-8")).hexdigest()
+
+
+def journal_segments(path: str | pathlib.Path) -> list[pathlib.Path]:
+    """Closed segments for a journal base path, oldest first."""
+    base = pathlib.Path(path)
+    prefix = base.stem + "."
+    segments = []
+    if base.parent.is_dir():
+        for candidate in base.parent.iterdir():
+            if (candidate.suffix == base.suffix
+                    and candidate.name.startswith(prefix)):
+                ordinal = candidate.name[len(prefix):-len(base.suffix)
+                                         or None]
+                if ordinal and ordinal.isdigit():
+                    segments.append((int(ordinal), candidate))
+    return [candidate for _ordinal, candidate in sorted(segments)]
 
 
 class AuditJournal:
     """Append-only JSONL journal of accepted stimuli.
 
     Args:
-        path: journal file (parent directories are created); ``None``
-            journals into memory only — useful for tests and for
-            serving without persistence.
+        path: journal base file (parent directories are created);
+            ``None`` journals into memory only — useful for tests and
+            for serving without persistence.
+        segment_bytes: rotate the active file into a numbered segment
+            once it holds at least this many bytes (``0`` disables
+            size-based rotation).
+        segment_age: rotate once the active segment's entries span at
+            least this many seconds of *logical* time (``0`` disables
+            age-based rotation; logical age keeps rotation — like
+            everything else in the replay contract — independent of
+            wall clocks).
+        compact: collapse closed segments into a single checkpoint
+            entry after each rotation (requires
+            ``checkpoint_provider``).
+        checkpoint_provider: zero-argument callable returning
+            ``(state, decision_lines)`` — the plane's
+            :meth:`~repro.service.control.ControlPlane.checkpoint`
+            and the decision JSONL lines persisted so far.
+        registry: optional metrics registry for rotation/compaction
+            counters (``journal.rotations``, ``journal.compactions``,
+            ``journal.entries.dropped``, ``journal.segments``,
+            ``journal.active.bytes``).
     """
 
-    def __init__(self, path: str | pathlib.Path | None = None) -> None:
+    def __init__(self, path: str | pathlib.Path | None = None, *,
+                 segment_bytes: int = 0, segment_age: float = 0.0,
+                 compact: bool = False,
+                 checkpoint_provider: _t.Callable[
+                     [], tuple[dict, list[str]]] | None = None,
+                 registry: "Registry | None" = None) -> None:
+        if segment_bytes < 0:
+            raise ValueError(
+                f"segment_bytes must be >= 0, got {segment_bytes}")
+        if segment_age < 0:
+            raise ValueError(
+                f"segment_age must be >= 0, got {segment_age}")
+        if compact and checkpoint_provider is None:
+            raise ValueError(
+                "compact=True requires a checkpoint_provider")
         self.path = pathlib.Path(path) if path is not None else None
+        self.segment_bytes = segment_bytes
+        self.segment_age = segment_age
+        self.compact = compact
+        self.checkpoint_provider = checkpoint_provider
         self.entries: list[JournalEntry] = []
+        self.rotations = 0
+        self.compactions = 0
+        self.entries_dropped = 0
+        self._registry = registry
+        self._chain = ""
+        self._segment_index = 0
+        self._closed_count = 0
+        self._active_bytes = 0
+        self._active_entries = 0
+        self._active_start: float | None = None
+        self._active_end = 0.0
         self._handle: _t.TextIO | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("w", encoding="utf-8")
+        self._publish()
+
+    @property
+    def chain_head(self) -> str:
+        """The most recent chain hash ("" before the first entry)."""
+        return self._chain
 
     def record(self, kind: EntryKind, time: float,
                body: str | None = None) -> JournalEntry:
-        """Persist one accepted stimulus (flushed immediately)."""
+        """Persist one accepted stimulus (flushed immediately).
+
+        Rotation (and compaction, when enabled) runs *after* the entry
+        is written: the caller journals each stimulus only after the
+        plane accepted it, so a checkpoint cut here reflects exactly
+        the entries 1..N it replaces.
+        """
         entry = JournalEntry(kind=kind, time=time, body=body)
         self.entries.append(entry)
         if self._handle is not None:
-            self._handle.write(
-                json.dumps(entry.to_dict(), sort_keys=True) + "\n")
-            self._handle.flush()
+            self._write(entry)
+            self._maybe_rotate()
+            self._publish()
         return entry
+
+    def _write(self, entry: JournalEntry) -> None:
+        canonical = json.dumps(entry.to_dict(), sort_keys=True)
+        self._chain = _chain_hash(self._chain, canonical)
+        line = json.dumps({**entry.to_dict(), "chain": self._chain},
+                          sort_keys=True)
+        handle = _t.cast(_t.TextIO, self._handle)
+        handle.write(line + "\n")
+        handle.flush()
+        self._active_bytes += len(line.encode("utf-8")) + 1
+        self._active_entries += 1
+        if self._active_start is None:
+            self._active_start = entry.time
+        self._active_end = entry.time
+
+    def _maybe_rotate(self) -> None:
+        if self._active_entries == 0:
+            return
+        size_due = (self.segment_bytes > 0
+                    and self._active_bytes >= self.segment_bytes)
+        start = self._active_start
+        age_due = (self.segment_age > 0 and start is not None
+                   and self._active_end - start >= self.segment_age)
+        if size_due or age_due:
+            self.rotate()
+
+    def _segment_path(self, index: int) -> pathlib.Path:
+        base = _t.cast(pathlib.Path, self.path)
+        return base.with_name(
+            f"{base.stem}.{index:05d}{base.suffix}")
+
+    def rotate(self) -> pathlib.Path | None:
+        """Close the active file into the next numbered segment.
+
+        The tamper chain continues uninterrupted into the fresh active
+        file, so a byte flipped in a closed segment still invalidates
+        every line after it. Returns the new segment's path (``None``
+        for in-memory journals or an empty active file). Compaction,
+        when enabled, runs immediately after — the only moment the
+        active file is empty, so it never needs rewriting.
+        """
+        if self._handle is None or self._active_entries == 0:
+            return None
+        self._handle.close()
+        self._segment_index += 1
+        segment = self._segment_path(self._segment_index)
+        _t.cast(pathlib.Path, self.path).rename(segment)
+        self._handle = _t.cast(pathlib.Path, self.path).open(
+            "w", encoding="utf-8")
+        self._active_bytes = 0
+        self._active_entries = 0
+        self._active_start = None
+        self.rotations += 1
+        self._closed_count += 1
+        if self.compact:
+            self._compact()
+        self._publish()
+        return segment
+
+    def _compact(self) -> None:
+        """Collapse every closed segment into one checkpoint segment.
+
+        Writes the checkpoint as the *next* numbered segment first,
+        then unlinks its predecessors: replay always restores from the
+        newest checkpoint and skips everything before it, so a crash
+        between the two steps leaves stale-but-ignored segments rather
+        than a journal that double-applies compacted entries.
+        """
+        provider = _t.cast(
+            _t.Callable[[], tuple[dict, list[str]]],
+            self.checkpoint_provider)
+        state, decision_lines = provider()
+        body = json.dumps(
+            {"state": state,
+             "decisions": [line for line in decision_lines if line]},
+            sort_keys=True)
+        entry = JournalEntry(kind="checkpoint",
+                             time=float(state["now"]), body=body)
+        superseded = journal_segments(_t.cast(pathlib.Path, self.path))
+        self._segment_index += 1
+        segment = self._segment_path(self._segment_index)
+        canonical = json.dumps(entry.to_dict(), sort_keys=True)
+        chain = _chain_hash("", canonical)  # checkpoint = new genesis
+        line = json.dumps({**entry.to_dict(), "chain": chain},
+                          sort_keys=True)
+        temporary = segment.with_name(segment.name + ".tmp")
+        temporary.write_text(line + "\n", encoding="utf-8")
+        temporary.replace(segment)
+        for stale in superseded:
+            stale.unlink()
+        self.entries_dropped += len(self.entries)
+        self.entries = [entry]
+        self._chain = chain
+        self._closed_count = 1
+        self.compactions += 1
+
+    def _publish(self) -> None:
+        """Refresh the registry's journal health instruments."""
+        registry = self._registry
+        if registry is None:
+            return
+        registry.gauge("journal.active.bytes").set(
+            float(self._active_bytes))
+        registry.gauge("journal.segments").set(
+            float(self._closed_count + 1))
+        for name, value in (("journal.rotations", self.rotations),
+                            ("journal.compactions", self.compactions),
+                            ("journal.entries.dropped",
+                             self.entries_dropped)):
+            counter = registry.counter(name)
+            counter.inc(value - counter.value)
+
+    def health(self) -> dict:
+        """JSON-ready lifecycle summary (served on the dashboard)."""
+        closed = (journal_segments(self.path)
+                  if self.path is not None else [])
+        return {
+            "path": str(self.path) if self.path is not None else None,
+            "segments": len(closed) + 1,
+            "active_bytes": self._active_bytes,
+            "active_entries": self._active_entries,
+            "rotations": self.rotations,
+            "compactions": self.compactions,
+            "entries_dropped": self.entries_dropped,
+            "segment_bytes": self.segment_bytes,
+            "segment_age": self.segment_age,
+            "compact": self.compact,
+            "chain_head": self._chain[:16] if self._chain else None,
+        }
 
     def close(self) -> None:
         """Close the backing file, if any (idempotent)."""
@@ -114,15 +359,66 @@ class AuditJournal:
         return len(self.entries)
 
 
+def _journal_files(path: str | pathlib.Path) -> list[pathlib.Path]:
+    """Closed segments plus the active file, in replay order."""
+    base = pathlib.Path(path)
+    files = journal_segments(base)
+    if base.exists():
+        files.append(base)
+    return files
+
+
 def read_journal(path: str | pathlib.Path) -> list[JournalEntry]:
-    """Parse a journal file back into entries."""
+    """Parse a journal (all segments + active file) back into entries.
+
+    Accepts both segmented journals (pass the base path) and plain
+    single-file journals, chained or legacy chainless.
+    """
+    files = _journal_files(path)
+    if not files:
+        raise FileNotFoundError(f"no journal at {path}")
     entries = []
-    for line in pathlib.Path(path).read_text(
-            encoding="utf-8").splitlines():
-        line = line.strip()
-        if line:
-            entries.append(JournalEntry.from_dict(json.loads(line)))
+    for file in files:
+        for line in file.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                entries.append(JournalEntry.from_dict(json.loads(line)))
     return entries
+
+
+def verify_chain(path: str | pathlib.Path) -> tuple[bool, str]:
+    """Walk a journal's tamper chain across every segment.
+
+    Each line's ``chain`` must equal SHA-256 over the previous line's
+    chain concatenated with the line's canonical JSON (sans ``chain``);
+    checkpoint lines restart the chain from genesis. Returns
+    ``(ok, detail)`` where ``detail`` names the first broken line.
+    """
+    previous = ""
+    checked = 0
+    for file in _journal_files(path):
+        for number, line in enumerate(
+                file.read_text(encoding="utf-8").splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            stored = payload.pop("chain", None)
+            if stored is None:
+                return False, (f"{file.name}:{number}: missing chain "
+                               f"field (legacy or stripped journal)")
+            if payload.get("kind") == "checkpoint":
+                previous = ""
+            expected = _chain_hash(
+                previous, json.dumps(payload, sort_keys=True))
+            if stored != expected:
+                return False, (
+                    f"{file.name}:{number}: chain mismatch "
+                    f"(stored {stored[:16]}…, expected "
+                    f"{expected[:16]}…)")
+            previous = expected
+            checked += 1
+    return True, f"chain intact over {checked} entries"
 
 
 def replay_journal(entries: _t.Iterable[JournalEntry],
@@ -132,11 +428,19 @@ def replay_journal(entries: _t.Iterable[JournalEntry],
 
     The configuration must match the one the journal was recorded
     under (the ``serve`` CLI persists it alongside the journal for
-    exactly this reason).
+    exactly this reason). A ``checkpoint`` entry restores its exact
+    state onto a *fresh* plane and seeds the preserved decision lines,
+    superseding everything before it — which is also what makes a
+    crash-interrupted compaction harmless.
     """
     plane = ControlPlane(config, max_records=max_records)
     for entry in entries:
-        if entry.kind == "metrics":
+        if entry.kind == "checkpoint":
+            payload = json.loads(_t.cast(str, entry.body))
+            plane = ControlPlane(config, max_records=max_records)
+            plane.restore(payload["state"])
+            plane.seed_decisions(payload["decisions"])
+        elif entry.kind == "metrics":
             plane.ingest_metrics(_t.cast(str, entry.body))
         elif entry.kind == "traces":
             plane.ingest_traces(_t.cast(str, entry.body))
@@ -160,7 +464,8 @@ def verify_replay(journal_path: str | pathlib.Path,
     persisted = pathlib.Path(decisions_path).read_text(
         encoding="utf-8")
     if replayed == persisted:
-        return True, (f"replay of {len(plane.obs.decisions)} records "
+        records = len(replayed.splitlines())
+        return True, (f"replay of {records} records "
                       f"is byte-identical")
     replay_lines = replayed.splitlines()
     disk_lines = persisted.splitlines()

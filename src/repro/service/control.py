@@ -33,6 +33,7 @@ JSONL byte-for-byte.
 
 from __future__ import annotations
 
+import dataclasses
 import time as _time
 import typing as _t
 from collections import deque
@@ -57,6 +58,7 @@ from repro.service.domain import (
     SeriesState,
     ServiceConfig,
 )
+from repro.service.flight import FlightRecorder
 from repro.service.ingest import parse_metrics_snapshot, parse_trace_batch
 from repro.tracing.analytics import CriticalPathAggregator
 from repro.tracing.critical_path import extract_critical_path
@@ -80,6 +82,14 @@ class ControlPlane:
                  max_records: int = 4096) -> None:
         self.config = config or ServiceConfig()
         cfg = self.config
+        self.max_records = max_records
+        #: Self-tracing flight recorder (falsy when
+        #: ``cfg.flight_rounds == 0`` — every hook below degrades to a
+        #: single truthiness check).
+        self.flight = FlightRecorder(cfg.flight_rounds)
+        #: Decision JSONL lines carried over from a journal checkpoint;
+        #: merged (and ring-truncated) into :meth:`decisions_jsonl`.
+        self._restored_decisions: list[str] = []
         self.locator = CriticalServiceLocator(
             utilization_threshold=cfg.utilization_threshold,
             exclude=cfg.exclude)
@@ -141,6 +151,8 @@ class ControlPlane:
                 per-series clocks must be non-decreasing).
         """
         cfg = self.config
+        flight = self.flight
+        flight_started = flight.clock() if flight else 0.0
         if self._pending >= cfg.max_pending:
             self.obs.registry.counter("service.rejected").inc()
             raise IngestError(
@@ -190,6 +202,8 @@ class ControlPlane:
                           sample.utilization, sample.allocation)
         self._pending += 1
         self.snapshots_ingested += 1
+        if flight:
+            flight.note_ingest("metrics", flight_started)
         self.obs.registry.counter("service.snapshots").inc()
         self.obs.registry.gauge("service.series").set(
             float(len(self._series)))
@@ -199,6 +213,8 @@ class ControlPlane:
 
     def ingest_traces(self, body: str | bytes) -> dict:
         """Fold one Jaeger-shaped trace batch into the aggregates."""
+        flight = self.flight
+        flight_started = flight.clock() if flight else 0.0
         roots = parse_trace_batch(body)
         for root in roots:
             self.analytics.observe(root)
@@ -211,6 +227,8 @@ class ControlPlane:
             self._budgets.append(budgets)
             self.now = max(self.now, _t.cast(float, root.departure))
         self.traces_ingested += len(roots)
+        if flight:
+            flight.note_ingest("traces", flight_started)
         self.obs.registry.counter("service.traces").inc(len(roots))
         return {"accepted": True, "traces": len(roots),
                 "observed": self.analytics.traces_observed}
@@ -241,6 +259,8 @@ class ControlPlane:
         """Estimate one service's optimum and record the verdict."""
         cfg = self.config
         state = self._series[service]
+        flight = self.flight
+        est_started = flight.clock() if flight else 0.0
         started = _time.perf_counter()
         concurrency, rate = state.pairs(now - cfg.window)
         estimate = self.model.estimate(concurrency, rate,
@@ -290,9 +310,16 @@ class ControlPlane:
                                      float(allocation))
         wall = _time.perf_counter() - started
         self._wall_total += wall
+        if flight:
+            flight.note_estimate(service, est_started, flight.clock())
         self.latency.observe(wall)
-        self.obs.registry.histogram(
-            "service.recommendation.latency").observe(wall)
+        histogram = self.obs.registry.histogram(
+            "service.recommendation.latency")
+        histogram.observe(wall)
+        # Exemplar: pin the slowest recommendation to the self-trace
+        # of the round that produced it, so the `/metrics` scrape links
+        # straight into `/debug/rounds/{id}`.
+        histogram.link_exemplar(self.rounds + 1, wall, now)
         assert self.obs.slo is not None
         self.obs.slo.observe(now, wall)
         return decision
@@ -309,6 +336,8 @@ class ControlPlane:
         if now is None:
             now = self.now
         self.now = max(self.now, now)
+        flight = self.flight
+        mark_started = flight.clock() if flight else 0.0
         utilizations = {name: state.utilization
                         for name, state in self._series.items()
                         if state.utilization is not None}
@@ -336,10 +365,13 @@ class ControlPlane:
                     break
                 if name not in decided:
                     decided.append(name)
+        mark_localized = flight.clock() if flight else 0.0
 
         thresholds = {name: self._threshold(name) for name in decided}
+        mark_propagated = flight.clock() if flight else 0.0
         decisions = tuple(self._decide(name, now, thresholds[name])
                           for name in decided)
+        mark_decided = flight.clock() if flight else 0.0
         record = ControlRoundRecord(
             time=now, controller=CONTROLLER_NAME, trigger=trigger,
             critical_service=report.critical_service,
@@ -369,7 +401,84 @@ class ControlPlane:
                 self.decisions_made / self._wall_total)
         self.obs.timeline.record("service.series", now,
                                  float(len(self._series)))
+        if flight:
+            flight.record_round(
+                round_index=self.rounds, time=now, trigger=trigger,
+                critical_service=report.critical_service,
+                decisions=[decision.target for decision in decisions],
+                started=mark_started, localized=mark_localized,
+                propagated=mark_propagated, decided=mark_decided)
+            registry.gauge("service.flight.rounds").set(
+                float(len(flight)))
         return record
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (journal compaction)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Exact decision-relevant state, JSON-ready.
+
+        Captures everything the next ``tick`` reads when producing a
+        decision record: per-series pair windows, the deadline budget
+        window, current recommendations (the ``before`` baseline),
+        counters, the logical clock, and the critical-path aggregator
+        (correlations + top-k paths + sketches). Wall-clock artifacts
+        (latency sketches, the SLO monitor, the flight recorder) are
+        deliberately excluded — they never reach decision records, so
+        a restored plane replays the journal tail byte-identically
+        without them.
+        """
+        return {
+            "version": 1,
+            "now": self.now,
+            "rounds": self.rounds,
+            "snapshots_ingested": self.snapshots_ingested,
+            "traces_ingested": self.traces_ingested,
+            "decisions_made": self.decisions_made,
+            "pending": self._pending,
+            "series": {name: state.state_dict()
+                       for name, state in sorted(self._series.items())},
+            "budgets": [dict(entry) for entry in self._budgets],
+            "recommendations": {
+                name: dataclasses.asdict(rec)
+                for name, rec in sorted(self.recommendations.items())},
+            "analytics": self.analytics.state_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint` (call on a fresh plane)."""
+        version = state.get("version")
+        if version != 1:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r}")
+        cfg = self.config
+        self.now = float(state["now"])
+        self.rounds = int(state["rounds"])
+        self.snapshots_ingested = int(state["snapshots_ingested"])
+        self.traces_ingested = int(state["traces_ingested"])
+        self.decisions_made = int(state["decisions_made"])
+        self._pending = int(state["pending"])
+        self._series = {
+            name: SeriesState.from_state(name, series_state)
+            for name, series_state in state["series"].items()}
+        self._budgets = deque(
+            ({service: float(budget)
+              for service, budget in entry.items()}
+             for entry in state["budgets"]),
+            maxlen=cfg.trace_window)
+        self.recommendations = {
+            name: Recommendation(**payload)
+            for name, payload in state["recommendations"].items()}
+        self.analytics.load_state(state["analytics"])
+
+    def seed_decisions(self, lines: _t.Sequence[str]) -> None:
+        """Install decision JSONL lines preserved by a checkpoint.
+
+        The lines prepend the live ring in :meth:`decisions_jsonl`;
+        the merged trail is truncated to the last ``max_records``
+        lines, matching the ring a never-compacted plane would hold.
+        """
+        self._restored_decisions = [line for line in lines if line]
 
     # ------------------------------------------------------------------
     # Views
@@ -421,6 +530,15 @@ class ControlPlane:
         return render_openmetrics(self.obs, now=self.now)
 
     def decisions_jsonl(self) -> str:
-        """The decision trail as JSONL (the persisted audit artifact)."""
+        """The decision trail as JSONL (the persisted audit artifact).
+
+        Checkpoint-restored lines come first, then the live ring; the
+        merge keeps only the last ``max_records`` lines so a compacted
+        replay matches what an uncompacted plane would have persisted.
+        """
+        lines = list(self._restored_decisions)
         text = self.obs.decisions.to_jsonl()
-        return text + "\n" if text else ""
+        if text:
+            lines.extend(text.split("\n"))
+        lines = lines[-self.max_records:] if self.max_records else lines
+        return "\n".join(lines) + "\n" if lines else ""

@@ -118,6 +118,11 @@ class ServiceConfig:
             seconds one recommendation may take; compliance is tracked
             by the service's own SLO monitor and exported over
             OpenMetrics.
+        flight_rounds: control rounds the self-tracing flight recorder
+            retains as span trees (served via ``/debug/rounds``);
+            ``0`` disables self-tracing entirely — the control path
+            then carries only a single truthiness check and decision
+            records are byte-identical either way.
         scatter: SCG scatter-model tuning (degree range, minimum
             evidence, knee quality).
     """
@@ -141,6 +146,7 @@ class ServiceConfig:
     time_family: str = "sora_now"
     service_label: str = "service"
     latency_slo: float = 0.25
+    flight_rounds: int = 256
     scatter: ScatterModelConfig = field(default_factory=_default_scatter)
 
     def __post_init__(self) -> None:
@@ -171,6 +177,9 @@ class ServiceConfig:
         if self.latency_slo <= 0:
             raise ValueError(
                 f"latency_slo must be positive, got {self.latency_slo}")
+        if self.flight_rounds < 0:
+            raise ValueError(
+                f"flight_rounds must be >= 0, got {self.flight_rounds}")
 
     def to_dict(self) -> dict:
         """JSON-ready view for the ``/config`` endpoint."""
@@ -196,6 +205,7 @@ class ServiceConfig:
             },
             "service_label": self.service_label,
             "latency_slo": self.latency_slo,
+            "flight_rounds": self.flight_rounds,
             "scatter": {
                 "min_degree": self.scatter.min_degree,
                 "max_degree": self.scatter.max_degree,
@@ -256,6 +266,29 @@ class SeriesState:
         """Drop pairs older than ``before``."""
         self.concurrency.prune(before)
         self.rate.prune(before)
+
+    def state_dict(self) -> dict:
+        """Exact streaming state for journal checkpoint compaction."""
+        return {
+            "concurrency": self.concurrency.state_dict(),
+            "rate": self.rate.state_dict(),
+            "utilization": self.utilization,
+            "allocation": self.allocation,
+            "snapshots": self.snapshots,
+            "updated": self.updated,
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> "SeriesState":
+        """Inverse of :meth:`state_dict`."""
+        series = cls(name)
+        series.concurrency = TimeSeries.from_state(state["concurrency"])
+        series.rate = TimeSeries.from_state(state["rate"])
+        series.utilization = state["utilization"]
+        series.allocation = state["allocation"]
+        series.snapshots = int(state["snapshots"])
+        series.updated = float(state["updated"])
+        return series
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,16 @@ class StreamingPearson:
         self.syy += y * y
         self.sxy += x * y
 
+    def state_dict(self) -> list[float]:
+        """The six running moments, JSON-ready and bit-exact."""
+        return [self.n, self.sx, self.sy, self.sxx, self.syy, self.sxy]
+
+    def load_state(self, state: _t.Sequence[float]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.n = int(state[0])
+        (self.sx, self.sy, self.sxx,
+         self.syy, self.sxy) = (float(v) for v in state[1:6])
+
     def value(self) -> float:
         """Pearson correlation over everything added so far."""
         n = self.n
@@ -125,6 +135,28 @@ class TopKPaths:
         return {pattern: int(entry[0])
                 for pattern, entry in self._table.items()}
 
+    def state_dict(self) -> dict:
+        """JSON-ready exact state, insertion order preserved.
+
+        Order matters: eviction ties in :meth:`offer` break on dict
+        iteration order, so a restored table must replay insertions in
+        the original sequence to stay byte-deterministic.
+        """
+        return {
+            "capacity": self.capacity,
+            "table": [[list(pattern), count, error, dsum]
+                      for pattern, (count, error, dsum)
+                      in self._table.items()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.capacity = int(state["capacity"])
+        self._table = {
+            tuple(pattern): [count, error, dsum]
+            for pattern, count, error, dsum in state["table"]
+        }
+
     def __len__(self) -> int:
         return len(self._table)
 
@@ -153,6 +185,13 @@ class MeanAccumulator:
 
     def snapshot(self) -> dict:
         return {"count": self.count, "mean": self.mean}
+
+    def state_dict(self) -> list[float]:
+        return [self.count, self._total]
+
+    def load_state(self, state: _t.Sequence[float]) -> None:
+        self.count = int(state[0])
+        self._total = float(state[1])
 
 
 class Exemplar(_t.NamedTuple):
@@ -247,6 +286,59 @@ class CriticalPathAggregator:
     def path_frequencies(self) -> dict[tuple[str, ...], int]:
         """Estimated critical-path pattern counts (top-K table)."""
         return self.paths.frequencies()
+
+    def state_dict(self) -> dict:
+        """Exact aggregate state for checkpoint/restore.
+
+        Everything a restored aggregator needs to keep producing the
+        same correlations, path frequencies, and exemplars it would
+        have produced without the restart; ``latency_histogram`` is an
+        externally wired observer and deliberately not captured.
+        """
+        return {
+            "traces_observed": self.traces_observed,
+            "duration": self.duration.state_dict(),
+            "self_time": {service: sketch.state_dict()
+                          for service, sketch in self.self_time.items()},
+            "contribution": {service: acc.state_dict()
+                             for service, acc
+                             in self.contribution.items()},
+            "pearson": {service: acc.state_dict()
+                        for service, acc in self._pearson.items()},
+            "paths": self.paths.state_dict(),
+            "slowest": (list(self.slowest)
+                        if self.slowest is not None else None),
+            "slowest_by_service": {
+                service: list(exemplar)
+                for service, exemplar
+                in self.slowest_by_service.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (quantiles must match)."""
+        self.traces_observed = int(state["traces_observed"])
+        self.duration = QuantileSketch.from_state(state["duration"])
+        self.self_time = {
+            service: QuantileSketch.from_state(sketch_state)
+            for service, sketch_state in state["self_time"].items()}
+        self.contribution = {}
+        for service, acc_state in state["contribution"].items():
+            acc = MeanAccumulator()
+            acc.load_state(acc_state)
+            self.contribution[service] = acc
+        self._pearson = {}
+        for service, moments in state["pearson"].items():
+            acc = StreamingPearson()
+            acc.load_state(moments)
+            self._pearson[service] = acc
+        self.paths.load_state(state["paths"])
+        self.slowest = (Exemplar(int(state["slowest"][0]),
+                                 float(state["slowest"][1]),
+                                 float(state["slowest"][2]))
+                        if state["slowest"] is not None else None)
+        self.slowest_by_service = {
+            service: Exemplar(int(raw[0]), float(raw[1]), float(raw[2]))
+            for service, raw in state["slowest_by_service"].items()}
 
     def snapshot(self) -> dict:
         """JSON-ready summary of every aggregate."""

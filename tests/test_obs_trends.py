@@ -1,0 +1,122 @@
+"""Longitudinal perf trends over committed bench/matrix artifacts."""
+
+import json
+
+import pytest
+
+from repro.obs.trends import (
+    collect_artifacts,
+    find_crossings,
+    load_artifact,
+    render_trends_html,
+)
+
+
+def bench_report(sha: str, stamp: str, events: float) -> dict:
+    return {
+        "schema": "repro-bench-kernel/1",
+        "scale": 1.0,
+        "git_sha": sha,
+        "generated_at": stamp,
+        "benchmarks": {
+            "timeout_chain": {"events_per_sec": events,
+                              "seconds": 0.5,
+                              "identical": True},
+            "scale_sweep": {"nested": {"ignored": 1.0}},
+        },
+    }
+
+
+def write_artifacts(tmp_path) -> None:
+    (tmp_path / "BENCH_old.json").write_text(json.dumps(
+        bench_report("a" * 40, "2026-01-01T00:00:00Z", 100_000.0)))
+    (tmp_path / "BENCH_new.json").write_text(json.dumps(
+        bench_report("b" * 40, "2026-02-01T00:00:00Z", 60_000.0)))
+
+
+def test_load_bench_report_flattens_scalars(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps(
+        bench_report("c" * 40, "2026-03-01T00:00:00Z", 5.0)))
+    point = load_artifact(path)
+    assert point is not None
+    assert point.label == "c" * 12
+    assert point.timestamp == "2026-03-01T00:00:00Z"
+    assert point.metrics["timeout_chain.events_per_sec"] == 5.0
+    # Booleans and nested dicts are not longitudinal scalars.
+    assert "timeout_chain.identical" not in point.metrics
+    assert not any("nested" in name for name in point.metrics)
+
+
+def test_load_matrix_index_aggregates_cells(tmp_path):
+    path = tmp_path / "matrix" / "index.json"
+    path.parent.mkdir()
+    path.write_text(json.dumps({"cells": [
+        {"p95_ms": 120.0, "goodput_rps": 40.0, "failed": False},
+        {"p95_ms": 180.0, "goodput_rps": 60.0, "failed": True},
+    ]}))
+    point = load_artifact(path)
+    assert point is not None
+    assert point.label == "matrix"
+    assert point.metrics["matrix.cells"] == 2.0
+    assert point.metrics["matrix.failed"] == 1.0
+    assert point.metrics["matrix.p95_ms.mean"] == 150.0
+
+
+def test_unrecognized_files_are_skipped(tmp_path):
+    (tmp_path / "BENCH_junk.json").write_text("not json")
+    (tmp_path / "BENCH_other.json").write_text(json.dumps(
+        {"schema": "something-else/9"}))
+    assert load_artifact(tmp_path / "BENCH_junk.json") is None
+    assert collect_artifacts([tmp_path]) == []
+
+
+def test_collect_orders_and_dedupes(tmp_path):
+    write_artifacts(tmp_path)
+    points = collect_artifacts(
+        [tmp_path, tmp_path / "BENCH_old.json"])
+    assert [p.label for p in points] == ["a" * 12, "b" * 12]
+
+
+def test_crossings_flag_threshold_moves(tmp_path):
+    write_artifacts(tmp_path)
+    points = collect_artifacts([tmp_path])
+    crossings = find_crossings(points, threshold_pct=20.0)
+    assert len(crossings) == 1
+    entry = crossings[0]
+    assert entry["metric"] == "timeout_chain.events_per_sec"
+    assert entry["change_pct"] == -40.0
+    assert entry["from"] == "a" * 12 and entry["to"] == "b" * 12
+    # A 50% threshold keeps the same move quiet.
+    assert find_crossings(points, threshold_pct=50.0) == []
+
+
+def test_render_requires_two_artifacts(tmp_path):
+    write_artifacts(tmp_path)
+    points = collect_artifacts([tmp_path])
+    with pytest.raises(ValueError, match="at least 2"):
+        render_trends_html(points[:1])
+
+
+def test_render_is_self_contained_html(tmp_path):
+    write_artifacts(tmp_path)
+    points = collect_artifacts([tmp_path])
+    page = render_trends_html(points, threshold_pct=20.0,
+                              title="trend check")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "trend check" in page
+    assert "timeout_chain.events_per_sec" in page
+    assert "-40.0%" in page
+    assert "http://" not in page and "https://" not in page
+
+
+def test_committed_artifacts_produce_a_trend():
+    """The repo ships enough evidence for `repro obs trends` to run:
+    the root seed plus the benchmarks tree (satellite contract)."""
+    import pathlib
+    root = pathlib.Path(__file__).resolve().parent.parent
+    points = collect_artifacts(
+        [root / "BENCH_kernel.json", root / "benchmarks"])
+    assert len(points) >= 2
+    page = render_trends_html(points)
+    assert "Timelines" in page

@@ -43,8 +43,11 @@ GATES = [
 @pytest.fixture(scope="module")
 def baseline():
     assert BASELINE_PATH.exists(), (
-        f"missing committed baseline {BASELINE_PATH}; regenerate with "
-        "`repro bench --output <path>`")
+        f"missing committed baseline {BASELINE_PATH}; regenerate it "
+        "(and the root BENCH_kernel.json trends seed) with "
+        "`PYTHONPATH=src python -m repro.cli bench --output "
+        f"{BASELINE_PATH.relative_to(BASELINE_PATH.parents[2])}` "
+        "from the repo root, then commit the refreshed report")
     report = json.loads(BASELINE_PATH.read_text())
     assert report["schema"] == SCHEMA
     return report
@@ -71,3 +74,41 @@ def test_throughput_no_regression(baseline, current, bench, field):
         f"{reference:,.0f}/s (floor {floor:,.0f}/s at "
         f"{TOLERANCE:g}x tolerance). If the slowdown is intentional, "
         f"refresh {BASELINE_PATH.name} via `repro bench --output`.")
+
+
+#: Committed full-scale bench report (the trends seed) — where the
+#: 1000-series self-trace overhead claim is actually measured.
+SEED_PATH = (pathlib.Path(__file__).resolve().parent.parent /
+             "BENCH_kernel.json")
+
+
+def test_selftrace_overhead_bounded(current):
+    """Flight recording must stay a sub-10% tax on the control loop,
+    and disabling it must not change a single decision byte.
+
+    The 10% budget is held on the committed full-scale 1000-series
+    report; the live smoke run (50 series, ~0.3 s loops) is too
+    noise-dominated for a tight bound, so — like the throughput gates
+    above — it only has to rule out an order-of-magnitude regression.
+    The byte-identity assertions are deterministic and stay strict.
+    """
+    stats = current["benchmarks"]["service_selftrace"]
+    assert stats["identical_decisions"] is True
+    assert stats["rounds_recorded"] == stats["rounds"]
+    assert stats["selftrace_overhead_pct"] < 100.0, (
+        f"self-tracing more than doubled the control loop at smoke "
+        f"scale ({stats['traced_seconds']:.3f}s traced vs "
+        f"{stats['bare_seconds']:.3f}s bare)")
+
+    assert SEED_PATH.exists(), (
+        f"missing committed trends seed {SEED_PATH}; regenerate with "
+        "`PYTHONPATH=src python -m repro.cli bench --output "
+        "BENCH_kernel.json` from the repo root and commit it")
+    seed = json.loads(SEED_PATH.read_text())
+    full = seed["benchmarks"]["service_selftrace"]
+    assert full["series"] >= 1000
+    assert full["identical_decisions"] is True
+    assert full["selftrace_overhead_pct"] < 10.0, (
+        f"committed full-scale self-trace overhead "
+        f"{full['selftrace_overhead_pct']:.1f}% exceeds the 10% "
+        f"budget — fix the recorder before refreshing the seed")
